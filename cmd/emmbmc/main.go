@@ -1,0 +1,191 @@
+// Command emmbmc model-checks one of the built-in case-study designs with
+// any of the paper's engines:
+//
+//	emmbmc -design quicksort -n 3 -prop p1 -engine bmc3
+//	emmbmc -design quicksort -n 3 -prop p1 -engine bmc1 -explicit
+//	emmbmc -design lookup -prop inv -engine bmc3
+//	emmbmc -design filter -prop 42 -engine bmc2
+//	emmbmc -design quicksort -prop p2 -engine pba
+//	emmbmc -design lookup -prop 1 -engine bdd -explicit
+//
+// Engines: bmc1 (plain + proofs), bmc2 (EMM falsification), bmc3 (EMM +
+// proofs + PBA), pba (two-phase prove-with-abstraction), bdd (BDD-based
+// reachability; requires -explicit). -explicit first expands every memory
+// into latches (the paper's Explicit Modeling baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/aiger"
+	"emmver/internal/bdd"
+	"emmver/internal/bmc"
+	"emmver/internal/designs"
+	"emmver/internal/expmem"
+	"emmver/internal/vcd"
+)
+
+func main() {
+	design := flag.String("design", "quicksort", "quicksort, filter, or lookup")
+	n := flag.Int("n", 3, "quicksort array size")
+	reduced := flag.Bool("reduced", true, "use reduced memory widths (fast); false = paper widths")
+	prop := flag.String("prop", "p1", "property: p1/p2 (quicksort), inv or index (lookup), index (filter)")
+	engine := flag.String("engine", "bmc3", "bmc1, bmc2, bmc3, pba, or bdd")
+	depth := flag.Int("depth", 200, "maximum analysis depth")
+	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
+	explicit := flag.Bool("explicit", false, "expand memories into latches first")
+	bddNodes := flag.Int("bddnodes", 500000, "BDD node budget for -engine bdd")
+	vcdOut := flag.String("vcd", "", "write a counter-example waveform to this file")
+	aigerOut := flag.String("aiger", "", "write the (memory-free) model as AIGER to this file and exit")
+	verbose := flag.Bool("v", false, "log per-depth progress")
+	flag.Parse()
+
+	netlist, pi := buildDesign(*design, *n, *reduced, *prop)
+	if *explicit {
+		netlist, _ = expmem.Expand(netlist)
+		fmt.Printf("explicit model: %s\n", netlist.Stats())
+	} else {
+		fmt.Printf("model: %s\n", netlist.Stats())
+	}
+
+	if *aigerOut != "" {
+		f, err := os.Create(*aigerOut)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer f.Close()
+		if err := aiger.Write(f, netlist, true); err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("wrote %s\n", *aigerOut)
+		return
+	}
+
+	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	switch *engine {
+	case "bmc1":
+		opt.Proofs = true
+	case "bmc2":
+		opt.UseEMM = true
+	case "bmc3":
+		opt.UseEMM = true
+		opt.Proofs = true
+	case "pba":
+		opt.UseEMM = len(netlist.Memories) > 0
+		opt.StabilityDepth = 10
+		res := bmc.ProveWithPBA(netlist, pi, opt)
+		fmt.Printf("phase 1: %s (%.1fs)\n", res.Phase1, res.AbstractionTime.Seconds())
+		if res.Abs != nil {
+			fmt.Printf("abstraction: %s\n", res.Abs)
+		}
+		if res.Proof != nil {
+			fmt.Printf("phase 2: %s\n", res.Proof)
+		}
+		fmt.Printf("verdict: %s\n", res.Kind())
+		return
+	case "bdd":
+		if len(netlist.Memories) > 0 {
+			fmt.Fprintln(os.Stderr, "the BDD engine needs -explicit")
+			os.Exit(2)
+		}
+		r, err := bdd.CheckSafety(netlist, pi, *bddNodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("verdict: %s\n", r)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	if *explicit {
+		opt.UseEMM = false
+	}
+	r := bmc.Check(netlist, pi, opt)
+	fmt.Printf("verdict: %s\n", r)
+	if r.Kind == bmc.KindProof {
+		fmt.Printf("proved by %s termination at depth %d\n", r.ProofSide, r.Depth)
+	}
+	if r.Kind == bmc.KindCE {
+		fmt.Printf("counter-example of length %d (validated on the concrete design: %v)\n",
+			r.Witness.Length, !*explicit)
+		if !*explicit {
+			r.Witness.Minimize(netlist, pi)
+		}
+		if *vcdOut != "" {
+			f, err := os.Create(*vcdOut)
+			if err != nil {
+				fail(err.Error())
+			}
+			defer f.Close()
+			if err := vcd.DumpWitness(f, netlist, r.Witness, pi); err != nil {
+				fail(err.Error())
+			}
+			fmt.Printf("waveform written to %s\n", *vcdOut)
+		}
+	}
+	fmt.Printf("stats: %d solver calls, %d clauses, %d vars, %d conflicts, %.0f MB heap\n",
+		r.Stats.SolveCalls, r.Stats.Clauses, r.Stats.Vars, r.Stats.Conflicts, r.Stats.PeakHeapMB)
+	if r.Stats.EMM.Clauses() > 0 {
+		fmt.Printf("emm constraints: %s\n", r.Stats.EMM)
+	}
+}
+
+func buildDesign(name string, n int, reduced bool, prop string) (*aig.Netlist, int) {
+	switch name {
+	case "quicksort":
+		cfg := designs.DefaultQuickSort(n)
+		if reduced {
+			cfg = designs.QuickSortConfig{N: n, ArrayAW: 4, DataW: 8, StackAW: 4}
+		}
+		q := designs.NewQuickSort(cfg)
+		switch prop {
+		case "p1", "P1":
+			return q.Netlist(), q.P1Index
+		case "p2", "P2":
+			return q.Netlist(), q.P2Index
+		}
+		fail("quicksort properties are p1 and p2")
+	case "filter":
+		cfg := designs.DefaultImageFilter()
+		if reduced {
+			cfg = designs.ImageFilterConfig{LineWidth: 4, AW: 4, DW: 4, NumProps: 16}
+		}
+		f := designs.NewImageFilter(cfg)
+		idx, err := strconv.Atoi(prop)
+		if err != nil || idx < 0 || idx >= cfg.NumProps {
+			fail(fmt.Sprintf("filter properties are 0..%d", cfg.NumProps-1))
+		}
+		return f.Netlist(), idx
+	case "lookup":
+		cfg := designs.DefaultLookup()
+		if reduced {
+			cfg = designs.LookupConfig{AW: 4, DW: 6, NumProps: 8, Latency: 6}
+		}
+		l := designs.NewLookup(cfg)
+		if prop == "inv" {
+			return l.Netlist(), l.InvariantIndex
+		}
+		idx, err := strconv.Atoi(prop)
+		if err != nil || idx < 0 || idx >= len(l.ReachIndices) {
+			fail("lookup properties are inv or 0..7")
+		}
+		return l.Netlist(), l.ReachIndices[idx]
+	}
+	fail("designs are quicksort, filter, and lookup")
+	return nil, 0
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(2)
+}

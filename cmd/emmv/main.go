@@ -1,0 +1,152 @@
+// Command emmv verifies Verilog designs: it elaborates a synthesizable
+// subset (with memory arrays inferred as embedded memory modules) and
+// model-checks the design's assert() properties with the EMM-based
+// engines.
+//
+//	emmv design.v                                # prove all assertions (BMC-3)
+//	emmv -top quicksort -param N=4 design.v      # parameter override
+//	emmv -engine bmc2 -depth 50 design.v         # falsification only
+//	emmv -engine pba design.v                    # prove with abstraction
+//	emmv -explicit design.v                      # Explicit Modeling baseline
+//	emmv -vcd bug.vcd design.v                   # dump counter-examples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"emmver/internal/bmc"
+	"emmver/internal/expmem"
+	"emmver/internal/vcd"
+	"emmver/internal/verilog"
+)
+
+type paramFlags map[string]uint64
+
+func (p paramFlags) String() string { return "" }
+func (p paramFlags) Set(s string) error {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return fmt.Errorf("expected NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseUint(s[eq+1:], 0, 64)
+	if err != nil {
+		return err
+	}
+	p[s[:eq]] = v
+	return nil
+}
+
+func main() {
+	top := flag.String("top", "", "top module (default: the last module in the file)")
+	engine := flag.String("engine", "bmc3", "bmc1, bmc2, bmc3, or pba")
+	depth := flag.Int("depth", 100, "maximum analysis depth")
+	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
+	explicit := flag.Bool("explicit", false, "expand memories into latches first")
+	vcdOut := flag.String("vcd", "", "write the first counter-example waveform here")
+	verbose := flag.Bool("v", false, "log per-depth progress")
+	params := paramFlags{}
+	flag.Var(params, "param", "parameter override NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: emmv [flags] design.v")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	file, err := verilog.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	topName := *top
+	if topName == "" {
+		topName = file.Modules[len(file.Modules)-1].Name
+	}
+	n, err := verilog.ElaborateWithParams(file, topName, params)
+	if err != nil {
+		fatal(err)
+	}
+	orig := n
+	fmt.Printf("%s: %s, %d properties\n", topName, n.Stats(), len(n.Props))
+	if len(n.Props) == 0 {
+		fmt.Println("nothing to verify (no assert() items)")
+		return
+	}
+	if *explicit {
+		n, _ = expmem.Expand(n)
+		fmt.Printf("explicit model: %s\n", n.Stats())
+	}
+
+	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	useEMM := !*explicit && len(n.Memories) > 0
+	switch *engine {
+	case "bmc1":
+		opt.Proofs = true
+	case "bmc2":
+		opt.UseEMM = useEMM
+	case "bmc3":
+		opt.UseEMM = useEMM
+		opt.Proofs = true
+	case "pba":
+		opt.UseEMM = useEMM
+		opt.StabilityDepth = 10
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	fails := 0
+	for pi, p := range n.Props {
+		var r *bmc.Result
+		if *engine == "pba" {
+			res := bmc.ProveWithPBA(n, pi, opt)
+			if res.Proof != nil {
+				r = res.Proof
+			} else {
+				r = res.Phase1
+			}
+			if res.Abs != nil {
+				fmt.Printf("  [%s] abstraction: %s\n", p.Name, res.Abs)
+			}
+		} else {
+			r = bmc.Check(n, pi, opt)
+		}
+		fmt.Printf("  [%s] %s\n", p.Name, r)
+		if r.Kind == bmc.KindCE {
+			fails++
+			if !*explicit {
+				r.Witness.Minimize(n, pi)
+			}
+			if *vcdOut != "" {
+				f, err := os.Create(*vcdOut)
+				if err != nil {
+					fatal(err)
+				}
+				if err := vcd.DumpWitness(f, n, r.Witness, pi); err != nil {
+					fatal(err)
+				}
+				f.Close()
+				fmt.Printf("  [%s] waveform written to %s\n", p.Name, *vcdOut)
+				*vcdOut = "" // only the first CE
+			}
+		}
+	}
+	_ = orig
+	if fails > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

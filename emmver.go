@@ -1,0 +1,202 @@
+// Package emmver is a SAT-based bounded model checker for embedded memory
+// systems built around Efficient Memory Modeling (EMM), reproducing
+//
+//	Ganai, Gupta, Ashar: "Verification of Embedded Memory Systems using
+//	Efficient Memory Modeling", DATE 2005.
+//
+// Instead of expanding each embedded memory into 2^AW × DW state bits, EMM
+// removes the arrays and constrains the retained memory interface signals
+// with data-forwarding semantics at every analysis depth — for any number
+// of memories, each with any number of read and write ports — and models
+// arbitrary initial memory contents precisely, which makes SAT-based
+// induction proofs possible on the abstracted model. Proof-based
+// abstraction (PBA) identifies the latches, memories, and ports a property
+// actually depends on and prunes the rest.
+//
+// # Quick start
+//
+//	d := emmver.NewDesign("demo")
+//	mem := d.Memory("ram", 4, 8, emmver.MemZero)
+//	addr := d.Input("addr", 4)
+//	data := mem.Read(addr, emmver.True)
+//	d.AssertAlways("read-zero", d.IsZero(data))
+//	res := emmver.Verify(d.N, 0, emmver.BMC3(50))
+//	fmt.Println(res)
+//
+// The package is a facade over the internal engine:
+//
+//	internal/sat     CDCL SAT solver with UNSAT-core proof tracing
+//	internal/aig     and-inverter netlists with first-class memories
+//	internal/rtl     word-level design entry (registers, buses, FSMs)
+//	internal/unroll  time-frame expansion with tagged CNF
+//	internal/core    the EMM constraint generation (the paper's §3–§4)
+//	internal/expmem  the Explicit Modeling baseline
+//	internal/bmc     BMC-1 / BMC-2 / BMC-3 engines and the PBA flow
+//	internal/pba     latch-reason tracking and model reduction
+//	internal/bdd     a BDD-based model checker for comparison
+//	internal/sim     concrete-memory simulation and witness replay
+//	internal/designs the paper's case studies (quicksort, filter, lookup)
+//	internal/exp     the Table 1 / Table 2 / case-study harness
+package emmver
+
+import (
+	"io"
+
+	"emmver/internal/aig"
+	"emmver/internal/bmc"
+	"emmver/internal/btor2"
+	"emmver/internal/expmem"
+	"emmver/internal/ltl"
+	"emmver/internal/rtl"
+	"emmver/internal/sim"
+	"emmver/internal/verilog"
+)
+
+// Design-entry aliases: a Design is a word-level module under
+// construction; Vec is a bus of bits.
+type (
+	// Design is a word-level design under construction.
+	Design = rtl.Module
+	// Vec is a bus, least-significant bit first.
+	Vec = rtl.Vec
+	// Reg is a register.
+	Reg = rtl.Reg
+	// Mem is an embedded memory handle.
+	Mem = rtl.Mem
+	// FSM is a finite-state-machine helper.
+	FSM = rtl.FSM
+	// Netlist is the compiled and-inverter netlist.
+	Netlist = aig.Netlist
+	// Bit is a single signal (possibly complemented).
+	Bit = aig.Lit
+)
+
+// Constant bits.
+const (
+	// False is the constant-0 signal.
+	False = aig.False
+	// True is the constant-1 signal.
+	True = aig.True
+)
+
+// Memory initialization modes.
+const (
+	// MemZero: every word starts at zero.
+	MemZero = aig.MemZero
+	// MemArbitrary: unconstrained initial contents, modeled precisely
+	// (§4.2) so proofs remain sound.
+	MemArbitrary = aig.MemArbitrary
+	// MemImage: initialized from an explicit image (simulation and
+	// explicit modeling only).
+	MemImage = aig.MemImage
+)
+
+// NewDesign starts a new word-level design.
+func NewDesign(name string) *Design { return rtl.NewModule(name) }
+
+// MkBit builds the plain (non-complemented) signal of a netlist node.
+func MkBit(n aig.NodeID) Bit { return aig.MkLit(n, false) }
+
+// Verification aliases.
+type (
+	// Options configures a verification run; see BMC1/BMC2/BMC3 for the
+	// paper's algorithm presets.
+	Options = bmc.Options
+	// Result is a verification outcome.
+	Result = bmc.Result
+	// Witness is a counter-example trace.
+	Witness = bmc.Witness
+	// PBAResult is the outcome of the prove-with-abstraction flow.
+	PBAResult = bmc.PBAResult
+)
+
+// Result kinds.
+const (
+	// NoCounterExample: the bound was exhausted.
+	NoCounterExample = bmc.KindNoCE
+	// CounterExample: a violation was found (and, by default on
+	// unabstracted models, replayed on the concrete design).
+	CounterExample = bmc.KindCE
+	// Proved: a termination check proved the property for all depths.
+	Proved = bmc.KindProof
+	// TimedOut: the time budget expired.
+	TimedOut = bmc.KindTimeout
+)
+
+// BMC1 configures plain BMC with induction proofs (Fig. 1) — for designs
+// without memories or with explicitly expanded ones.
+func BMC1(maxDepth int) Options { return bmc.BMC1(maxDepth) }
+
+// BMC2 configures EMM falsification (Fig. 2).
+func BMC2(maxDepth int) Options { return bmc.BMC2(maxDepth) }
+
+// BMC3 configures EMM with proofs and proof-based abstraction (Fig. 3).
+func BMC3(maxDepth int) Options { return bmc.BMC3(maxDepth) }
+
+// Verify model-checks one safety property of a design.
+func Verify(n *Netlist, prop int, opt Options) *Result {
+	return bmc.Check(n, prop, opt)
+}
+
+// VerifyAll model-checks many properties sharing one incremental
+// unrolling.
+func VerifyAll(n *Netlist, props []int, opt Options) *bmc.ManyResult {
+	return bmc.CheckMany(n, props, opt)
+}
+
+// ProveWithAbstraction runs the §4.3 flow: collect a stable latch-reason
+// set with PBA, reduce the model (dropping irrelevant memories and ports),
+// and prove on the reduced model.
+func ProveWithAbstraction(n *Netlist, prop int, opt Options) *PBAResult {
+	return bmc.ProveWithPBA(n, prop, opt)
+}
+
+// ProveWithInvariant first proves a helper invariant property, then
+// assumes it as a per-cycle constraint while checking the main property —
+// the Industry II methodology of §5 (prove G(WE=0 ∨ WD=0), then verify
+// under it), generalized.
+func ProveWithInvariant(n *Netlist, mainProp, invariantProp int, opt Options) (*bmc.InvariantResult, error) {
+	return bmc.ProveWithInvariant(n, mainProp, invariantProp, opt)
+}
+
+// ExpandMemories builds the Explicit Modeling baseline: every memory
+// becomes 2^AW × DW latches.
+func ExpandMemories(n *Netlist) *Netlist {
+	out, _ := expmem.Expand(n)
+	return out
+}
+
+// NewSimulator builds a cycle-accurate concrete-memory simulator for a
+// design.
+func NewSimulator(n *Netlist) *sim.Simulator { return sim.New(n) }
+
+// CompileVerilog elaborates a synthesizable-subset Verilog source (memory
+// arrays become embedded memory modules; assert()/assume() items become
+// properties and constraints). top selects the root module.
+func CompileVerilog(src, top string) (*Netlist, error) {
+	return verilog.ElaborateString(src, top)
+}
+
+// ReadBTOR2 parses a BTOR2 word-level model; array states become embedded
+// memory modules verified through EMM.
+func ReadBTOR2(r io.Reader) (*Netlist, error) { return btor2.Read(r) }
+
+// WriteBTOR2 serializes a design as BTOR2, keeping memories word-level
+// (array states with read nodes and write-chain next functions).
+func WriteBTOR2(w io.Writer, n *Netlist) error { return btor2.Write(w, n) }
+
+// LTLFormula is a linear-temporal-logic formula (see ParseLTL).
+type LTLFormula = ltl.Formula
+
+// LTLBinding maps formula atoms to design signals.
+type LTLBinding = ltl.Binding
+
+// ParseLTL parses an LTL formula ("G (req -> F ack)").
+func ParseLTL(s string) (*LTLFormula, error) { return ltl.Parse(s) }
+
+// FindLTLWitness searches for a bounded witness (path or lasso) of an
+// existential LTL formula over the design. To refute "always ψ", search
+// for a witness of ¬ψ.
+func FindLTLWitness(n *Netlist, bind LTLBinding, f *LTLFormula, maxK int) (*ltl.LassoWitness, error) {
+	return ltl.FindWitness(n, bind, f, ltl.SearchOptions{MaxK: maxK})
+}

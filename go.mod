@@ -1,0 +1,3 @@
+module emmver
+
+go 1.22

@@ -1,0 +1,345 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantFolding(t *testing.T) {
+	n := New("t")
+	a := n.NewInput("a")
+	if n.And(a, False) != False {
+		t.Fatalf("a∧0 must be 0")
+	}
+	if n.And(False, a) != False {
+		t.Fatalf("0∧a must be 0")
+	}
+	if n.And(a, True) != a {
+		t.Fatalf("a∧1 must be a")
+	}
+	if n.And(a, a) != a {
+		t.Fatalf("a∧a must be a")
+	}
+	if n.And(a, a.Not()) != False {
+		t.Fatalf("a∧¬a must be 0")
+	}
+	if n.NumAnds() != 0 {
+		t.Fatalf("no gates should have been created")
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	n := New("t")
+	a, b := n.NewInput("a"), n.NewInput("b")
+	g1 := n.And(a, b)
+	g2 := n.And(b, a)
+	if g1 != g2 {
+		t.Fatalf("And must be commutative under strashing")
+	}
+	if n.NumAnds() != 1 {
+		t.Fatalf("expected 1 gate, got %d", n.NumAnds())
+	}
+}
+
+func TestDerivedGates(t *testing.T) {
+	n := New("t")
+	a, b := n.NewInput("a"), n.NewInput("b")
+	// Check truth tables through evaluation of the graph.
+	eval := func(root Lit, va, vb bool) bool {
+		var rec func(l Lit) bool
+		rec = func(l Lit) bool {
+			node := n.NodeAt(l.Node())
+			var v bool
+			switch node.Kind {
+			case KConst:
+				v = false
+			case KInput:
+				if l.Node() == a.Node() {
+					v = va
+				} else {
+					v = vb
+				}
+			case KAnd:
+				v = rec(node.F0) && rec(node.F1)
+			default:
+				t.Fatalf("unexpected node kind %v", node.Kind)
+			}
+			if l.Inverted() {
+				return !v
+			}
+			return v
+		}
+		return rec(root)
+	}
+	or := n.Or(a, b)
+	xor := n.Xor(a, b)
+	xnor := n.Xnor(a, b)
+	imp := n.Implies(a, b)
+	for _, va := range []bool{false, true} {
+		for _, vb := range []bool{false, true} {
+			if eval(or, va, vb) != (va || vb) {
+				t.Fatalf("or wrong at %v %v", va, vb)
+			}
+			if eval(xor, va, vb) != (va != vb) {
+				t.Fatalf("xor wrong at %v %v", va, vb)
+			}
+			if eval(xnor, va, vb) != (va == vb) {
+				t.Fatalf("xnor wrong at %v %v", va, vb)
+			}
+			if eval(imp, va, vb) != (!va || vb) {
+				t.Fatalf("implies wrong at %v %v", va, vb)
+			}
+		}
+	}
+}
+
+func TestMuxFolding(t *testing.T) {
+	n := New("t")
+	s, a := n.NewInput("s"), n.NewInput("a")
+	if n.Mux(s, a, a) != a {
+		t.Fatalf("mux with equal branches must fold")
+	}
+}
+
+func TestAndsOrs(t *testing.T) {
+	n := New("t")
+	if n.Ands() != True {
+		t.Fatalf("empty Ands must be True")
+	}
+	if n.Ors() != False {
+		t.Fatalf("empty Ors must be False")
+	}
+	a, b, c := n.NewInput("a"), n.NewInput("b"), n.NewInput("c")
+	if n.Ands(a, True, b, c) == False {
+		t.Fatalf("Ands folded wrongly")
+	}
+	if n.Ors(a, False) != a {
+		t.Fatalf("Ors identity wrong")
+	}
+}
+
+func TestLatchRoundtrip(t *testing.T) {
+	n := New("t")
+	q := n.NewLatch("q", Init1)
+	d := n.NewInput("d")
+	n.SetNext(q, d)
+	l := n.LatchOf(q.Node())
+	if l == nil || l.Next != d || l.Init != Init1 || l.Name != "q" {
+		t.Fatalf("latch record wrong: %+v", l)
+	}
+}
+
+func TestSetNextPanics(t *testing.T) {
+	n := New("t")
+	q := n.NewLatch("q", Init0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("SetNext on complemented literal must panic")
+		}
+	}()
+	n.SetNext(q.Not(), False)
+}
+
+func TestMemoryPorts(t *testing.T) {
+	n := New("t")
+	m := n.NewMemory("ram", 4, 8, MemZero)
+	if m.Words() != 16 {
+		t.Fatalf("Words wrong")
+	}
+	addr := make([]Lit, 4)
+	data := make([]Lit, 8)
+	for i := range addr {
+		addr[i] = n.NewInput("")
+	}
+	for i := range data {
+		data[i] = n.NewInput("")
+	}
+	en := n.NewInput("we")
+	n.NewWritePort(m, addr, data, en)
+	rp := n.NewReadPort(m)
+	n.SetReadAddr(m, rp, addr, en)
+	if len(m.Writes) != 1 || len(m.Reads) != 1 {
+		t.Fatalf("port counts wrong")
+	}
+	if len(rp.Data) != 8 {
+		t.Fatalf("read data width wrong")
+	}
+	for _, id := range rp.Data {
+		if n.NodeAt(id).Kind != KMemRead {
+			t.Fatalf("read data node kind wrong")
+		}
+	}
+	if len(rp.DataLits()) != 8 {
+		t.Fatalf("DataLits width wrong")
+	}
+}
+
+func TestMemoryGeometryPanics(t *testing.T) {
+	n := New("t")
+	for _, g := range [][2]int{{0, 8}, {31, 8}, {4, 0}, {4, 65}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("geometry %v must panic", g)
+				}
+			}()
+			n.NewMemory("bad", g[0], g[1], MemZero)
+		}()
+	}
+}
+
+func TestWritePortWidthPanics(t *testing.T) {
+	n := New("t")
+	m := n.NewMemory("ram", 4, 8, MemZero)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("wrong address width must panic")
+		}
+	}()
+	n.NewWritePort(m, []Lit{True}, make([]Lit, 8), True)
+}
+
+func TestSupportLatches(t *testing.T) {
+	n := New("t")
+	q1 := n.NewLatch("q1", Init0)
+	q2 := n.NewLatch("q2", Init0)
+	q3 := n.NewLatch("q3", Init0)
+	a := n.NewInput("a")
+	f := n.And(q1, n.Or(a, q2)) // depends on q1, q2 but not q3
+	sup := n.SupportLatches(f)
+	if !sup[q1.Node()] || !sup[q2.Node()] || sup[q3.Node()] {
+		t.Fatalf("support wrong: %v", sup)
+	}
+}
+
+func TestMemReadIsCutPoint(t *testing.T) {
+	n := New("t")
+	q := n.NewLatch("q", Init0)
+	m := n.NewMemory("ram", 2, 2, MemZero)
+	rp := n.NewReadPort(m)
+	addr := []Lit{q, q}
+	n.SetReadAddr(m, rp, addr, True)
+	// Logic on read data: its latch support must be empty (cut point),
+	// even though the read address depends on q.
+	f := n.And(rp.DataLits()[0], rp.DataLits()[1])
+	sup := n.SupportLatches(f)
+	if len(sup) != 0 {
+		t.Fatalf("mem read must be a cut point, got support %v", sup)
+	}
+}
+
+func TestMemoryControlLatches(t *testing.T) {
+	n := New("t")
+	qa := n.NewLatch("qa", Init0)
+	qd := n.NewLatch("qd", Init0)
+	qu := n.NewLatch("unused", Init0)
+	_ = qu
+	m := n.NewMemory("ram", 1, 1, MemZero)
+	n.NewWritePort(m, []Lit{qa}, []Lit{qd}, True)
+	rp := n.NewReadPort(m)
+	n.SetReadAddr(m, rp, []Lit{qa}, True)
+	ctl := n.MemoryControlLatches(m)
+	if !ctl[qa.Node()] || !ctl[qd.Node()] {
+		t.Fatalf("control latches missing: %v", ctl)
+	}
+	if ctl[qu.Node()] {
+		t.Fatalf("unrelated latch in control set")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New("t")
+	n.NewInput("a")
+	n.NewLatch("q", Init0)
+	a, b := n.NewInput("x"), n.NewInput("y")
+	n.And(a, b)
+	m := n.NewMemory("ram", 3, 4, MemZero)
+	_ = m
+	s := n.Stats()
+	if s.Inputs != 3 || s.Latches != 1 || s.Ands != 1 || s.Memories != 1 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.MemBits != 8*4 {
+		t.Fatalf("mem bits wrong: %d", s.MemBits)
+	}
+	if s.String() == "" {
+		t.Fatalf("empty stats string")
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(7, true)
+	if l.Node() != 7 || !l.Inverted() {
+		t.Fatalf("MkLit roundtrip wrong")
+	}
+	if l.Not().Inverted() {
+		t.Fatalf("Not wrong")
+	}
+	if l.XorInv(false) != l || l.XorInv(true) != l.Not() {
+		t.Fatalf("XorInv wrong")
+	}
+	if False.String() != "0" || True.String() != "1" {
+		t.Fatalf("const String wrong")
+	}
+}
+
+func TestKindAndInitStrings(t *testing.T) {
+	for _, k := range []Kind{KConst, KInput, KLatch, KAnd, KMemRead} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Init0.String() != "0" || Init1.String() != "1" || InitX.String() != "x" {
+		t.Fatalf("Init strings wrong")
+	}
+	for _, m := range []MemInit{MemZero, MemArbitrary, MemImage} {
+		if m.String() == "" {
+			t.Fatalf("MemInit %d has no name", m)
+		}
+	}
+}
+
+// TestAndIdempotentProperty: And over random literal pairs is order
+// independent and never allocates duplicate gates.
+func TestAndIdempotentProperty(t *testing.T) {
+	n := New("t")
+	var inputs []Lit
+	for i := 0; i < 8; i++ {
+		inputs = append(inputs, n.NewInput(""))
+	}
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		a := inputs[rng.Intn(len(inputs))].XorInv(rng.Intn(2) == 1)
+		b := inputs[rng.Intn(len(inputs))].XorInv(rng.Intn(2) == 1)
+		return n.And(a, b) == n.And(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstraintAndProperty(t *testing.T) {
+	n := New("t")
+	a := n.NewInput("a")
+	n.AddProperty("p0", a)
+	n.AddConstraint(a.Not())
+	if len(n.Props) != 1 || n.Props[0].Name != "p0" {
+		t.Fatalf("property registration wrong")
+	}
+	if len(n.Constraints) != 1 {
+		t.Fatalf("constraint registration wrong")
+	}
+}
+
+func TestInputNames(t *testing.T) {
+	n := New("t")
+	a := n.NewInput("clk_en")
+	if n.InputName(a.Node()) != "clk_en" {
+		t.Fatalf("input name lost")
+	}
+	b := n.NewInput("")
+	if n.InputName(b.Node()) != "" {
+		t.Fatalf("unnamed input should have empty name")
+	}
+}

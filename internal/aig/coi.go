@@ -1,0 +1,173 @@
+package aig
+
+// ExtractCone builds a reduced copy of the netlist containing only the
+// cone of influence of the selected properties (and all environment
+// constraints): the latches, gates, inputs, and memories that can affect
+// them, found by a fixpoint over combinational support — a latch pulls in
+// its next-state cone, a memory read-data node pulls in the whole memory
+// module (all its ports' address/data/enable cones, since any write may be
+// forwarded to the read).
+//
+// The returned mapping translates old input/latch node ids to new ones so
+// witnesses can be related across the reduction.
+func ExtractCone(n *Netlist, props []int) (*Netlist, map[NodeID]NodeID) {
+	// Fixpoint: collect every node reachable backward from the roots,
+	// expanding latches through their next functions and memory read
+	// nodes through their module's port nets.
+	needNode := make([]bool, n.NumNodes())
+	needMem := make([]bool, len(n.Memories))
+
+	memOfRead := make(map[NodeID]int)
+	for mi, m := range n.Memories {
+		for _, rp := range m.Reads {
+			for _, dn := range rp.Data {
+				memOfRead[dn] = mi
+			}
+		}
+	}
+
+	var stack []NodeID
+	push := func(l Lit) {
+		id := l.Node()
+		if !needNode[id] {
+			needNode[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, pi := range props {
+		push(n.Props[pi].OK)
+	}
+	for _, c := range n.Constraints {
+		push(c)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := n.nodes[id]
+		switch node.Kind {
+		case KAnd:
+			push(node.F0)
+			push(node.F1)
+		case KLatch:
+			push(n.latchOf[id].Next)
+		case KMemRead:
+			mi := memOfRead[id]
+			if needMem[mi] {
+				continue
+			}
+			needMem[mi] = true
+			m := n.Memories[mi]
+			for _, rp := range m.Reads {
+				for _, a := range rp.Addr {
+					push(a)
+				}
+				push(rp.En)
+				for _, dn := range rp.Data {
+					if !needNode[dn] {
+						needNode[dn] = true
+					}
+				}
+			}
+			for _, wp := range m.Writes {
+				for _, a := range wp.Addr {
+					push(a)
+				}
+				for _, d := range wp.Data {
+					push(d)
+				}
+				push(wp.En)
+			}
+		}
+	}
+
+	// Rebuild.
+	out := New(n.Name + "_coi")
+	mapping := make(map[NodeID]NodeID)
+	newLit := make(map[NodeID]Lit)
+	newLit[0] = False
+
+	for _, id := range n.Inputs {
+		if !needNode[id] {
+			continue
+		}
+		l := out.NewInput(n.InputName(id))
+		newLit[id] = l
+		mapping[id] = l.Node()
+	}
+	for _, l := range n.Latches {
+		if !needNode[l.Node] {
+			continue
+		}
+		nl := out.NewLatch(l.Name, l.Init)
+		newLit[l.Node] = nl
+		mapping[l.Node] = nl.Node()
+	}
+	newMems := make([]*Memory, len(n.Memories))
+	for mi, m := range n.Memories {
+		if !needMem[mi] {
+			continue
+		}
+		nm := out.NewMemory(m.Name, m.AW, m.DW, m.Init)
+		nm.Image = m.Image
+		newMems[mi] = nm
+		for _, rp := range m.Reads {
+			nrp := out.NewReadPort(nm)
+			for b, dn := range rp.Data {
+				newLit[dn] = MkLit(nrp.Data[b], false)
+			}
+		}
+	}
+
+	var copyLit func(l Lit) Lit
+	copyLit = func(l Lit) Lit {
+		id := l.Node()
+		if v, ok := newLit[id]; ok {
+			return v.XorInv(l.Inverted())
+		}
+		node := n.nodes[id]
+		if node.Kind != KAnd {
+			panic("aig: cone copy reached an undeclared non-gate node")
+		}
+		v := out.And(copyLit(node.F0), copyLit(node.F1))
+		newLit[id] = v
+		return v.XorInv(l.Inverted())
+	}
+
+	for _, l := range n.Latches {
+		if needNode[l.Node] {
+			out.SetNext(newLit[l.Node], copyLit(l.Next))
+		}
+	}
+	for mi, m := range n.Memories {
+		if !needMem[mi] {
+			continue
+		}
+		nm := newMems[mi]
+		for ri, rp := range m.Reads {
+			addr := make([]Lit, len(rp.Addr))
+			for i, a := range rp.Addr {
+				addr[i] = copyLit(a)
+			}
+			out.SetReadAddr(nm, nm.Reads[ri], addr, copyLit(rp.En))
+		}
+		for _, wp := range m.Writes {
+			addr := make([]Lit, len(wp.Addr))
+			for i, a := range wp.Addr {
+				addr[i] = copyLit(a)
+			}
+			data := make([]Lit, len(wp.Data))
+			for i, d := range wp.Data {
+				data[i] = copyLit(d)
+			}
+			out.NewWritePort(nm, addr, data, copyLit(wp.En))
+		}
+	}
+	for _, pi := range props {
+		p := n.Props[pi]
+		out.AddProperty(p.Name, copyLit(p.OK))
+	}
+	for _, c := range n.Constraints {
+		out.AddConstraint(copyLit(c))
+	}
+	return out, mapping
+}

@@ -1,0 +1,84 @@
+package aig
+
+import "testing"
+
+// buildCOIFixture: property depends on latch qa and memory A; latch qb and
+// memory B are dead weight.
+func buildCOIFixture() (*Netlist, Lit, Lit) {
+	n := New("coi")
+	qa := n.NewLatch("qa", Init0)
+	qb := n.NewLatch("qb", Init0)
+	in := n.NewInput("in")
+	n.SetNext(qa, n.Xor(qa, in))
+	n.SetNext(qb, n.And(qb, in))
+
+	memA := n.NewMemory("memA", 2, 1, MemZero)
+	rpA := n.NewReadPort(memA)
+	n.SetReadAddr(memA, rpA, []Lit{qa, qa}, True)
+	n.NewWritePort(memA, []Lit{qa, in}, []Lit{qa}, in)
+
+	memB := n.NewMemory("memB", 2, 1, MemZero)
+	rpB := n.NewReadPort(memB)
+	n.SetReadAddr(memB, rpB, []Lit{qb, qb}, True)
+
+	n.AddProperty("p", n.Or(qa, rpA.DataLits()[0]))
+	return n, qa, qb
+}
+
+func TestExtractConeDropsDeadLogic(t *testing.T) {
+	n, _, _ := buildCOIFixture()
+	out, mapping := ExtractCone(n, []int{0})
+	if len(out.Latches) != 1 {
+		t.Fatalf("expected 1 latch, got %d", len(out.Latches))
+	}
+	if out.Latches[0].Name != "qa" {
+		t.Fatalf("wrong latch kept: %s", out.Latches[0].Name)
+	}
+	if len(out.Memories) != 1 || out.Memories[0].Name != "memA" {
+		t.Fatalf("memory selection wrong: %d", len(out.Memories))
+	}
+	if len(out.Memories[0].Writes) != 1 || len(out.Memories[0].Reads) != 1 {
+		t.Fatalf("ports lost")
+	}
+	if len(out.Props) != 1 {
+		t.Fatalf("property lost")
+	}
+	if len(mapping) == 0 {
+		t.Fatalf("empty mapping")
+	}
+}
+
+func TestExtractConeKeepsConstraints(t *testing.T) {
+	n, _, qb := buildCOIFixture()
+	// A constraint over qb forces its cone back in.
+	n.AddConstraint(qb.Not())
+	out, _ := ExtractCone(n, []int{0})
+	if len(out.Latches) != 2 {
+		t.Fatalf("constraint cone must be kept: %d latches", len(out.Latches))
+	}
+	if len(out.Constraints) != 1 {
+		t.Fatalf("constraint lost")
+	}
+}
+
+func TestExtractConePropertySubset(t *testing.T) {
+	n, _, qb := buildCOIFixture()
+	n.AddProperty("pb", qb)
+	// Selecting only the second property keeps only qb's cone (and no
+	// memory at all: memB is read but feeds nothing selected).
+	out, _ := ExtractCone(n, []int{1})
+	if len(out.Latches) != 1 || out.Latches[0].Name != "qb" {
+		t.Fatalf("wrong cone for pb")
+	}
+	if len(out.Memories) != 0 {
+		t.Fatalf("no memory should be kept for pb")
+	}
+}
+
+func TestExtractConePreservesStats(t *testing.T) {
+	n, _, _ := buildCOIFixture()
+	out, _ := ExtractCone(n, []int{0})
+	if out.Stats().Inputs != 1 {
+		t.Fatalf("input count wrong: %+v", out.Stats())
+	}
+}

@@ -1,0 +1,505 @@
+// Package aiger reads and writes the AIGER and-inverter-graph interchange
+// format (both the ASCII "aag" and binary "aig" variants, including the
+// AIGER 1.9 reset values, bad-state properties, and invariant
+// constraints), bridging this library to standard hardware model-checking
+// benchmarks and tools.
+//
+// AIGER has no notion of embedded memory modules: netlists containing
+// memories must be expanded (package expmem) before writing. On reading,
+// bad-state literals (B section, or plain outputs as a fallback, per
+// HWMCC convention) become safety properties "¬bad holds always".
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"emmver/internal/aig"
+)
+
+// Write emits the netlist in ASCII (binary=false) or binary AIGER.
+func Write(w io.Writer, n *aig.Netlist, binary bool) error {
+	if len(n.Memories) > 0 {
+		return fmt.Errorf("aiger: netlist has %d memory modules; expand them first", len(n.Memories))
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	// Assign AIGER variable indices: inputs, then latches, then ands
+	// (binary AIGER requires exactly this order).
+	varOf := make(map[aig.NodeID]uint32) // node -> aiger variable index
+	next := uint32(1)
+	for _, id := range n.Inputs {
+		varOf[id] = next
+		next++
+	}
+	for _, l := range n.Latches {
+		varOf[l.Node] = next
+		next++
+	}
+	// Collect AND nodes in topological (id) order.
+	var ands []aig.NodeID
+	for id := aig.NodeID(1); id < aig.NodeID(n.NumNodes()); id++ {
+		if n.NodeAt(id).Kind == aig.KAnd {
+			varOf[id] = next
+			next++
+			ands = append(ands, id)
+		}
+	}
+	lit := func(l aig.Lit) uint32 {
+		id := l.Node()
+		var base uint32
+		if id != 0 {
+			v, ok := varOf[id]
+			if !ok {
+				panic(fmt.Sprintf("aiger: unmapped node %d (%v)", id, n.NodeAt(id).Kind))
+			}
+			base = 2 * v
+		}
+		if l.Inverted() {
+			base |= 1
+		}
+		return base
+	}
+
+	m := next - 1
+	format := "aag"
+	if binary {
+		format = "aig"
+	}
+	fmt.Fprintf(bw, "%s %d %d %d 0 %d %d %d\n",
+		format, m, len(n.Inputs), len(n.Latches), len(ands), len(n.Props), len(n.Constraints))
+
+	if !binary {
+		for _, id := range n.Inputs {
+			fmt.Fprintf(bw, "%d\n", 2*varOf[id])
+		}
+	}
+	for _, l := range n.Latches {
+		reset := "0"
+		switch l.Init {
+		case aig.Init1:
+			reset = "1"
+		case aig.InitX:
+			reset = fmt.Sprintf("%d", 2*varOf[l.Node]) // lit = itself: uninitialized
+		}
+		if binary {
+			fmt.Fprintf(bw, "%d %s\n", lit(l.Next), reset)
+		} else {
+			fmt.Fprintf(bw, "%d %d %s\n", 2*varOf[l.Node], lit(l.Next), reset)
+		}
+	}
+	for _, p := range n.Props {
+		fmt.Fprintf(bw, "%d\n", lit(p.OK.Not())) // bad-state literal
+	}
+	for _, c := range n.Constraints {
+		fmt.Fprintf(bw, "%d\n", lit(c))
+	}
+	if binary {
+		for _, id := range ands {
+			node := n.NodeAt(id)
+			lhs := 2 * varOf[id]
+			r0, r1 := lit(node.F0), lit(node.F1)
+			if r0 < r1 {
+				r0, r1 = r1, r0
+			}
+			writeDelta(bw, lhs-r0)
+			writeDelta(bw, r0-r1)
+		}
+	} else {
+		for _, id := range ands {
+			node := n.NodeAt(id)
+			r0, r1 := lit(node.F0), lit(node.F1)
+			if r0 < r1 {
+				r0, r1 = r1, r0
+			}
+			fmt.Fprintf(bw, "%d %d %d\n", 2*varOf[id], r0, r1)
+		}
+	}
+	// Symbol table.
+	for i, id := range n.Inputs {
+		if name := n.InputName(id); name != "" {
+			fmt.Fprintf(bw, "i%d %s\n", i, name)
+		}
+	}
+	for i, l := range n.Latches {
+		if l.Name != "" {
+			fmt.Fprintf(bw, "l%d %s\n", i, l.Name)
+		}
+	}
+	for i, p := range n.Props {
+		if p.Name != "" {
+			fmt.Fprintf(bw, "b%d %s\n", i, p.Name)
+		}
+	}
+	fmt.Fprintf(bw, "c\nwritten by emmver\n")
+	return bw.Flush()
+}
+
+func writeDelta(w *bufio.Writer, d uint32) {
+	for d >= 0x80 {
+		w.WriteByte(byte(d&0x7f | 0x80))
+		d >>= 7
+	}
+	w.WriteByte(byte(d))
+}
+
+// Read parses an AIGER file (ASCII or binary, auto-detected) into a
+// netlist.
+func Read(r io.Reader) (*aig.Netlist, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: reading header: %v", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("aiger: short header %q", header)
+	}
+	binary := false
+	switch fields[0] {
+	case "aag":
+	case "aig":
+		binary = true
+	default:
+		return nil, fmt.Errorf("aiger: unknown format %q", fields[0])
+	}
+	nums := make([]int, len(fields)-1)
+	for i, f := range fields[1:] {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", f)
+		}
+		nums[i] = v
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	nBad, nConstr := 0, 0
+	if len(nums) > 5 {
+		nBad = nums[5]
+	}
+	if len(nums) > 6 {
+		nConstr = nums[6]
+	}
+	if maxVar < nIn+nLatch+nAnd {
+		return nil, fmt.Errorf("aiger: inconsistent header (M=%d < I+L+A=%d)", maxVar, nIn+nLatch+nAnd)
+	}
+
+	p := &reader{br: br, binary: binary}
+	net := aig.New("aiger")
+	// litOf maps an AIGER literal to a netlist literal once all vars are
+	// defined; we first record raw structure.
+	varLit := make([]aig.Lit, maxVar+1) // aiger var -> netlist literal
+	defined := make([]bool, maxVar+1)
+	varLit[0] = aig.False
+	defined[0] = true
+
+	var inputIdx []uint32
+	if binary {
+		for i := 0; i < nIn; i++ {
+			inputIdx = append(inputIdx, uint32(i+1))
+		}
+	} else {
+		for i := 0; i < nIn; i++ {
+			l, err := p.readUint()
+			if err != nil {
+				return nil, err
+			}
+			if l&1 != 0 || l == 0 {
+				return nil, fmt.Errorf("aiger: invalid input literal %d", l)
+			}
+			inputIdx = append(inputIdx, l/2)
+		}
+	}
+	for _, v := range inputIdx {
+		if int(v) > maxVar || defined[v] {
+			return nil, fmt.Errorf("aiger: bad input variable %d", v)
+		}
+		varLit[v] = net.NewInput("")
+		defined[v] = true
+	}
+
+	type latchRec struct {
+		v     uint32
+		next  uint32
+		reset uint32
+		hasR  bool
+	}
+	var latches []latchRec
+	for i := 0; i < nLatch; i++ {
+		var rec latchRec
+		if binary {
+			rec.v = uint32(nIn + i + 1)
+		} else {
+			l, err := p.readUint()
+			if err != nil {
+				return nil, err
+			}
+			rec.v = l / 2
+		}
+		nx, err := p.readUint()
+		if err != nil {
+			return nil, err
+		}
+		rec.next = nx
+		if rst, ok, err := p.tryReadUintSameLine(); err != nil {
+			return nil, err
+		} else if ok {
+			rec.reset = rst
+			rec.hasR = true
+		}
+		if err := p.endLine(); err != nil {
+			return nil, err
+		}
+		latches = append(latches, rec)
+	}
+	for _, rec := range latches {
+		init := aig.Init0
+		if rec.hasR {
+			switch {
+			case rec.reset == 1:
+				init = aig.Init1
+			case rec.reset == 0:
+				init = aig.Init0
+			case rec.reset == 2*rec.v:
+				init = aig.InitX
+			default:
+				return nil, fmt.Errorf("aiger: unsupported reset literal %d", rec.reset)
+			}
+		}
+		if int(rec.v) > maxVar || defined[rec.v] {
+			return nil, fmt.Errorf("aiger: bad latch variable %d", rec.v)
+		}
+		varLit[rec.v] = net.NewLatch("", init)
+		defined[rec.v] = true
+	}
+
+	var outs, bads, constrs []uint32
+	readList := func(k int) ([]uint32, error) {
+		var out []uint32
+		for i := 0; i < k; i++ {
+			l, err := p.readUint()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.endLine(); err != nil {
+				return nil, err
+			}
+			out = append(out, l)
+		}
+		return out, nil
+	}
+	if outs, err = readList(nOut); err != nil {
+		return nil, err
+	}
+	if bads, err = readList(nBad); err != nil {
+		return nil, err
+	}
+	if constrs, err = readList(nConstr); err != nil {
+		return nil, err
+	}
+
+	// AND gates.
+	type andRec struct{ lhs, r0, r1 uint32 }
+	var andsR []andRec
+	if binary {
+		lhs := uint32(2 * (nIn + nLatch))
+		for i := 0; i < nAnd; i++ {
+			lhs += 2
+			d0, err := p.readDelta()
+			if err != nil {
+				return nil, err
+			}
+			d1, err := p.readDelta()
+			if err != nil {
+				return nil, err
+			}
+			r0 := lhs - d0
+			r1 := r0 - d1
+			andsR = append(andsR, andRec{lhs: lhs, r0: r0, r1: r1})
+		}
+	} else {
+		for i := 0; i < nAnd; i++ {
+			lhs, err := p.readUint()
+			if err != nil {
+				return nil, err
+			}
+			r0, err := p.readUint()
+			if err != nil {
+				return nil, err
+			}
+			r1, err := p.readUint()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.endLine(); err != nil {
+				return nil, err
+			}
+			andsR = append(andsR, andRec{lhs: lhs, r0: r0, r1: r1})
+		}
+	}
+	resolve := func(l uint32) (aig.Lit, error) {
+		v := l / 2
+		if v > uint32(maxVar) {
+			return 0, fmt.Errorf("aiger: literal %d out of range", l)
+		}
+		if !defined[v] {
+			return 0, fmt.Errorf("aiger: literal %d used before definition", l)
+		}
+		return varLit[v].XorInv(l&1 == 1), nil
+	}
+	for _, a := range andsR {
+		if a.lhs&1 != 0 {
+			return nil, fmt.Errorf("aiger: negated AND lhs %d", a.lhs)
+		}
+		f0, err := resolve(a.r0)
+		if err != nil {
+			return nil, err
+		}
+		f1, err := resolve(a.r1)
+		if err != nil {
+			return nil, err
+		}
+		if int(a.lhs/2) > maxVar || defined[a.lhs/2] {
+			return nil, fmt.Errorf("aiger: bad AND variable %d", a.lhs/2)
+		}
+		varLit[a.lhs/2] = net.And(f0, f1)
+		defined[a.lhs/2] = true
+	}
+
+	// Wire latch next-state functions.
+	for _, rec := range latches {
+		nx, err := resolve(rec.next)
+		if err != nil {
+			return nil, err
+		}
+		net.SetNext(varLit[rec.v], nx)
+	}
+	// Properties: explicit bad literals, else plain outputs (HWMCC'08
+	// convention).
+	propLits := bads
+	if len(propLits) == 0 {
+		propLits = outs
+	}
+	for i, b := range propLits {
+		bl, err := resolve(b)
+		if err != nil {
+			return nil, err
+		}
+		net.AddProperty(fmt.Sprintf("bad%d", i), bl.Not())
+	}
+	for _, c := range constrs {
+		cl, err := resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		net.AddConstraint(cl)
+	}
+
+	// Symbol table (optional): currently names are informational only.
+	return net, nil
+}
+
+type reader struct {
+	br     *bufio.Reader
+	binary bool
+}
+
+// readUint reads a decimal literal, skipping leading whitespace/newlines.
+func (p *reader) readUint() (uint32, error) {
+	// Skip whitespace including newlines.
+	for {
+		b, err := p.br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("aiger: unexpected EOF")
+		}
+		if b == ' ' || b == '\n' || b == '\r' || b == '\t' {
+			continue
+		}
+		p.br.UnreadByte()
+		break
+	}
+	var v uint64
+	got := false
+	for {
+		b, err := p.br.ReadByte()
+		if err != nil {
+			if got {
+				return uint32(v), nil
+			}
+			return 0, fmt.Errorf("aiger: unexpected EOF")
+		}
+		if b < '0' || b > '9' {
+			p.br.UnreadByte()
+			if !got {
+				return 0, fmt.Errorf("aiger: expected number, found %q", b)
+			}
+			return uint32(v), nil
+		}
+		v = v*10 + uint64(b-'0')
+		if v > 1<<32 {
+			return 0, fmt.Errorf("aiger: number too large")
+		}
+		got = true
+	}
+}
+
+// tryReadUintSameLine reads a number only if one appears before the next
+// newline (used for optional reset values).
+func (p *reader) tryReadUintSameLine() (uint32, bool, error) {
+	for {
+		b, err := p.br.ReadByte()
+		if err != nil {
+			return 0, false, nil
+		}
+		switch b {
+		case ' ', '\t':
+			continue
+		case '\n', '\r':
+			p.br.UnreadByte()
+			return 0, false, nil
+		default:
+			p.br.UnreadByte()
+			v, err := p.readUint()
+			return v, err == nil, err
+		}
+	}
+}
+
+// endLine consumes up to and including the next newline.
+func (p *reader) endLine() error {
+	for {
+		b, err := p.br.ReadByte()
+		if err != nil {
+			return nil // EOF acts as line end
+		}
+		if b == '\n' {
+			return nil
+		}
+		if b != ' ' && b != '\r' && b != '\t' {
+			return fmt.Errorf("aiger: trailing garbage %q", b)
+		}
+	}
+}
+
+// readDelta decodes the binary-AIGER variable-length delta encoding.
+func (p *reader) readDelta() (uint32, error) {
+	var v uint32
+	shift := uint(0)
+	for {
+		b, err := p.br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("aiger: unexpected EOF in delta")
+		}
+		v |= uint32(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, fmt.Errorf("aiger: delta too large")
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with a unique table, an ITE computed-table, existential quantification
+// and variable replacement, plus a BDD-based forward-reachability safety
+// checker. It plays the role of the paper's "BDD-based model checker": the
+// engine that works on small (abstracted) models but blows up on designs
+// with real memories — the Industry II case study reports it "unable to
+// build even the transition relation", which this package reproduces via a
+// configurable node limit.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ref is a BDD node reference. 0 and 1 are the terminals.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// ErrNodeLimit is returned when an operation would exceed the manager's
+// node budget (the "BDD blowup" outcome).
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+const terminalLevel = int32(1 << 30)
+
+type node struct {
+	level  int32
+	lo, hi Ref
+}
+
+type iteKey struct{ f, g, h Ref }
+
+// Manager owns the node and operation tables.
+type Manager struct {
+	nodes    []node
+	unique   map[node]Ref
+	iteCache map[iteKey]Ref
+	// MaxNodes bounds the node table (0 = unlimited).
+	MaxNodes int
+}
+
+// NewManager creates a manager with the given node budget (0 = unlimited).
+func NewManager(maxNodes int) *Manager {
+	m := &Manager{
+		unique:   make(map[node]Ref),
+		iteCache: make(map[iteKey]Ref),
+		MaxNodes: maxNodes,
+	}
+	// Terminals.
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel},
+		node{level: terminalLevel})
+	return m
+}
+
+// NumNodes returns the number of allocated nodes (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+func (m *Manager) level(f Ref) int32 { return m.nodes[f].level }
+
+func (m *Manager) mk(level int32, lo, hi Ref) (Ref, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r, nil
+	}
+	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
+		return False, ErrNodeLimit
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r, nil
+}
+
+// Var returns the BDD of variable v (levels are the variable order;
+// smaller level = closer to the root).
+func (m *Manager) Var(v int) (Ref, error) {
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD of ¬v.
+func (m *Manager) NVar(v int) (Ref, error) {
+	return m.mk(int32(v), True, False)
+}
+
+// Ite computes if-then-else(f, g, h).
+func (m *Manager) Ite(f, g, h Ref) (Ref, error) {
+	switch {
+	case f == True:
+		return g, nil
+	case f == False:
+		return h, nil
+	case g == h:
+		return g, nil
+	case g == True && h == False:
+		return f, nil
+	}
+	key := iteKey{f, g, h}
+	if r, ok := m.iteCache[key]; ok {
+		return r, nil
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	fl, fh := m.cofactor(f, top)
+	gl, gh := m.cofactor(g, top)
+	hl, hh := m.cofactor(h, top)
+	lo, err := m.Ite(fl, gl, hl)
+	if err != nil {
+		return False, err
+	}
+	hi, err := m.Ite(fh, gh, hh)
+	if err != nil {
+		return False, err
+	}
+	r, err := m.mk(top, lo, hi)
+	if err != nil {
+		return False, err
+	}
+	m.iteCache[key] = r
+	return r, nil
+}
+
+func (m *Manager) cofactor(f Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// Not computes ¬f.
+func (m *Manager) Not(f Ref) (Ref, error) { return m.Ite(f, False, True) }
+
+// And computes f ∧ g.
+func (m *Manager) And(f, g Ref) (Ref, error) { return m.Ite(f, g, False) }
+
+// Or computes f ∨ g.
+func (m *Manager) Or(f, g Ref) (Ref, error) { return m.Ite(f, True, g) }
+
+// Xor computes f ⊕ g.
+func (m *Manager) Xor(f, g Ref) (Ref, error) {
+	ng, err := m.Not(g)
+	if err != nil {
+		return False, err
+	}
+	return m.Ite(f, ng, g)
+}
+
+// Xnor computes f ≡ g.
+func (m *Manager) Xnor(f, g Ref) (Ref, error) {
+	ng, err := m.Not(g)
+	if err != nil {
+		return False, err
+	}
+	return m.Ite(f, g, ng)
+}
+
+// Exists existentially quantifies the variables whose levels are in vars.
+func (m *Manager) Exists(f Ref, vars map[int]bool) (Ref, error) {
+	cache := make(map[Ref]Ref)
+	var rec func(f Ref) (Ref, error)
+	rec = func(f Ref) (Ref, error) {
+		if f == True || f == False {
+			return f, nil
+		}
+		if r, ok := cache[f]; ok {
+			return r, nil
+		}
+		n := m.nodes[f]
+		lo, err := rec(n.lo)
+		if err != nil {
+			return False, err
+		}
+		hi, err := rec(n.hi)
+		if err != nil {
+			return False, err
+		}
+		var r Ref
+		if vars[int(n.level)] {
+			r, err = m.Or(lo, hi)
+		} else {
+			r, err = m.mk(n.level, lo, hi)
+		}
+		if err != nil {
+			return False, err
+		}
+		cache[f] = r
+		return r, nil
+	}
+	return rec(f)
+}
+
+// Replace renames variables according to perm (level → level). The
+// permutation must preserve the variable order on the support of f.
+func (m *Manager) Replace(f Ref, perm map[int]int) (Ref, error) {
+	cache := make(map[Ref]Ref)
+	var rec func(f Ref) (Ref, error)
+	rec = func(f Ref) (Ref, error) {
+		if f == True || f == False {
+			return f, nil
+		}
+		if r, ok := cache[f]; ok {
+			return r, nil
+		}
+		n := m.nodes[f]
+		lo, err := rec(n.lo)
+		if err != nil {
+			return False, err
+		}
+		hi, err := rec(n.hi)
+		if err != nil {
+			return False, err
+		}
+		lvl := int(n.level)
+		if nl, ok := perm[lvl]; ok {
+			lvl = nl
+		}
+		r, err := m.mk(int32(lvl), lo, hi)
+		if err != nil {
+			return False, err
+		}
+		cache[f] = r
+		return r, nil
+	}
+	return rec(f)
+}
+
+// Eval evaluates f under a total assignment (level → value).
+func (m *Manager) Eval(f Ref, assign map[int]bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[int(n.level)] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over nVars
+// variables (levels 0..nVars-1).
+func (m *Manager) SatCount(f Ref, nVars int) float64 {
+	cache := make(map[Ref]float64)
+	var rec func(f Ref, level int32) float64
+	rec = func(f Ref, level int32) float64 {
+		lvl := m.level(f)
+		if f == False {
+			return 0
+		}
+		if f == True {
+			lvl = int32(nVars)
+		}
+		scale := float64(uint64(1) << uint(min64(int64(lvl)-int64(level), 62)))
+		if f == True {
+			return scale
+		}
+		v, ok := cache[f]
+		if !ok {
+			n := m.nodes[f]
+			v = rec(n.lo, n.level+1) + rec(n.hi, n.level+1)
+			cache[f] = v
+		}
+		return scale * v
+	}
+	return rec(f, 0)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String renders a node count summary.
+func (m *Manager) String() string {
+	return fmt.Sprintf("bdd.Manager{%d nodes}", len(m.nodes))
+}

@@ -1,0 +1,200 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustVar(t *testing.T, m *Manager, v int) Ref {
+	t.Helper()
+	r, err := m.Var(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := NewManager(0)
+	x := mustVar(t, m, 0)
+	if m.Eval(x, map[int]bool{0: true}) != true {
+		t.Fatalf("x under x=1 must be true")
+	}
+	if m.Eval(x, map[int]bool{0: false}) != false {
+		t.Fatalf("x under x=0 must be false")
+	}
+	nx, _ := m.NVar(0)
+	if m.Eval(nx, map[int]bool{0: true}) {
+		t.Fatalf("¬x under x=1 must be false")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := NewManager(0)
+	x, y := mustVar(t, m, 0), mustVar(t, m, 1)
+	a1, _ := m.And(x, y)
+	a2, _ := m.And(y, x)
+	if a1 != a2 {
+		t.Fatalf("AND must be canonical")
+	}
+	o1, _ := m.Or(x, y)
+	// x ∨ y == ¬(¬x ∧ ¬y)
+	nx, _ := m.Not(x)
+	ny, _ := m.Not(y)
+	an, _ := m.And(nx, ny)
+	o2, _ := m.Not(an)
+	if o1 != o2 {
+		t.Fatalf("De Morgan must yield identical nodes")
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	m := NewManager(0)
+	x := mustVar(t, m, 3)
+	nx, _ := m.Not(x)
+	nnx, _ := m.Not(nx)
+	if nnx != x {
+		t.Fatalf("¬¬x must be x")
+	}
+}
+
+// TestRandomExpressionsAgainstEval builds random expressions as BDDs and
+// compares against direct evaluation under all assignments.
+func TestRandomExpressionsAgainstEval(t *testing.T) {
+	const nVars = 5
+	rng := rand.New(rand.NewSource(11))
+	type expr struct {
+		bdd  Ref
+		eval func(a map[int]bool) bool
+	}
+	m := NewManager(0)
+	for iter := 0; iter < 60; iter++ {
+		var pool []expr
+		for v := 0; v < nVars; v++ {
+			vv := v
+			r := mustVar(t, m, v)
+			pool = append(pool, expr{r, func(a map[int]bool) bool { return a[vv] }})
+		}
+		for step := 0; step < 12; step++ {
+			a := pool[rng.Intn(len(pool))]
+			b := pool[rng.Intn(len(pool))]
+			var r Ref
+			var err error
+			var f func(map[int]bool) bool
+			switch rng.Intn(4) {
+			case 0:
+				r, err = m.And(a.bdd, b.bdd)
+				f = func(as map[int]bool) bool { return a.eval(as) && b.eval(as) }
+			case 1:
+				r, err = m.Or(a.bdd, b.bdd)
+				f = func(as map[int]bool) bool { return a.eval(as) || b.eval(as) }
+			case 2:
+				r, err = m.Xor(a.bdd, b.bdd)
+				f = func(as map[int]bool) bool { return a.eval(as) != b.eval(as) }
+			default:
+				r, err = m.Not(a.bdd)
+				f = func(as map[int]bool) bool { return !a.eval(as) }
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, expr{r, f})
+		}
+		top := pool[len(pool)-1]
+		for mask := 0; mask < 1<<nVars; mask++ {
+			as := make(map[int]bool)
+			for v := 0; v < nVars; v++ {
+				as[v] = mask>>uint(v)&1 == 1
+			}
+			if m.Eval(top.bdd, as) != top.eval(as) {
+				t.Fatalf("iter %d mask %b: disagreement", iter, mask)
+			}
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := NewManager(0)
+	x, y := mustVar(t, m, 0), mustVar(t, m, 1)
+	f, _ := m.And(x, y)
+	ex, err := m.Exists(f, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex != y {
+		t.Fatalf("∃x. x∧y must be y")
+	}
+	nx, _ := m.Not(x)
+	g, _ := m.And(x, nx) // False
+	eg, _ := m.Exists(g, map[int]bool{0: true})
+	if eg != False {
+		t.Fatalf("∃x. false must be false")
+	}
+	xo, _ := m.Xor(x, y)
+	exo, _ := m.Exists(xo, map[int]bool{0: true})
+	if exo != True {
+		t.Fatalf("∃x. x⊕y must be true")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	m := NewManager(0)
+	y := mustVar(t, m, 3)
+	r, err := m.Replace(y, map[int]int{3: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustVar(t, m, 1)
+	if r != want {
+		t.Fatalf("replace wrong")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := NewManager(0)
+	x, y := mustVar(t, m, 0), mustVar(t, m, 1)
+	f, _ := m.Or(x, y)
+	if got := m.SatCount(f, 2); got != 3 {
+		t.Fatalf("satcount(x∨y)=%v want 3", got)
+	}
+	if got := m.SatCount(True, 3); got != 8 {
+		t.Fatalf("satcount(true,3)=%v want 8", got)
+	}
+	if got := m.SatCount(False, 3); got != 0 {
+		t.Fatalf("satcount(false)=%v want 0", got)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := NewManager(8)
+	// Build a function needing more than 8 nodes.
+	var f Ref = True
+	var err error
+	for v := 0; v < 10; v++ {
+		var x Ref
+		x, err = m.Var(2 * v)
+		if err != nil {
+			break
+		}
+		var y Ref
+		y, err = m.Var(2*v + 1)
+		if err != nil {
+			break
+		}
+		var xy Ref
+		xy, err = m.Xor(x, y)
+		if err != nil {
+			break
+		}
+		f, err = m.And(f, xy)
+		if err != nil {
+			break
+		}
+	}
+	if err != ErrNodeLimit {
+		t.Fatalf("expected ErrNodeLimit, got %v (nodes=%d)", err, m.NumNodes())
+	}
+	if m.String() == "" {
+		t.Fatalf("empty manager string")
+	}
+}

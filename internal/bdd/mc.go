@@ -1,0 +1,239 @@
+package bdd
+
+import (
+	"errors"
+	"fmt"
+
+	"emmver/internal/aig"
+)
+
+// MCKind classifies a model-checking outcome.
+type MCKind int
+
+// Model checking outcomes.
+const (
+	// MCProved: the property holds in all reachable states.
+	MCProved MCKind = iota
+	// MCViolated: a reachable state violates the property.
+	MCViolated
+	// MCBlowup: the node budget was exceeded (transition relation or
+	// image too large) — the failure mode the Industry II case study
+	// reports for the BDD engine.
+	MCBlowup
+)
+
+// String names the outcome.
+func (k MCKind) String() string {
+	switch k {
+	case MCProved:
+		return "PROVED"
+	case MCViolated:
+		return "VIOLATED"
+	}
+	return "BLOWUP"
+}
+
+// MCResult is the outcome of CheckSafety.
+type MCResult struct {
+	Kind MCKind
+	// Depth is the BFS layer at which the violation was found, or the
+	// number of image computations to the fixed point.
+	Depth int
+	// Nodes is the final BDD node count.
+	Nodes int
+}
+
+// String renders the result.
+func (r *MCResult) String() string {
+	return fmt.Sprintf("%s depth=%d nodes=%d", r.Kind, r.Depth, r.Nodes)
+}
+
+// CheckSafety runs BDD-based forward reachability on a memory-free netlist
+// for one property. maxNodes bounds the node table (0 = unlimited); when
+// exceeded the result kind is MCBlowup.
+func CheckSafety(n *aig.Netlist, prop int, maxNodes int) (*MCResult, error) {
+	if len(n.Memories) > 0 {
+		return nil, errors.New("bdd: netlist has memory modules; expand them first (expmem)")
+	}
+	m := NewManager(maxNodes)
+	L := len(n.Latches)
+
+	// Variable order: cur_i ↔ 2i, next_i ↔ 2i+1, inputs after.
+	curVar := func(i int) int { return 2 * i }
+	nextVar := func(i int) int { return 2*i + 1 }
+	inputVar := make(map[aig.NodeID]int)
+	for j, id := range n.Inputs {
+		inputVar[id] = 2*L + j
+	}
+	latchVar := make(map[aig.NodeID]int)
+	for i, l := range n.Latches {
+		latchVar[l.Node] = curVar(i)
+	}
+
+	blowup := func(err error, depth int) (*MCResult, error) {
+		if errors.Is(err, ErrNodeLimit) {
+			return &MCResult{Kind: MCBlowup, Depth: depth, Nodes: m.NumNodes()}, nil
+		}
+		return nil, err
+	}
+
+	// Build combinational cones over current-state and input variables.
+	memo := make(map[aig.NodeID]Ref)
+	var cone func(l aig.Lit) (Ref, error)
+	cone = func(l aig.Lit) (Ref, error) {
+		id := l.Node()
+		r, ok := memo[id]
+		if !ok {
+			node := n.NodeAt(id)
+			var err error
+			switch node.Kind {
+			case aig.KConst:
+				r = False
+			case aig.KInput:
+				r, err = m.Var(inputVar[id])
+			case aig.KLatch:
+				r, err = m.Var(latchVar[id])
+			case aig.KAnd:
+				var a, b Ref
+				a, err = cone(node.F0)
+				if err == nil {
+					b, err = cone(node.F1)
+					if err == nil {
+						r, err = m.And(a, b)
+					}
+				}
+			default:
+				return False, fmt.Errorf("bdd: unsupported node kind %v", node.Kind)
+			}
+			if err != nil {
+				return False, err
+			}
+			memo[id] = r
+		}
+		if l.Inverted() {
+			return m.Not(r)
+		}
+		return r, nil
+	}
+
+	// Environment constraints (assumed each cycle).
+	constr := True
+	for _, c := range n.Constraints {
+		cb, err := cone(c)
+		if err != nil {
+			return blowup(err, 0)
+		}
+		constr, err = m.And(constr, cb)
+		if err != nil {
+			return blowup(err, 0)
+		}
+	}
+
+	// Transition relation T = constr ∧ ∧_i (next_i ≡ f_i).
+	t := constr
+	for i, l := range n.Latches {
+		f, err := cone(l.Next)
+		if err != nil {
+			return blowup(err, 0)
+		}
+		nv, err := m.Var(nextVar(i))
+		if err != nil {
+			return blowup(err, 0)
+		}
+		eq, err := m.Xnor(nv, f)
+		if err != nil {
+			return blowup(err, 0)
+		}
+		t, err = m.And(t, eq)
+		if err != nil {
+			return blowup(err, 0)
+		}
+	}
+
+	// Bad states: ∃inputs (¬OK ∧ constr).
+	okB, err := cone(n.Props[prop].OK)
+	if err != nil {
+		return blowup(err, 0)
+	}
+	nok, err := m.Not(okB)
+	if err != nil {
+		return blowup(err, 0)
+	}
+	nok, err = m.And(nok, constr)
+	if err != nil {
+		return blowup(err, 0)
+	}
+	inputSet := make(map[int]bool)
+	for _, v := range inputVar {
+		inputSet[v] = true
+	}
+	bad, err := m.Exists(nok, inputSet)
+	if err != nil {
+		return blowup(err, 0)
+	}
+
+	// Initial states.
+	init := True
+	for i, l := range n.Latches {
+		var lit Ref
+		switch l.Init {
+		case aig.Init0:
+			lit, err = m.NVar(curVar(i))
+		case aig.Init1:
+			lit, err = m.Var(curVar(i))
+		default:
+			continue
+		}
+		if err != nil {
+			return blowup(err, 0)
+		}
+		init, err = m.And(init, lit)
+		if err != nil {
+			return blowup(err, 0)
+		}
+	}
+
+	// Quantification set for image: current-state and input variables.
+	exSet := make(map[int]bool)
+	for i := 0; i < L; i++ {
+		exSet[curVar(i)] = true
+	}
+	for v := range inputSet {
+		exSet[v] = true
+	}
+	perm := make(map[int]int)
+	for i := 0; i < L; i++ {
+		perm[nextVar(i)] = curVar(i)
+	}
+
+	reach := init
+	for depth := 0; ; depth++ {
+		hit, err := m.And(reach, bad)
+		if err != nil {
+			return blowup(err, depth)
+		}
+		if hit != False {
+			return &MCResult{Kind: MCViolated, Depth: depth, Nodes: m.NumNodes()}, nil
+		}
+		step, err := m.And(reach, t)
+		if err != nil {
+			return blowup(err, depth)
+		}
+		img, err := m.Exists(step, exSet)
+		if err != nil {
+			return blowup(err, depth)
+		}
+		img, err = m.Replace(img, perm)
+		if err != nil {
+			return blowup(err, depth)
+		}
+		next, err := m.Or(reach, img)
+		if err != nil {
+			return blowup(err, depth)
+		}
+		if next == reach {
+			return &MCResult{Kind: MCProved, Depth: depth, Nodes: m.NumNodes()}, nil
+		}
+		reach = next
+	}
+}

@@ -1,0 +1,483 @@
+// Package bmc implements the paper's three SAT-based bounded model
+// checking algorithms over aig netlists:
+//
+//   - BMC-1 (Fig. 1): plain BMC with forward/backward termination checks
+//     (SAT-based induction proofs) and optional proof-based abstraction.
+//     Used on memory-free models — in particular the Explicit Modeling
+//     baseline produced by package expmem.
+//   - BMC-2 (Fig. 2): BMC with EMM constraints, falsification only.
+//   - BMC-3 (Fig. 3): BMC with EMM constraints, termination proofs (using
+//     the precise arbitrary-initial-state modeling of §4.2) and PBA.
+//
+// All three share one engine parameterized by Options; constructors with
+// the paper's names pick the right combination.
+package bmc
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/core"
+	"emmver/internal/pba"
+	"emmver/internal/sat"
+	"emmver/internal/sim"
+	"emmver/internal/unroll"
+)
+
+// Options configures a BMC run.
+type Options struct {
+	// MaxDepth is the bound n of Figs. 1–3.
+	MaxDepth int
+	// UseEMM adds the memory-modeling constraints (BMC-2/BMC-3). Without
+	// it, memory read data stays entirely unconstrained — the "abstract
+	// out the memory completely" configuration discussed in the Industry
+	// II case study.
+	UseEMM bool
+	// Proofs enables the forward/backward termination checks.
+	Proofs bool
+	// PBA enables proof-tracing and latch-reason collection on the
+	// counter-example checks.
+	PBA bool
+	// StabilityDepth is the number of depths the latch-reason set must
+	// stay unchanged before the abstraction is considered stable
+	// (the paper uses 10 in Table 2).
+	StabilityDepth int
+	// StopAtStable ends the run (with KindStable) once the latch-reason
+	// set has been stable for StabilityDepth depths.
+	StopAtStable bool
+	// Abs runs the check on a reduced model: latches in Abs.FreeLatches
+	// become pseudo-primary inputs and disabled memories/ports get no EMM
+	// constraints (§4.3).
+	Abs *pba.Abstraction
+	// Timeout bounds the wall-clock time of the whole run (0 = none).
+	Timeout time.Duration
+	// ValidateWitness replays counter-examples on the concrete-memory
+	// simulator and fails loudly on divergence. Only meaningful on
+	// unabstracted models.
+	ValidateWitness bool
+	// DisableEq6 drops the arbitrary-initial-state consistency
+	// constraints (§4.2, eq. 6), demonstrating why proofs need them.
+	DisableEq6 bool
+	// DisableExclusivity switches EMM to the direct eq. 1 encoding
+	// without the exclusive valid-read chains — the ablation for the
+	// paper's claim that the chains speed up the SAT solver.
+	DisableExclusivity bool
+	// PureLatchLFP uses the paper's literal loop-free-path constraint
+	// (latch states pairwise distinct). The default strengthens state
+	// equality with "and no write fired in between", which keeps the
+	// forward-termination proof sound when memory contents evolve; see
+	// EXPERIMENTS.md for a design where the literal check claims a bogus
+	// proof.
+	PureLatchLFP bool
+	// Log, when non-nil, receives per-depth progress lines.
+	Log io.Writer
+}
+
+// Kind classifies a Result.
+type Kind int
+
+// Result kinds.
+const (
+	// KindNoCE: the bound was exhausted without finding a violation.
+	KindNoCE Kind = iota
+	// KindCE: a counter-example was found.
+	KindCE
+	// KindProof: a termination check proved the property.
+	KindProof
+	// KindStable: the run stopped because the PBA latch-reason set became
+	// stable (StopAtStable).
+	KindStable
+	// KindTimeout: the time budget expired.
+	KindTimeout
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNoCE:
+		return "NO_CE"
+	case KindCE:
+		return "CE"
+	case KindProof:
+		return "PROOF"
+	case KindStable:
+		return "STABLE"
+	case KindTimeout:
+		return "TIMEOUT"
+	}
+	return "?"
+}
+
+// Stats aggregates run statistics, mirroring the paper's time/memory
+// reporting.
+type Stats struct {
+	Elapsed    time.Duration
+	SolveCalls int
+	Clauses    int
+	Vars       int
+	Conflicts  int64
+	PeakHeapMB float64
+	EMM        core.Sizes
+}
+
+// Result is the outcome of a Check run.
+type Result struct {
+	Kind  Kind
+	Prop  int
+	Depth int // CE depth, proof depth, stable depth, or last completed depth
+	// ProofSide is "forward" or "backward" for KindProof.
+	ProofSide string
+	Witness   *Witness
+	// Tracker carries the accumulated latch reasons when PBA was on.
+	Tracker *pba.Tracker
+	Stats   Stats
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s depth=%d t=%s", r.Kind, r.Depth, r.Stats.Elapsed.Round(time.Millisecond))
+	if r.Kind == KindProof {
+		s += " (" + r.ProofSide + ")"
+	}
+	return s
+}
+
+// BMC1 returns options for the plain algorithm of Fig. 1.
+func BMC1(maxDepth int) Options {
+	return Options{MaxDepth: maxDepth, Proofs: true}
+}
+
+// BMC2 returns options for the EMM falsification algorithm of Fig. 2.
+func BMC2(maxDepth int) Options {
+	return Options{MaxDepth: maxDepth, UseEMM: true}
+}
+
+// BMC3 returns options for the EMM + proofs + PBA algorithm of Fig. 3.
+func BMC3(maxDepth int) Options {
+	return Options{MaxDepth: maxDepth, UseEMM: true, Proofs: true, PBA: true, StabilityDepth: 10}
+}
+
+type engine struct {
+	n    *aig.Netlist
+	opt  Options
+	prop int
+
+	fs *sat.Solver
+	fu *unroll.Unroller
+	fg *core.Generator
+
+	bs *sat.Solver
+	bu *unroll.Unroller
+	bg *core.Generator
+
+	tracker  *pba.Tracker
+	start    time.Time
+	deadline time.Time
+	stats    Stats
+}
+
+func newEngine(n *aig.Netlist, prop int, opt Options) *engine {
+	e := &engine{n: n, opt: opt, prop: prop, start: time.Now()}
+	if opt.Timeout > 0 {
+		e.deadline = e.start.Add(opt.Timeout)
+	}
+	e.fs = sat.New()
+	if opt.PBA {
+		e.fs.EnableProofTracing()
+		e.tracker = pba.NewTracker()
+	}
+	e.fu = unroll.New(n, e.fs, unroll.Initialized)
+	e.fu.FoldInits = !opt.PBA
+	e.fu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
+	e.applyAbstraction(e.fu)
+	e.installInterrupt(e.fs)
+	if opt.UseEMM && len(n.Memories) > 0 {
+		e.fg = core.NewGenerator(e.fu, false)
+		if opt.DisableEq6 {
+			e.fg.DisableInitConsistency()
+		}
+		if opt.DisableExclusivity {
+			e.fg.DisableExclusivity()
+		}
+		e.applyMemAbstraction(e.fg)
+	}
+	if opt.Proofs {
+		e.bs = sat.New()
+		e.bu = unroll.New(n, e.bs, unroll.Free)
+		e.bu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
+		e.applyAbstraction(e.bu)
+		e.installInterrupt(e.bs)
+		if opt.UseEMM && len(n.Memories) > 0 {
+			// The backward window starts in an arbitrary state, so every
+			// memory must be treated as arbitrary-initialized (§4.2).
+			e.bg = core.NewGenerator(e.bu, true)
+			if opt.DisableEq6 {
+				e.bg.DisableInitConsistency()
+			}
+			if opt.DisableExclusivity {
+				e.bg.DisableExclusivity()
+			}
+			e.applyMemAbstraction(e.bg)
+		}
+	}
+	return e
+}
+
+func (e *engine) applyAbstraction(u *unroll.Unroller) {
+	if e.opt.Abs == nil {
+		return
+	}
+	for id := range e.opt.Abs.FreeLatches {
+		u.Abstracted[id] = true
+	}
+}
+
+func (e *engine) applyMemAbstraction(g *core.Generator) {
+	if e.opt.Abs == nil {
+		return
+	}
+	for mi := range e.opt.Abs.MemEnabled {
+		g.SetMemoryEnabled(mi, e.opt.Abs.MemEnabled[mi])
+		for r, on := range e.opt.Abs.ReadEnabled[mi] {
+			g.SetReadPortEnabled(mi, r, on)
+		}
+		for w, on := range e.opt.Abs.WriteEnabled[mi] {
+			g.SetWritePortEnabled(mi, w, on)
+		}
+	}
+}
+
+func (e *engine) installInterrupt(s *sat.Solver) {
+	if e.deadline.IsZero() {
+		return
+	}
+	s.Interrupt = func() bool { return time.Now().After(e.deadline) }
+}
+
+func (e *engine) timedOut() bool {
+	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+}
+
+func (e *engine) logf(format string, args ...interface{}) {
+	if e.opt.Log != nil {
+		fmt.Fprintf(e.opt.Log, format+"\n", args...)
+	}
+}
+
+func (e *engine) finish(r *Result) *Result {
+	r.Prop = e.prop
+	r.Stats = e.stats
+	r.Stats.Elapsed = time.Since(e.start)
+	r.Stats.Clauses = e.fs.NumClauses()
+	r.Stats.Vars = e.fs.NumVars()
+	r.Stats.Conflicts = e.fs.Stats().Conflicts
+	if e.bs != nil {
+		r.Stats.Clauses += e.bs.NumClauses()
+		r.Stats.Vars += e.bs.NumVars()
+		r.Stats.Conflicts += e.bs.Stats().Conflicts
+	}
+	if e.fg != nil {
+		r.Stats.EMM = e.fg.Sizes()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Stats.PeakHeapMB = float64(ms.HeapAlloc) / (1 << 20)
+	r.Tracker = e.tracker
+	return r
+}
+
+// prepareDepth extends both unrollings and EMM constraints to depth i.
+func (e *engine) prepareDepth(i int) {
+	if e.fg != nil {
+		e.fg.AddUpTo(i)
+	}
+	e.fu.AssertConstraints(i)
+	if e.bu != nil {
+		if e.bg != nil {
+			e.bg.AddUpTo(i)
+		}
+		e.bu.AssertConstraints(i)
+	}
+}
+
+// solve wraps a SAT call with accounting.
+func (e *engine) solve(s *sat.Solver, assumps ...sat.Lit) sat.Status {
+	e.stats.SolveCalls++
+	return s.Solve(assumps...)
+}
+
+// Check runs the configured algorithm for property prop of n.
+func Check(n *aig.Netlist, prop int, opt Options) *Result {
+	e := newEngine(n, prop, opt)
+	for i := 0; i <= opt.MaxDepth; i++ {
+		if e.timedOut() {
+			return e.finish(&Result{Kind: KindTimeout, Depth: i - 1})
+		}
+		e.prepareDepth(i)
+
+		if opt.Proofs {
+			// Forward termination: SAT(I ∧ LFP_i ∧ C_i).
+			switch e.solve(e.fs, e.fu.LoopFreeLit(i)) {
+			case sat.Unsat:
+				e.logf("depth %d: forward termination", i)
+				return e.finish(&Result{Kind: KindProof, Depth: i, ProofSide: "forward"})
+			case sat.Unknown:
+				return e.finish(&Result{Kind: KindTimeout, Depth: i})
+			}
+			// Backward termination: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
+			assumps := []sat.Lit{e.bu.LoopFreeLit(i), e.bu.PropertyLit(prop, i).Not()}
+			for j := 0; j < i; j++ {
+				assumps = append(assumps, e.bu.PropertyLit(prop, j))
+			}
+			switch e.solve(e.bs, assumps...) {
+			case sat.Unsat:
+				e.logf("depth %d: backward termination", i)
+				return e.finish(&Result{Kind: KindProof, Depth: i, ProofSide: "backward"})
+			case sat.Unknown:
+				return e.finish(&Result{Kind: KindTimeout, Depth: i})
+			}
+		}
+
+		// Counter-example check: SAT(I ∧ ¬P_i ∧ C_i).
+		switch e.solve(e.fs, e.fu.PropertyLit(prop, i).Not()) {
+		case sat.Sat:
+			w := e.extractWitness(i)
+			e.logf("depth %d: counter-example", i)
+			if opt.ValidateWitness && opt.Abs == nil {
+				if err := w.Replay(n, prop); err != nil {
+					panic(fmt.Sprintf("bmc: witness replay failed: %v", err))
+				}
+			}
+			return e.finish(&Result{Kind: KindCE, Depth: i, Witness: w})
+		case sat.Unknown:
+			return e.finish(&Result{Kind: KindTimeout, Depth: i})
+		}
+
+		if opt.PBA {
+			e.tracker.Update(i, e.fs.Core())
+			e.logf("depth %d: no CE, |LR|=%d (stable %d)", i, e.tracker.Size(), e.tracker.StableFor(i))
+			if opt.StopAtStable && e.tracker.StableFor(i) >= opt.StabilityDepth {
+				return e.finish(&Result{Kind: KindStable, Depth: i})
+			}
+		} else {
+			e.logf("depth %d: no CE", i)
+		}
+	}
+	return e.finish(&Result{Kind: KindNoCE, Depth: opt.MaxDepth})
+}
+
+// extractWitness decodes the satisfying model into a replayable trace.
+func (e *engine) extractWitness(depth int) *Witness {
+	w := &Witness{Length: depth}
+	for f := 0; f <= depth; f++ {
+		in := make(map[aig.NodeID]bool)
+		for _, id := range e.n.Inputs {
+			if e.fu.Built(id, f) {
+				in[id] = e.fu.ModelBit(aig.MkLit(id, false), f)
+			}
+		}
+		w.Inputs = append(w.Inputs, in)
+	}
+	w.InitLatches = make(map[aig.NodeID]bool)
+	for _, l := range e.n.Latches {
+		if l.Init == aig.InitX && e.fu.Built(l.Node, 0) {
+			w.InitLatches[l.Node] = e.fu.ModelBit(aig.MkLit(l.Node, false), 0)
+		}
+	}
+	// Arbitrary-init memory contents: every enabled read that hit no
+	// in-window write pins the initial word at its address.
+	if e.fg != nil {
+		for mi, m := range e.n.Memories {
+			words := make(map[int]uint64)
+			for r := range m.Reads {
+				for _, ev := range e.fg.ReadEvents(mi, r) {
+					if e.fs.LitValue(ev.Re) != sat.True || e.fs.LitValue(ev.N) != sat.True {
+						continue
+					}
+					addr := decodeVec(e.fs, ev.Addr)
+					words[int(addr)] = decodeVec(e.fs, ev.RD)
+				}
+			}
+			w.MemInit = append(w.MemInit, words)
+		}
+	} else {
+		for range e.n.Memories {
+			w.MemInit = append(w.MemInit, map[int]uint64{})
+		}
+	}
+	return w
+}
+
+func decodeVec(s *sat.Solver, lits []sat.Lit) uint64 {
+	var out uint64
+	for i, l := range lits {
+		if s.LitValue(l) == sat.True {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Witness is a counter-example trace: per-frame input values plus the
+// initial values of unconstrained latches and arbitrary-init memory words
+// the trace depends on.
+type Witness struct {
+	Length      int // the property is violated at this frame
+	Inputs      []map[aig.NodeID]bool
+	InitLatches map[aig.NodeID]bool
+	MemInit     []map[int]uint64 // per memory: address -> initial word
+}
+
+// FormatFrame renders one frame's input assignment using the design's
+// declared input names, for human-readable counter-example dumps.
+func (w *Witness) FormatFrame(n *aig.Netlist, f int) string {
+	if f < 0 || f >= len(w.Inputs) {
+		return ""
+	}
+	out := ""
+	for _, id := range n.Inputs {
+		name := n.InputName(id)
+		if name == "" {
+			name = fmt.Sprintf("i%d", id)
+		}
+		v := 0
+		if w.Inputs[f][id] {
+			v = 1
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", name, v)
+	}
+	return out
+}
+
+// Replay simulates the witness on the concrete design (real memory
+// arrays) and returns an error unless the property fails at frame Length
+// with all environment constraints satisfied along the trace.
+func (w *Witness) Replay(n *aig.Netlist, prop int) error {
+	s := sim.New(n)
+	for id, v := range w.InitLatches {
+		s.SetLatch(id, v)
+	}
+	for mi, words := range w.MemInit {
+		for addr, word := range words {
+			s.SetMemWord(mi, addr, word)
+		}
+	}
+	for f := 0; f <= w.Length; f++ {
+		res := s.Step(w.Inputs[f])
+		if !res.ConstraintsOK {
+			return fmt.Errorf("constraints violated at frame %d", f)
+		}
+		if f == w.Length {
+			if res.PropOK[prop] {
+				return fmt.Errorf("property %d holds at frame %d; witness is spurious", prop, f)
+			}
+		}
+	}
+	return nil
+}

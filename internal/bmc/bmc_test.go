@@ -1,0 +1,486 @@
+package bmc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/expmem"
+	"emmver/internal/rtl"
+)
+
+// mod5Counter builds a counter cycling 0..4 with property "cnt != 6"
+// (true; 6 is unreachable) and property "cnt != target" (false for
+// target ≤ 4, violated first at depth target).
+func mod5Counter(target uint64) *rtl.Module {
+	m := rtl.NewModule("mod5")
+	c := m.Register("cnt", 3, 0)
+	wrap := m.EqConst(c.Q, 4)
+	c.SetNext(m.MuxV(wrap, m.Const(3, 0), m.Inc(c.Q)))
+	m.Done(c)
+	m.AssertAlways("ne6", m.EqConst(c.Q, 6).Not())
+	m.AssertAlways("neTarget", m.EqConst(c.Q, target).Not())
+	return m
+}
+
+func TestCounterexampleAtExactDepth(t *testing.T) {
+	for target := uint64(0); target <= 4; target++ {
+		m := mod5Counter(target)
+		r := Check(m.N, 1, Options{MaxDepth: 10, ValidateWitness: true})
+		if r.Kind != KindCE || r.Depth != int(target) {
+			t.Fatalf("target %d: got %v", target, r)
+		}
+		if r.Witness == nil || r.Witness.Length != int(target) {
+			t.Fatalf("target %d: bad witness", target)
+		}
+	}
+}
+
+func TestProofOnMod5Counter(t *testing.T) {
+	m := mod5Counter(2)
+	r := Check(m.N, 0, BMC1(20))
+	if r.Kind != KindProof {
+		t.Fatalf("expected proof, got %v", r)
+	}
+	// Backward induction catches this before the forward diameter (5).
+	if r.Depth > 5 {
+		t.Fatalf("proof too deep: %v", r)
+	}
+}
+
+func TestForwardTerminationProof(t *testing.T) {
+	// A +2 counter mod 8 starting at 0: the even orbit {0,2,4,6} is
+	// reachable, the odd orbit {1,3,5,7} is not. "cnt != 5" cannot be
+	// proved by backward induction at small depth (the odd orbit feeds 5
+	// with loop-free all-good prefixes up to length 3), so the forward
+	// termination check fires first, at the orbit size.
+	m := rtl.NewModule("plus2")
+	c := m.Register("cnt", 3, 0)
+	c.SetNext(m.Add(c.Q, m.Const(3, 2)))
+	m.Done(c)
+	m.AssertAlways("ne5", m.EqConst(c.Q, 5).Not())
+	r := Check(m.N, 0, BMC1(20))
+	if r.Kind != KindProof || r.ProofSide != "forward" || r.Depth != 4 {
+		t.Fatalf("expected forward proof at depth 4, got %v side=%s", r, r.ProofSide)
+	}
+}
+
+func TestBackwardInductionProof(t *testing.T) {
+	// A sticky flag: once set it stays set; property "flag set -> stays
+	// set next cycle" is encoded as prev-set implies set, which is
+	// 1-inductive and needs no initial-state anchoring.
+	m := rtl.NewModule("sticky")
+	set := m.InputBit("set")
+	flag := m.BitReg("flag", false)
+	flag.UpdateBit(m.N.Or(flag.Bit(), set), aig.True)
+	prev := m.BitReg("prev", false)
+	prev.UpdateBit(aig.True, flag.Bit())
+	m.Done(flag, prev)
+	m.AssertAlways("monotone", m.N.Implies(prev.Bit(), flag.Bit()))
+	r := Check(m.N, 0, BMC1(20))
+	if r.Kind != KindProof || r.ProofSide != "backward" {
+		t.Fatalf("expected backward proof, got %+v", r)
+	}
+	if r.Depth > 2 {
+		t.Fatalf("induction depth too deep: %d", r.Depth)
+	}
+}
+
+func TestNoCEBoundExhausted(t *testing.T) {
+	m := mod5Counter(4)
+	r := Check(m.N, 1, Options{MaxDepth: 2}) // CE is at depth 4
+	if r.Kind != KindNoCE || r.Depth != 2 {
+		t.Fatalf("expected NO_CE at bound, got %v", r)
+	}
+}
+
+// memEcho: each cycle the input word is written to a fixed address and a
+// register mirrors it; reading that address the next cycle must match the
+// mirror. True property, needs memory semantics to prove.
+func memEcho() *rtl.Module {
+	m := rtl.NewModule("echo")
+	mem := m.Memory("mem", 2, 3, aig.MemZero)
+	d := m.Input("d", 3)
+	addr := m.Const(2, 1)
+	mem.Write(addr, d, aig.True)
+	mirror := m.Register("mirror", 3, 0)
+	mirror.SetNext(d)
+	m.Done(mirror)
+	rd := mem.Read(addr, aig.True)
+	m.AssertAlways("echo", m.Eq(rd, mirror.Q))
+	return m
+}
+
+func TestEMMProvesMemoryProperty(t *testing.T) {
+	m := memEcho()
+	r := Check(m.N, 0, BMC3(20))
+	if r.Kind != KindProof {
+		t.Fatalf("expected proof, got %v", r)
+	}
+}
+
+func TestExplicitProvesSameProperty(t *testing.T) {
+	m := memEcho()
+	exp, _ := expmem.Expand(m.N)
+	r := Check(exp, 0, BMC1(20))
+	if r.Kind != KindProof {
+		t.Fatalf("expected proof on explicit model, got %v", r)
+	}
+}
+
+// memReach: input-driven writes and reads; the property "rd != 5" is
+// violated once the environment writes 5 somewhere and reads it back.
+func memReach() *rtl.Module {
+	m := rtl.NewModule("reach")
+	mem := m.Memory("mem", 2, 3, aig.MemZero)
+	mem.Write(m.Input("wa", 2), m.Input("wd", 3), m.InputBit("we"))
+	re := m.InputBit("re")
+	rd := mem.Read(m.Input("ra", 2), re)
+	seen := m.BitReg("seen", false)
+	seen.UpdateBit(m.N.And(re, m.EqConst(rd, 5)), aig.True)
+	m.Done(seen)
+	m.AssertAlways("ne5", seen.Bit().Not())
+	return m
+}
+
+func TestEMMvsExplicitAgreeOnReachability(t *testing.T) {
+	m := memReach()
+	emm := Check(m.N, 0, Options{MaxDepth: 6, UseEMM: true, ValidateWitness: true})
+	exp, _ := expmem.Expand(m.N)
+	expl := Check(exp, 0, Options{MaxDepth: 6})
+	if emm.Kind != KindCE || expl.Kind != KindCE {
+		t.Fatalf("both engines must find the CE: emm=%v explicit=%v", emm, expl)
+	}
+	if emm.Depth != expl.Depth {
+		t.Fatalf("CE depth mismatch: emm=%d explicit=%d", emm.Depth, expl.Depth)
+	}
+}
+
+// randomMemDesign builds a small scripted design mixing memory traffic and
+// state, with a reachability property, for EMM/explicit agreement fuzzing.
+func randomMemDesign(rng *rand.Rand) *rtl.Module {
+	m := rtl.NewModule("fuzz")
+	aw := 1 + rng.Intn(2)
+	dw := 1 + rng.Intn(3)
+	init := aig.MemZero
+	if rng.Intn(2) == 0 {
+		init = aig.MemArbitrary
+	}
+	mem := m.Memory("mem", aw, dw, init)
+	nw := 1 + rng.Intn(2)
+	for i := 0; i < nw; i++ {
+		mem.Write(m.Input("wa", aw), m.Input("wd", dw), m.InputBit("we"))
+	}
+	re := m.InputBit("re")
+	rd := mem.Read(m.Input("ra", aw), re)
+	acc := m.Register("acc", dw, 0)
+	// Accumulate read data only when the read is enabled.
+	acc.Update(re, m.XorV(acc.Q, rd))
+	m.Done(acc)
+	target := rng.Uint64() & (1<<uint(dw) - 1)
+	m.AssertAlways("reach", m.EqConst(acc.Q, target).Not())
+	return m
+}
+
+func TestEMMvsExplicitAgreementFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	for iter := 0; iter < 25; iter++ {
+		m := randomMemDesign(rng)
+		emm := Check(m.N, 0, Options{MaxDepth: 5, UseEMM: true, ValidateWitness: true})
+		exp, _ := expmem.Expand(m.N)
+		expl := Check(exp, 0, Options{MaxDepth: 5})
+		if emm.Kind != expl.Kind || (emm.Kind == KindCE && emm.Depth != expl.Depth) {
+			t.Fatalf("iter %d: disagreement emm=%v explicit=%v", iter, emm, expl)
+		}
+	}
+}
+
+// initConsistency: reads the same arbitrary-init address twice into two
+// registers and asserts they match — true only with eq. 6.
+func initConsistency() *rtl.Module {
+	m := rtl.NewModule("initc")
+	mem := m.Memory("mem", 2, 3, aig.MemArbitrary)
+	st := m.NewFSM("st", 2, 0)
+	st.GotoAlways(0, 1)
+	st.GotoAlways(1, 2)
+	rd := mem.Read(m.Const(2, 3), aig.True)
+	a := m.Register("a", 3, 0)
+	a.Update(st.In(0), rd)
+	b := m.Register("b", 3, 0)
+	b.Update(st.In(1), rd)
+	m.Done(st.Reg, a, b)
+	m.AssertAlways("consistent", m.N.Implies(st.In(2), m.Eq(a.Q, b.Q)))
+	return m
+}
+
+func TestArbitraryInitProofNeedsEq6(t *testing.T) {
+	m := initConsistency()
+	with := Check(m.N, 0, BMC3(10))
+	if with.Kind != KindProof {
+		t.Fatalf("with eq6: expected proof, got %v", with)
+	}
+	opt := BMC3(10)
+	opt.DisableEq6 = true
+	without := Check(m.N, 0, opt)
+	if without.Kind != KindCE {
+		t.Fatalf("without eq6: expected spurious CE, got %v", without)
+	}
+	// The spurious trace must fail concrete replay.
+	if err := without.Witness.Replay(m.N, 0); err == nil {
+		t.Fatalf("spurious witness unexpectedly replays")
+	}
+	// And the explicit model agrees the property is true.
+	exp, _ := expmem.Expand(m.N)
+	expl := Check(exp, 0, BMC1(10))
+	if expl.Kind != KindProof {
+		t.Fatalf("explicit model: expected proof, got %v", expl)
+	}
+}
+
+// lookupBug mimics the Industry II design: writes are dead (WE gated by
+// false), reads land in a register; "register stays 0" is true but becomes
+// spurious-CE if the memory is fully abstracted.
+func lookupBug() *rtl.Module {
+	m := rtl.NewModule("lookup")
+	mem := m.Memory("mem", 3, 4, aig.MemZero)
+	never := m.N.And(m.InputBit("x"), aig.False)
+	mem.Write(m.Input("wa", 3), m.Input("wd", 4), never)
+	re := m.InputBit("re")
+	rd := mem.Read(m.Input("ra", 3), re)
+	out := m.Register("out", 4, 0)
+	out.Update(re, rd)
+	m.Done(out)
+	m.AssertAlways("zero", m.IsZero(out.Q))
+	return m
+}
+
+func TestFullMemoryAbstractionIsSpurious(t *testing.T) {
+	m := lookupBug()
+	// No EMM: read data free, property falls over (spuriously).
+	noEMM := Check(m.N, 0, Options{MaxDepth: 10})
+	if noEMM.Kind != KindCE {
+		t.Fatalf("full abstraction should produce a spurious CE, got %v", noEMM)
+	}
+	if err := noEMM.Witness.Replay(m.N, 0); err == nil {
+		t.Fatalf("abstract CE should not replay concretely")
+	}
+	// With EMM: proof.
+	emm := Check(m.N, 0, BMC3(20))
+	if emm.Kind != KindProof {
+		t.Fatalf("EMM should prove the property, got %v", emm)
+	}
+}
+
+func TestWitnessMemInitExtraction(t *testing.T) {
+	// Arbitrary-init memory; the property fails when address 2 holds 5
+	// initially and is read out. The witness must pin that word.
+	m := rtl.NewModule("winit")
+	mem := m.Memory("mem", 2, 3, aig.MemArbitrary)
+	rd := mem.Read(m.Const(2, 2), aig.True)
+	m.AssertAlways("ne5", m.EqConst(rd, 5).Not())
+	r := Check(m.N, 0, Options{MaxDepth: 3, UseEMM: true, ValidateWitness: true})
+	if r.Kind != KindCE {
+		t.Fatalf("expected CE, got %v", r)
+	}
+	if got := r.Witness.MemInit[0][2]; got != 5 {
+		t.Fatalf("witness must pin mem[2]=5, got %d (map %v)", got, r.Witness.MemInit[0])
+	}
+}
+
+func TestPBAFlowReducesAndProves(t *testing.T) {
+	// Relevant: a mod-5 counter with an unreachable-value property.
+	// Irrelevant: a second counter driving a memory that feeds a dangling
+	// register.
+	m := rtl.NewModule("pba")
+	c1 := m.Register("c1", 3, 0)
+	wrap := m.EqConst(c1.Q, 4)
+	c1.SetNext(m.MuxV(wrap, m.Const(3, 0), m.Inc(c1.Q)))
+	c2 := m.Register("c2", 4, 0)
+	c2.SetNext(m.Inc(c2.Q))
+	mem := m.Memory("junk", 2, 4, aig.MemZero)
+	mem.Write(m.Slice(c2.Q, 0, 2), c2.Q, aig.True)
+	rd := mem.Read(m.Slice(c2.Q, 1, 3), aig.True)
+	dangle := m.Register("dangle", 4, 0)
+	dangle.SetNext(rd)
+	m.Done(c1, c2, dangle)
+	m.AssertAlways("ne6", m.EqConst(c1.Q, 6).Not())
+
+	opt := Options{MaxDepth: 40, UseEMM: true, StabilityDepth: 5}
+	res := ProveWithPBA(m.N, 0, opt)
+	if res.Kind() != KindProof {
+		t.Fatalf("expected proof, got %v (phase1=%v)", res.Kind(), res.Phase1)
+	}
+	if res.Abs == nil {
+		t.Fatalf("no abstraction computed")
+	}
+	// The junk memory must have been abstracted away entirely.
+	if res.Abs.MemEnabled[0] {
+		t.Fatalf("irrelevant memory should be abstracted: %s", res.Abs)
+	}
+	// The kept-latch count must be well below the total.
+	total := res.Abs.KeptLatches + len(res.Abs.FreeLatches)
+	if res.Abs.KeptLatches >= total {
+		t.Fatalf("no reduction: %s", res.Abs)
+	}
+	// c1's latches must be kept.
+	for _, q := range c1.Q {
+		if res.Abs.FreeLatches[q.Node()] {
+			t.Fatalf("relevant latch freed")
+		}
+	}
+}
+
+func TestPBAPhase1FindsRealCE(t *testing.T) {
+	m := mod5Counter(3)
+	res := ProveWithPBA(m.N, 1, Options{MaxDepth: 20, StabilityDepth: 5})
+	if res.Kind() != KindCE || res.Phase1.Depth != 3 {
+		t.Fatalf("PBA flow must surface the real CE: %v", res.Phase1)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A design large enough not to finish in a microsecond.
+	m := rtl.NewModule("slow")
+	mem := m.Memory("mem", 6, 16, aig.MemZero)
+	mem.Write(m.Input("wa", 6), m.Input("wd", 16), m.InputBit("we"))
+	rd := mem.Read(m.Input("ra", 6), aig.True)
+	acc := m.Register("acc", 16, 0)
+	acc.SetNext(m.Add(acc.Q, rd))
+	m.Done(acc)
+	m.AssertAlways("p", m.EqConst(acc.Q, 0xBEEF).Not())
+	exp, _ := expmem.Expand(m.N)
+	r := Check(exp, 0, Options{MaxDepth: 60, Timeout: time.Millisecond})
+	if r.Kind != KindTimeout {
+		t.Fatalf("expected timeout, got %v", r)
+	}
+}
+
+func TestCheckMany(t *testing.T) {
+	// Counter mod 8 with properties "cnt != k" for k = 0..9: CEs at depth
+	// k for k ≤ 7, forward-termination proofs for 8 and 9.
+	m := rtl.NewModule("many")
+	c := m.Register("cnt", 4, 0)
+	wrap := m.EqConst(c.Q, 7)
+	c.SetNext(m.MuxV(wrap, m.Const(4, 0), m.Inc(c.Q)))
+	m.Done(c)
+	var props []int
+	for k := 0; k <= 9; k++ {
+		m.AssertAlways("ne", m.EqConst(c.Q, uint64(k)).Not())
+		props = append(props, k)
+	}
+	res := CheckMany(m.N, props, Options{MaxDepth: 30, Proofs: true, ValidateWitness: true})
+	for k := 0; k <= 7; k++ {
+		r := res.Results[k]
+		if r.Kind != KindCE || r.Depth != k {
+			t.Fatalf("prop %d: got %v", k, r)
+		}
+	}
+	for k := 8; k <= 9; k++ {
+		if res.Results[k].Kind != KindProof {
+			t.Fatalf("prop %d: expected proof, got %v", k, res.Results[k])
+		}
+	}
+	if res.MaxWitnessDepth != 7 {
+		t.Fatalf("max witness depth %d want 7", res.MaxWitnessDepth)
+	}
+	counts := res.Counts()
+	if counts[KindCE] != 8 || counts[KindProof] != 2 {
+		t.Fatalf("counts wrong: %v", counts)
+	}
+}
+
+func TestCheckManyWithEMM(t *testing.T) {
+	// Shared-unrolling variant over a memory design: two properties, one
+	// reachable, one provable.
+	m := rtl.NewModule("manymem")
+	mem := m.Memory("mem", 2, 3, aig.MemZero)
+	mem.Write(m.Input("wa", 2), m.Input("wd", 3), m.InputBit("we"))
+	re := m.InputBit("re")
+	rd := mem.Read(m.Input("ra", 2), re)
+	got5 := m.BitReg("got5", false)
+	got5.UpdateBit(m.N.And(re, m.EqConst(rd, 5)), aig.True)
+	m.Done(got5)
+	m.AssertAlways("ne5", got5.Bit().Not())               // reachable (CE)
+	m.AssertAlways("tauto", m.N.Or(got5.Bit(), aig.True)) // trivially true
+	res := CheckMany(m.N, []int{0, 1}, Options{MaxDepth: 8, UseEMM: true, Proofs: true, ValidateWitness: true})
+	if res.Results[0].Kind != KindCE || res.Results[0].Depth != 2 {
+		t.Fatalf("prop 0: expected CE at depth 2, got %v", res.Results[0])
+	}
+	if res.Results[1].Kind != KindProof {
+		t.Fatalf("prop 1: expected proof, got %v", res.Results[1])
+	}
+}
+
+// TestPureLatchLFPIsUnsound documents why the default LFP is memory-aware:
+// with the paper's literal latch-only loop-free constraint, the forward
+// termination check "proves" a property that is in fact violated (the
+// violating trace needs the memory contents — which the latch state does
+// not capture — to evolve first).
+func TestPureLatchLFPIsUnsound(t *testing.T) {
+	build := func() *rtl.Module {
+		m := rtl.NewModule("lfptrap")
+		mem := m.Memory("mem", 2, 3, aig.MemZero)
+		mem.Write(m.Input("wa", 2), m.Input("wd", 3), m.InputBit("we"))
+		re := m.InputBit("re")
+		rd := mem.Read(m.Input("ra", 2), re)
+		got5 := m.BitReg("got5", false)
+		got5.UpdateBit(m.N.And(re, m.EqConst(rd, 5)), aig.True)
+		m.Done(got5)
+		m.AssertAlways("ne5", got5.Bit().Not())
+		return m
+	}
+	// Ground truth via the explicit model: the property is violated.
+	exp, _ := expmem.Expand(build().N)
+	if r := Check(exp, 0, Options{MaxDepth: 6}); r.Kind != KindCE {
+		t.Fatalf("ground truth should be CE, got %v", r)
+	}
+	// Paper-literal LFP: bogus forward proof before the CE depth.
+	lit := BMC3(6)
+	lit.PureLatchLFP = true
+	if r := Check(build().N, 0, lit); r.Kind != KindProof {
+		t.Fatalf("expected the literal LFP to (unsoundly) prove, got %v", r)
+	}
+	// Memory-aware LFP (default): the real counter-example is found.
+	if r := Check(build().N, 0, BMC3(6)); r.Kind != KindCE {
+		t.Fatalf("memory-aware LFP must find the CE, got %v", r)
+	}
+}
+
+func TestConstraintsInBMC(t *testing.T) {
+	// An assumed environment constraint blocks the violation.
+	m := rtl.NewModule("constr")
+	x := m.InputBit("x")
+	r := m.BitReg("r", false)
+	r.UpdateBit(x, aig.True)
+	m.Done(r)
+	m.Assume(x.Not())
+	m.AssertAlways("stays0", r.Bit().Not())
+	res := Check(m.N, 0, BMC1(10))
+	if res.Kind != KindProof {
+		t.Fatalf("constraint should make the property provable, got %v", res)
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	for _, k := range []Kind{KindNoCE, KindCE, KindProof, KindStable, KindTimeout} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	r := &Result{Kind: KindProof, ProofSide: "forward"}
+	if r.String() == "" {
+		t.Fatalf("empty result string")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	m := memEcho()
+	r := Check(m.N, 0, BMC3(15))
+	if r.Stats.SolveCalls == 0 || r.Stats.Clauses == 0 || r.Stats.Vars == 0 {
+		t.Fatalf("stats not populated: %+v", r.Stats)
+	}
+	if r.Stats.EMM.Clauses() == 0 {
+		t.Fatalf("EMM sizes not recorded")
+	}
+}

@@ -1,0 +1,85 @@
+package bmc
+
+import (
+	"fmt"
+	"time"
+
+	"emmver/internal/aig"
+)
+
+// InvariantResult is the outcome of ProveWithInvariant.
+type InvariantResult struct {
+	// InvariantProof is the proof of the helper invariant (nil if it
+	// failed, in which case Main is nil too).
+	InvariantProof *Result
+	// Main is the main property's verdict under the proven invariant.
+	Main    *Result
+	Elapsed time.Duration
+}
+
+// Kind summarizes the overall outcome.
+func (r *InvariantResult) Kind() Kind {
+	if r.Main != nil {
+		return r.Main.Kind
+	}
+	if r.InvariantProof != nil {
+		return r.InvariantProof.Kind
+	}
+	return KindNoCE
+}
+
+// ProveWithInvariant generalizes the Industry II methodology (§5): first
+// prove a helper invariant (there, G(WE=0 ∨ WD=0)) with the full engine,
+// then assume it as an environment constraint in every cycle while
+// checking the main property — often turning a non-inductive obligation
+// into a trivial one. Both properties must belong to n. The flow is sound:
+// the constraint is only assumed after its own unbounded proof succeeds.
+//
+// Note the asymmetry exploited here and in the paper: the invariant may
+// need the memory semantics (EMM) to prove, while the main property,
+// once the invariant is available, may not need the memory at all.
+func ProveWithInvariant(n *aig.Netlist, mainProp, invariantProp int, opt Options) (*InvariantResult, error) {
+	if mainProp == invariantProp {
+		return nil, fmt.Errorf("bmc: main property and invariant must differ")
+	}
+	if invariantProp < 0 || invariantProp >= len(n.Props) {
+		return nil, fmt.Errorf("bmc: invariant property %d out of range", invariantProp)
+	}
+	start := time.Now()
+	res := &InvariantResult{}
+
+	iOpt := opt
+	iOpt.Proofs = true
+	res.InvariantProof = Check(n, invariantProp, iOpt)
+	if res.InvariantProof.Kind != KindProof {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Assume the proven invariant as a per-cycle constraint. Build on a
+	// copy so the caller's netlist is untouched.
+	constrained, propMap := cloneWithConstraint(n, n.Props[invariantProp].OK)
+	mOpt := opt
+	mOpt.Proofs = true
+	res.Main = Check(constrained, propMap[mainProp], mOpt)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// cloneWithConstraint snapshots the netlist's constraint list, appends the
+// invariant, and returns the same netlist plus an identity property map.
+// The netlist graph is shared (it is immutable during checking); only the
+// constraint slice is copied so the caller's view stays unchanged after
+// verification completes.
+func cloneWithConstraint(n *aig.Netlist, inv aig.Lit) (*aig.Netlist, map[int]int) {
+	// Netlist is used read-only by the engines except for this slice;
+	// restore it when done is unnecessary because we operate on a shallow
+	// copy of the struct.
+	copyN := *n
+	copyN.Constraints = append(append([]aig.Lit(nil), n.Constraints...), inv)
+	pm := make(map[int]int, len(n.Props))
+	for i := range n.Props {
+		pm[i] = i
+	}
+	return &copyN, pm
+}

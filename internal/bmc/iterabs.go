@@ -1,0 +1,106 @@
+package bmc
+
+import (
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/pba"
+)
+
+// IterAbsResult is the outcome of iterative abstraction.
+type IterAbsResult struct {
+	// Rounds holds the latch-reason set size after each abstraction
+	// round (round 0 runs on the concrete model).
+	Rounds []int
+	// Abs is the final reduced model.
+	Abs *pba.Abstraction
+	// Proof is the proof attempt on the final model (nil if a phase
+	// ended early).
+	Proof *Result
+	// Phase1 is the last reason-collection run.
+	Phase1 *Result
+	// Elapsed is the total wall-clock time.
+	Elapsed time.Duration
+}
+
+// Kind summarizes the overall outcome.
+func (r *IterAbsResult) Kind() Kind {
+	if r.Proof != nil {
+		return r.Proof.Kind
+	}
+	if r.Phase1 != nil {
+		return r.Phase1.Kind
+	}
+	return KindNoCE
+}
+
+// IterativeAbstraction implements the iterative-abstraction loop of the
+// paper's reference [10] (Gupta et al., ICCAD 2003), which §2.2 describes:
+// proof-based abstraction is applied repeatedly, each round running BMC
+// with proof analysis on the previous round's reduced model, until the
+// latch-reason set stops shrinking. The final reduced model is then
+// handed to the prover. Each round only ever over-approximates, so a
+// proof on the final model is sound for the concrete design; a
+// counter-example found in round 0 is real, and later-round CEs trigger a
+// concrete fallback exactly like ProveWithPBA.
+func IterativeAbstraction(n *aig.Netlist, prop int, opt Options, maxRounds int) *IterAbsResult {
+	start := time.Now()
+	res := &IterAbsResult{}
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+	if opt.StabilityDepth <= 0 {
+		opt.StabilityDepth = 10
+	}
+
+	var abs *pba.Abstraction
+	prevSize := -1
+	for round := 0; round < maxRounds; round++ {
+		p1 := opt
+		p1.PBA = true
+		p1.Proofs = false
+		p1.StopAtStable = true
+		p1.Abs = abs
+		p1.ValidateWitness = opt.ValidateWitness && abs == nil
+		r := Check(n, prop, p1)
+		res.Phase1 = r
+		if r.Kind == KindCE && abs == nil {
+			res.Elapsed = time.Since(start)
+			return res // real counter-example
+		}
+		if r.Kind == KindTimeout {
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		if r.Kind == KindCE {
+			// Spurious CE on an abstract model: stop refining and fall
+			// back to the previous abstraction for the proof attempt.
+			break
+		}
+		size := r.Tracker.Size()
+		res.Rounds = append(res.Rounds, size)
+		abs = r.Tracker.Abstract(n)
+		res.Abs = abs
+		if prevSize >= 0 && size >= prevSize {
+			break // no further shrinkage
+		}
+		prevSize = size
+	}
+
+	p2 := opt
+	p2.PBA = false
+	p2.Proofs = true
+	p2.Abs = abs
+	p2.ValidateWitness = false
+	res.Proof = Check(n, prop, p2)
+	if res.Proof.Kind == KindCE {
+		// Possibly spurious: decide on the concrete model.
+		p3 := opt
+		p3.PBA = false
+		p3.Proofs = true
+		p3.Abs = nil
+		res.Proof = Check(n, prop, p3)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,58 @@
+package bmc
+
+import "emmver/internal/aig"
+
+// Minimize greedily simplifies a counter-example in place: input bits are
+// cleared to 0, unconstrained initial-latch values are cleared, and pinned
+// arbitrary-init memory words are dropped, as long as the concrete replay
+// still violates the property. It returns the number of simplifications
+// applied. Minimized witnesses are much easier to read in waveforms: only
+// the signals that actually drive the failure stay asserted.
+func (w *Witness) Minimize(n *aig.Netlist, prop int) int {
+	stillFails := func() bool { return w.Replay(n, prop) == nil }
+	if !stillFails() {
+		return 0 // not a valid witness; leave untouched
+	}
+	changed := 0
+	// Clear asserted inputs frame by frame.
+	for f := range w.Inputs {
+		for id, v := range w.Inputs[f] {
+			if !v {
+				continue
+			}
+			w.Inputs[f][id] = false
+			if stillFails() {
+				changed++
+			} else {
+				w.Inputs[f][id] = true
+			}
+		}
+	}
+	// Clear unconstrained initial latch values.
+	for id, v := range w.InitLatches {
+		if !v {
+			continue
+		}
+		w.InitLatches[id] = false
+		if stillFails() {
+			changed++
+		} else {
+			w.InitLatches[id] = true
+		}
+	}
+	// Drop pinned memory words (the replay then sees 0 there).
+	for mi := range w.MemInit {
+		for addr, word := range w.MemInit[mi] {
+			if word == 0 {
+				continue
+			}
+			delete(w.MemInit[mi], addr)
+			if stillFails() {
+				changed++
+			} else {
+				w.MemInit[mi][addr] = word
+			}
+		}
+	}
+	return changed
+}

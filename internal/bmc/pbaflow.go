@@ -1,0 +1,82 @@
+package bmc
+
+import (
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/pba"
+)
+
+// PBAResult is the outcome of the two-phase prove-with-abstraction flow
+// used by Table 2: first collect a stable latch-reason set on the concrete
+// model, then prove the property on the reduced model.
+type PBAResult struct {
+	// Phase1 is the concrete-model run that produced the abstraction (or
+	// found a counter-example / timed out).
+	Phase1 *Result
+	// Abs is the reduced model (nil if phase 1 did not reach stability).
+	Abs *pba.Abstraction
+	// AbstractionTime is the wall-clock cost of phase 1.
+	AbstractionTime time.Duration
+	// Proof is the reduced-model run (nil if skipped).
+	Proof *Result
+}
+
+// Kind summarizes the overall outcome.
+func (r *PBAResult) Kind() Kind {
+	if r.Phase1.Kind == KindCE || r.Phase1.Kind == KindTimeout {
+		return r.Phase1.Kind
+	}
+	if r.Proof != nil {
+		return r.Proof.Kind
+	}
+	return r.Phase1.Kind
+}
+
+// ProveWithPBA runs the §4.3 flow for one property: BMC with proof-based
+// abstraction on the concrete model until the latch-reason set is stable
+// for opt.StabilityDepth depths, then a full proof attempt (same EMM
+// setting) on the abstract model. Counter-examples found in phase 1 are
+// real (the model is concrete) and end the flow.
+func ProveWithPBA(n *aig.Netlist, prop int, opt Options) *PBAResult {
+	p1opt := opt
+	p1opt.PBA = true
+	p1opt.Proofs = false // phase 1 only hunts CEs and collects reasons
+	p1opt.StopAtStable = true
+	if p1opt.StabilityDepth <= 0 {
+		p1opt.StabilityDepth = 10
+	}
+	t0 := time.Now()
+	phase1 := Check(n, prop, p1opt)
+	res := &PBAResult{Phase1: phase1, AbstractionTime: time.Since(t0)}
+	if phase1.Kind != KindStable && phase1.Kind != KindNoCE {
+		return res
+	}
+	res.Abs = phase1.Tracker.Abstract(n)
+
+	p2opt := opt
+	p2opt.PBA = false
+	p2opt.Proofs = true
+	p2opt.Abs = res.Abs
+	p2opt.ValidateWitness = false // abstract-model traces may be spurious
+	if opt.Timeout > 0 {
+		// Give phase 2 whatever budget remains.
+		p2opt.Timeout = opt.Timeout - res.AbstractionTime
+		if p2opt.Timeout <= 0 {
+			res.Proof = &Result{Kind: KindTimeout, Prop: prop}
+			return res
+		}
+	}
+	res.Proof = Check(n, prop, p2opt)
+	if res.Proof.Kind == KindCE {
+		// A counter-example on the reduced model may be spurious (the
+		// abstraction only preserves correctness up to the stability
+		// depth). Fall back to the concrete model, as iterative
+		// abstraction would.
+		p3opt := opt
+		p3opt.PBA = false
+		p3opt.Proofs = true
+		res.Proof = Check(n, prop, p3opt)
+	}
+	return res
+}

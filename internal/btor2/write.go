@@ -1,0 +1,204 @@
+package btor2
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"emmver/internal/aig"
+)
+
+// Write serializes a netlist as BTOR2. Combinational logic is exported at
+// the bit level (1-bit sorts, and/not), latches become 1-bit states, and
+// memory modules become array states with read nodes and write-chain next
+// functions — so the output remains a *word-level* memory model that
+// BTOR2 tools solve with array reasoning rather than bit-blasting.
+func Write(w io.Writer, n *aig.Netlist) error {
+	bw := bufio.NewWriter(w)
+	e := &emitter{n: n, w: bw, lit: map[aig.Lit]int64{}}
+
+	e.bit1 = e.emit("sort bitvec 1")
+	e.lit[aig.False] = e.emit("zero %d", e.bit1)
+	e.lit[aig.True] = e.emit("one %d", e.bit1)
+
+	// Inputs.
+	for _, id := range n.Inputs {
+		name := n.InputName(id)
+		if name == "" {
+			e.lit[aig.MkLit(id, false)] = e.emit("input %d", e.bit1)
+		} else {
+			e.lit[aig.MkLit(id, false)] = e.emit("input %d %s", e.bit1, sanitize(name))
+		}
+	}
+	// Latches as 1-bit states.
+	for _, l := range n.Latches {
+		s := e.emit("state %d %s", e.bit1, sanitize(nameOr(l.Name, fmt.Sprintf("l%d", l.Node))))
+		e.lit[aig.MkLit(l.Node, false)] = s
+		switch l.Init {
+		case aig.Init0:
+			e.emit("init %d %d %d", e.bit1, s, e.lit[aig.False])
+		case aig.Init1:
+			e.emit("init %d %d %d", e.bit1, s, e.lit[aig.True])
+		}
+	}
+	// Memories as array states (declared before any read).
+	type memInfo struct {
+		arr       int64
+		addrSort  int64
+		elemSort  int64
+		arraySort int64
+	}
+	mems := make([]memInfo, len(n.Memories))
+	for mi, m := range n.Memories {
+		if m.Init == aig.MemImage {
+			return fmt.Errorf("btor2: image-initialized memories are not supported")
+		}
+		mi2 := memInfo{
+			addrSort: e.sortBV(m.AW),
+			elemSort: e.sortBV(m.DW),
+		}
+		mi2.arraySort = e.emit("sort array %d %d", mi2.addrSort, mi2.elemSort)
+		mi2.arr = e.emit("state %d %s", mi2.arraySort, sanitize(nameOr(m.Name, fmt.Sprintf("mem%d", mi))))
+		if m.Init == aig.MemZero {
+			z := e.emit("zero %d", mi2.elemSort)
+			e.emit("init %d %d %d", mi2.arraySort, mi2.arr, z)
+		}
+		mems[mi] = mi2
+	}
+	// Read ports: word-level read + per-bit slices.
+	for mi, m := range n.Memories {
+		for _, rp := range m.Reads {
+			addr := e.word(rp.Addr, mems[mi].addrSort)
+			rd := e.emit("read %d %d %d", mems[mi].elemSort, mems[mi].arr, addr)
+			for b, dn := range rp.Data {
+				if m.DW == 1 {
+					e.lit[aig.MkLit(dn, false)] = rd
+				} else {
+					e.lit[aig.MkLit(dn, false)] = e.emit("slice %d %d %d %d", e.bit1, rd, b, b)
+				}
+			}
+		}
+	}
+	// Latch next functions.
+	for _, l := range n.Latches {
+		nx := e.litRef(l.Next)
+		e.emit("next %d %d %d", e.bit1, e.lit[aig.MkLit(l.Node, false)], nx)
+	}
+	// Memory next functions: write chains, later ports outermost (they
+	// win same-cycle races, matching eq. 4's tie-break).
+	for mi, m := range n.Memories {
+		cur := mems[mi].arr
+		for _, wp := range m.Writes {
+			addr := e.word(wp.Addr, mems[mi].addrSort)
+			data := e.word(wp.Data, mems[mi].elemSort)
+			wr := e.emit("write %d %d %d %d", mems[mi].arraySort, cur, addr, data)
+			en := e.litRef(wp.En)
+			cur = e.emit("ite %d %d %d %d", mems[mi].arraySort, en, wr, cur)
+		}
+		if cur != mems[mi].arr {
+			e.emit("next %d %d %d", mems[mi].arraySort, mems[mi].arr, cur)
+		}
+	}
+	// Properties and constraints.
+	for _, p := range n.Props {
+		bad := e.litRef(p.OK.Not())
+		e.emit("bad %d %s", bad, sanitize(nameOr(p.Name, "")))
+	}
+	for _, c := range n.Constraints {
+		e.emit("constraint %d", e.litRef(c))
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+type emitter struct {
+	n    *aig.Netlist
+	w    *bufio.Writer
+	next int64
+	bit1 int64
+	lit  map[aig.Lit]int64 // netlist literal -> btor2 node id
+	bv   map[int]int64     // width -> sort id
+	err  error
+}
+
+func (e *emitter) emit(format string, args ...interface{}) int64 {
+	e.next++
+	if _, err := fmt.Fprintf(e.w, "%d "+format+"\n", append([]interface{}{e.next}, args...)...); err != nil && e.err == nil {
+		e.err = err
+	}
+	return e.next
+}
+
+func (e *emitter) sortBV(w int) int64 {
+	if e.bv == nil {
+		e.bv = map[int]int64{1: e.bit1}
+	}
+	if id, ok := e.bv[w]; ok {
+		return id
+	}
+	id := e.emit("sort bitvec %d", w)
+	e.bv[w] = id
+	return id
+}
+
+// litRef resolves a netlist literal, materializing AND gates and
+// inversions on demand.
+func (e *emitter) litRef(l aig.Lit) int64 {
+	if id, ok := e.lit[l]; ok {
+		return id
+	}
+	// Resolve the plain polarity first.
+	plain := aig.MkLit(l.Node(), false)
+	id, ok := e.lit[plain]
+	if !ok {
+		node := e.n.NodeAt(l.Node())
+		if node.Kind != aig.KAnd {
+			panic(fmt.Sprintf("btor2: unresolved %v node %d", node.Kind, l.Node()))
+		}
+		a := e.litRef(node.F0)
+		b := e.litRef(node.F1)
+		id = e.emit("and %d %d %d", e.bit1, a, b)
+		e.lit[plain] = id
+	}
+	if !l.Inverted() {
+		return id
+	}
+	inv := e.emit("not %d %d", e.bit1, id)
+	e.lit[l] = inv
+	return inv
+}
+
+// word packs a bit bus into a BTOR2 word via concat (MSB-first operand
+// order).
+func (e *emitter) word(bits []aig.Lit, sortID int64) int64 {
+	cur := e.litRef(bits[0])
+	curW := 1
+	for i := 1; i < len(bits); i++ {
+		hi := e.litRef(bits[i])
+		cur = e.emit("concat %d %d %d", e.sortBV(curW+1), hi, cur)
+		curW++
+	}
+	_ = sortID
+	return cur
+}
+
+func nameOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == ';' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,433 @@
+// Package core implements Efficient Memory Modeling (EMM) — the paper's
+// primary contribution. Instead of expanding each embedded memory into
+// 2^AW × DW latches, the memory array is removed and, at every BMC analysis
+// depth, CNF constraints over the retained memory interface signals enforce
+// the data-forwarding semantics:
+//
+//	data read at depth k through read port r equals the data written at
+//	depth j through write port w iff the addresses match, WE was active at
+//	j, RE is active at k, and no intervening write hit the same address
+//	(eq. 3 of the paper),
+//
+// using exclusive valid-read signal chains (eq. 4–5) in the hybrid
+// clause/gate representation of §3, generalized to multiple memories with
+// multiple read and write ports (§4.1). Arbitrary initial memory state is
+// modeled precisely with fresh symbolic words plus the consistency
+// constraints of eq. 6 (§4.2), which is what makes the model exact and
+// therefore usable for the UNSAT (proof) side of SAT-based induction.
+package core
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+	"emmver/internal/sat"
+	"emmver/internal/unroll"
+)
+
+// Sizes tallies the EMM constraints emitted so far, split the way the paper
+// reports them (§3, §4.1): CNF clauses for address comparison and read-data
+// forwarding, 2-input gates for the exclusivity chains, and — separately —
+// the arbitrary-initial-state machinery of §4.2.
+type Sizes struct {
+	AddrClauses     int // (4m+1)·kW·R per memory at depth k
+	ReadDataClauses int // (2n·kW + 2n + 1)·R per memory at depth k
+	Gates           int // 3·kW·R per memory at depth k
+	InitPairs       int // eq. 6 pair constraints
+	InitClauses     int // clauses emitted for eq. 6 pairs
+	AuxVars         int
+}
+
+// Clauses returns the paper's headline clause count (address comparison +
+// read data), excluding the arbitrary-init machinery which the paper counts
+// separately.
+func (s Sizes) Clauses() int { return s.AddrClauses + s.ReadDataClauses }
+
+// String renders the tally.
+func (s Sizes) String() string {
+	return fmt.Sprintf("%d clauses (%d addr, %d readdata), %d gates, %d init pairs (%d clauses)",
+		s.Clauses(), s.AddrClauses, s.ReadDataClauses, s.Gates, s.InitPairs, s.InitClauses)
+}
+
+// Generator emits EMM constraints into an unroller, one analysis depth at a
+// time (the EMM_Constraints procedure of Fig. 2/Fig. 3).
+type Generator struct {
+	u *unroll.Unroller
+
+	// ForceArbitraryInit treats every memory as arbitrary-initialized,
+	// regardless of its declared init. Required when the underlying
+	// unrolling window does not start at the design's initial state (the
+	// backward/induction-step checks): reads of locations not written
+	// inside the window must then be arbitrary-but-consistent rather than
+	// the declared reset contents.
+	forceArb bool
+
+	memEnabled   []bool
+	readEnabled  [][]bool
+	writeEnabled [][]bool
+
+	// eq6Disabled suppresses the cross-read consistency constraints of
+	// §4.2. Exists to demonstrate (and regression-test) the paper's claim
+	// that fresh variables alone over-approximate the initial state and
+	// can break proofs.
+	eq6Disabled bool
+
+	// noExclusivity replaces the S/PS exclusive valid-read chains of
+	// eq. 4 with a direct clause translation of the forwarding semantics
+	// (eq. 1/eq. 3): each read-data clause then carries the whole
+	// "no intervening write" disjunction instead of a single chain
+	// literal. Semantically equivalent, but the SAT solver loses the
+	// immediate exclusivity propagation the paper highlights — the
+	// ablation BenchmarkAblationExclusivity measures the difference.
+	noExclusivity bool
+
+	mems   []*memGen
+	frames int // next depth to process
+
+	sizes Sizes
+}
+
+type memGen struct {
+	m     *aig.Memory
+	reads []*readGen
+}
+
+// readGen caches, per processed depth k, the signals needed by later depths
+// for the eq. 6 cross-read consistency constraints.
+type readGen struct {
+	re   []sat.Lit   // RE_{k,r}
+	addr [][]sat.Lit // RA_{k,r}
+	n    []sat.Lit   // N_{k,r} = PS_{0,k,0,r}: read hit no in-window write
+	v    [][]sat.Lit // V_{k,r}: symbolic initial word (arbitrary init only)
+	rd   [][]sat.Lit // RD_{k,r}
+}
+
+// ReadEvent describes one read port at one processed depth, exposing the
+// CNF literals a witness decoder needs: whether the read was enabled and
+// hit no in-window write (N), its address, and its data.
+type ReadEvent struct {
+	Frame int
+	Re    sat.Lit
+	Addr  []sat.Lit
+	N     sat.Lit
+	RD    []sat.Lit
+}
+
+// ReadEvents lists the processed read events of read port r of memory mi.
+// Ports excluded from modeling have no events.
+func (g *Generator) ReadEvents(mi, r int) []ReadEvent {
+	rg := g.mems[mi].reads[r]
+	out := make([]ReadEvent, len(rg.n))
+	for k := range rg.n {
+		out[k] = ReadEvent{Frame: k, Re: rg.re[k], Addr: rg.addr[k], N: rg.n[k], RD: rg.rd[k]}
+	}
+	return out
+}
+
+// NewGenerator builds an EMM generator over u. When forceArbitraryInit is
+// set, declared zero-initialization is ignored (see ForceArbitraryInit).
+func NewGenerator(u *unroll.Unroller, forceArbitraryInit bool) *Generator {
+	g := &Generator{u: u, forceArb: forceArbitraryInit}
+	for _, m := range u.N.Memories {
+		if m.Init == aig.MemImage {
+			panic("core: EMM does not support image-initialized memories; use the explicit model")
+		}
+		g.mems = append(g.mems, &memGen{m: m, reads: makeReadGens(len(m.Reads))})
+		g.memEnabled = append(g.memEnabled, true)
+		g.readEnabled = append(g.readEnabled, trueSlice(len(m.Reads)))
+		g.writeEnabled = append(g.writeEnabled, trueSlice(len(m.Writes)))
+	}
+	return g
+}
+
+func makeReadGens(n int) []*readGen {
+	out := make([]*readGen, n)
+	for i := range out {
+		out[i] = &readGen{}
+	}
+	return out
+}
+
+func trueSlice(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// SetMemoryEnabled includes or excludes an entire memory module from
+// constraint generation (the §4.3 memory-module abstraction). Must be
+// called before any frame is processed.
+func (g *Generator) SetMemoryEnabled(mi int, on bool) {
+	g.mustBeFresh()
+	g.memEnabled[mi] = on
+}
+
+// SetReadPortEnabled includes or excludes one read port (its read data
+// stays a free variable when excluded).
+func (g *Generator) SetReadPortEnabled(mi, r int, on bool) {
+	g.mustBeFresh()
+	g.readEnabled[mi][r] = on
+}
+
+// SetWritePortEnabled includes or excludes one write port from every
+// forwarding chain.
+func (g *Generator) SetWritePortEnabled(mi, w int, on bool) {
+	g.mustBeFresh()
+	g.writeEnabled[mi][w] = on
+}
+
+// DisableInitConsistency suppresses the eq. 6 constraints (§4.2). The
+// resulting model over-approximates arbitrary initial memory state: sound
+// for falsification, but proofs that depend on read-read consistency fail.
+func (g *Generator) DisableInitConsistency() {
+	g.mustBeFresh()
+	g.eq6Disabled = true
+}
+
+// DisableExclusivity switches to the direct eq. 1/eq. 3 clause encoding
+// without the exclusive valid-read chains (see noExclusivity).
+func (g *Generator) DisableExclusivity() {
+	g.mustBeFresh()
+	g.noExclusivity = true
+}
+
+func (g *Generator) mustBeFresh() {
+	if g.frames != 0 {
+		panic("core: abstraction choices must be made before AddFrame")
+	}
+}
+
+// Sizes returns the cumulative constraint tally.
+func (g *Generator) Sizes() Sizes { return g.sizes }
+
+// Frames returns the number of processed depths.
+func (g *Generator) Frames() int { return g.frames }
+
+// AddUpTo processes depths g.Frames() .. k (inclusive), the incremental
+// "C_i = C_{i-1} ∪ EMM_Constraints(i)" update of Fig. 2/Fig. 3.
+func (g *Generator) AddUpTo(k int) {
+	for g.frames <= k {
+		g.addFrame(g.frames)
+		g.frames++
+	}
+}
+
+func (g *Generator) addFrame(k int) {
+	for mi, mg := range g.mems {
+		if !g.memEnabled[mi] {
+			continue
+		}
+		for r := range mg.m.Reads {
+			if !g.readEnabled[mi][r] {
+				continue
+			}
+			g.addReadConstraints(mi, mg, r, k)
+		}
+	}
+}
+
+func (g *Generator) tagEMM(k, mi, r int) unroll.Tag {
+	return unroll.MkTag(unroll.TagEMM, k, mi<<8|r)
+}
+
+func (g *Generator) tagInit(k, mi, r int) unroll.Tag {
+	return unroll.MkTag(unroll.TagEMMInit, k, mi<<8|r)
+}
+
+// addReadConstraints emits the forwarding constraints for read port r of
+// memory mi at depth k: address comparisons against every enabled write
+// port at every earlier depth, the exclusivity chain of eq. 4, the read
+// data constraints of eq. 5, and the initial-state handling.
+func (g *Generator) addReadConstraints(mi int, mg *memGen, r int, k int) {
+	u := g.u
+	m := mg.m
+	rp := m.Reads[r]
+	rg := mg.reads[r]
+	tag := g.tagEMM(k, mi, r)
+
+	re := u.Lit(rp.En, k)
+	raddr := u.VecLits(rp.Addr, k)
+	rdata := make([]sat.Lit, m.DW)
+	for bit, dn := range rp.Data {
+		rdata[bit] = u.Lit(aig.MkLit(dn, false), k)
+	}
+
+	// Per-(depth, write port) match signals s_{i,k,w,r} = E ∧ WE, most
+	// recent writes first (the priority order of eq. 4's chain).
+	type match struct {
+		s  sat.Lit // s (direct mode) or S (chain mode)
+		wd []sat.Lit
+	}
+	var matches []match
+	var rawS []sat.Lit
+	ps := re
+	for i := k - 1; i >= 0; i-- {
+		for w := len(m.Writes) - 1; w >= 0; w-- {
+			if !g.writeEnabled[mi][w] {
+				continue
+			}
+			wp := m.Writes[w]
+			waddr := u.VecLits(wp.Addr, i)
+			we := u.Lit(wp.En, i)
+			e := g.addrEqual(waddr, raddr, tag)
+			s := u.MkAndAux(e, we, tag)
+			g.sizes.Gates++
+			if g.noExclusivity {
+				// Direct eq. 1/eq. 3 translation, no chain.
+				rawS = append(rawS, s)
+				matches = append(matches, match{s: s, wd: u.VecLits(wp.Data, i)})
+				continue
+			}
+			// Exclusivity chain (eq. 4): S = s ∧ ps (1 gate),
+			// PS' = ¬s ∧ ps (1 gate): with s, the 3kW gates of §4.1.
+			bigS := u.MkAndAux(s, ps, tag)
+			ps = u.MkAndAux(s.Not(), ps, tag)
+			g.sizes.Gates += 2
+			matches = append(matches, match{s: bigS, wd: u.VecLits(wp.Data, i)})
+		}
+	}
+	if g.noExclusivity {
+		// N_{k,r} = RE ∧ no match (still needed for init handling).
+		for _, s := range rawS {
+			ps = u.MkAndAux(s.Not(), ps, tag)
+		}
+	}
+
+	// Read data forwarding.
+	if g.noExclusivity {
+		// (RE ∧ s_t ∧ ¬s_0 ∧ … ∧ ¬s_{t-1}) → RD = WD_t, with the whole
+		// "no more recent match" disjunction inlined per clause.
+		for t, mt := range matches {
+			base := make([]sat.Lit, 0, t+4)
+			base = append(base, re.Not(), mt.s.Not())
+			for u2 := 0; u2 < t; u2++ {
+				base = append(base, matches[u2].s)
+			}
+			for bit := range rdata {
+				g.addClause(tag, append(append([]sat.Lit(nil), base...), rdata[bit].Not(), mt.wd[bit])...)
+				g.addClause(tag, append(append([]sat.Lit(nil), base...), rdata[bit], mt.wd[bit].Not())...)
+				g.sizes.ReadDataClauses += 2
+			}
+		}
+	} else {
+		// eq. 5: S_{i,k,w,r} → RD_{k,r} = WD_{i,w}.
+		for _, mt := range matches {
+			for bit := range rdata {
+				g.addClause(tag, mt.s.Not(), rdata[bit].Not(), mt.wd[bit])
+				g.addClause(tag, mt.s.Not(), rdata[bit], mt.wd[bit].Not())
+				g.sizes.ReadDataClauses += 2
+			}
+		}
+	}
+
+	// Initial-state read: ps is now PS_{0,k,0,r} = N_{k,r}.
+	itag := g.tagInit(k, mi, r)
+	arbitrary := g.forceArb || m.Init == aig.MemArbitrary
+	var vword []sat.Lit
+	if arbitrary {
+		// N → RD = V with a fresh symbolic word V_{k,r} (§4.2).
+		vword = make([]sat.Lit, m.DW)
+		for bit := range vword {
+			vword[bit] = u.FreshVar()
+			g.sizes.AuxVars++
+			g.addClause(itag, ps.Not(), rdata[bit].Not(), vword[bit])
+			g.addClause(itag, ps.Not(), rdata[bit], vword[bit].Not())
+			g.sizes.ReadDataClauses += 2
+		}
+	} else {
+		// Zero-initialized memory: N → RD = 0 (n clauses instead of the
+		// paper's 2n for a symbolic initial word).
+		for bit := range rdata {
+			g.addClause(itag, ps.Not(), rdata[bit].Not())
+			g.sizes.ReadDataClauses++
+		}
+	}
+
+	// Validity of the read (the "(!REk + S-1 + … + Sk-1)" clause of §3).
+	valid := make([]sat.Lit, 0, len(matches)+2)
+	valid = append(valid, re.Not(), ps)
+	for _, mt := range matches {
+		valid = append(valid, mt.s)
+	}
+	g.addClause(tag, valid...)
+	g.sizes.ReadDataClauses++
+
+	// Cross-read consistency for arbitrary initial state (eq. 6): for
+	// every earlier read event (j, q) with a symbolic word, equal
+	// addresses + both unwritten ⇒ equal words.
+	if arbitrary && !g.eq6Disabled {
+		for q, oth := range mg.reads {
+			for j := range oth.n {
+				if q == r && j == k {
+					continue
+				}
+				if oth.v == nil || oth.v[j] == nil {
+					continue
+				}
+				g.addInitPair(itag, raddr, ps, vword, oth.addr[j], oth.n[j], oth.v[j])
+			}
+		}
+	}
+
+	// Record this read event for future eq. 6 pairs.
+	rg.re = append(rg.re, re)
+	rg.addr = append(rg.addr, raddr)
+	rg.n = append(rg.n, ps)
+	rg.rd = append(rg.rd, rdata)
+	if arbitrary {
+		rg.v = append(rg.v, vword)
+	} else {
+		rg.v = append(rg.v, nil)
+	}
+}
+
+// addInitPair emits one eq. 6 constraint:
+// (RA=RA' ∧ N ∧ N') → V = V'.
+func (g *Generator) addInitPair(tag unroll.Tag, ra []sat.Lit, n sat.Lit, v []sat.Lit, ra2 []sat.Lit, n2 sat.Lit, v2 []sat.Lit) {
+	e := g.addrEqualCounted(ra, ra2, tag, &g.sizes.InitClauses)
+	cond := g.u.MkAndAux(e, n, tag)
+	cond = g.u.MkAndAux(cond, n2, tag)
+	for bit := range v {
+		g.addClause(tag, cond.Not(), v[bit].Not(), v2[bit])
+		g.addClause(tag, cond.Not(), v[bit], v2[bit].Not())
+		g.sizes.InitClauses += 2
+	}
+	g.sizes.InitPairs++
+}
+
+// addrEqual emits the hybrid address-comparison encoding of §3 — per bit i,
+// E→(a_i=b_i) and (a_i=b_i)→e_i (4 clauses), plus (∧e_i)→E (1 clause) —
+// 4m+1 clauses total, and returns E.
+func (g *Generator) addrEqual(a, b []sat.Lit, tag unroll.Tag) sat.Lit {
+	return g.addrEqualCounted(a, b, tag, &g.sizes.AddrClauses)
+}
+
+func (g *Generator) addrEqualCounted(a, b []sat.Lit, tag unroll.Tag, counter *int) sat.Lit {
+	u := g.u
+	e := u.FreshVar()
+	g.sizes.AuxVars++
+	last := make([]sat.Lit, 0, len(a)+1)
+	for i := range a {
+		ei := u.FreshVar()
+		g.sizes.AuxVars++
+		// E → (a_i = b_i)
+		g.addClause(tag, e.Not(), a[i].Not(), b[i])
+		g.addClause(tag, e.Not(), a[i], b[i].Not())
+		// (a_i = b_i) → e_i
+		g.addClause(tag, a[i].Not(), b[i].Not(), ei)
+		g.addClause(tag, a[i], b[i], ei)
+		*counter += 4
+		last = append(last, ei.Not())
+	}
+	last = append(last, e)
+	g.addClause(tag, last...)
+	*counter++
+	return e
+}
+
+func (g *Generator) addClause(tag unroll.Tag, lits ...sat.Lit) {
+	g.u.S.AddClauseTagged(int64(tag), lits)
+	g.u.ClausesAdded++
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+)
+
+// AddRaceProperties implements the extension the paper mentions in §4.1
+// ("We can easily extend our approach to check for data races"): EMM's
+// multi-port semantics assume a memory location is updated through at most
+// one write port per cycle, so for every memory with two or more write
+// ports this adds one safety property per write-port pair asserting
+//
+//	¬(WE_i ∧ WE_j ∧ Addr_i = Addr_j)
+//
+// in every cycle. The returned indices identify the new properties; a
+// counter-example is a concrete cycle in which two ports race on the same
+// location (where eq. 4's chain would otherwise silently apply its
+// tie-break).
+func AddRaceProperties(n *aig.Netlist) []int {
+	var props []int
+	for _, m := range n.Memories {
+		for i := 0; i < len(m.Writes); i++ {
+			for j := i + 1; j < len(m.Writes); j++ {
+				wi, wj := m.Writes[i], m.Writes[j]
+				eq := aig.True
+				for b := range wi.Addr {
+					eq = n.And(eq, n.Xor(wi.Addr[b], wj.Addr[b]).Not())
+				}
+				race := n.And(n.And(wi.En, wj.En), eq)
+				props = append(props, len(n.Props))
+				n.AddProperty(
+					fmt.Sprintf("no-race-%s-w%d-w%d", m.Name, i, j),
+					race.Not(),
+				)
+			}
+		}
+	}
+	return props
+}

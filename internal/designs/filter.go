@@ -1,0 +1,122 @@
+package designs
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+)
+
+// ImageFilterConfig parameterizes the low-pass image filter standing in
+// for the paper's "Industry Design I" (a low-pass image filter with two
+// AW=10/DW=8 single-read/single-write-port memories, zero-initialized, and
+// 216 reachability properties).
+type ImageFilterConfig struct {
+	// LineWidth is the number of pixels per scan line (bounds witness
+	// depths: the filter output becomes fully live after two lines).
+	LineWidth int
+	// AW/DW are the line-buffer memory geometry (paper: 10 and 8).
+	AW, DW int
+	// NumProps is the number of "output == v" reachability properties
+	// (paper: 216).
+	NumProps int
+}
+
+// DefaultImageFilter returns the Industry-I-shaped configuration.
+func DefaultImageFilter() ImageFilterConfig {
+	return ImageFilterConfig{LineWidth: 24, AW: 10, DW: 8, NumProps: 216}
+}
+
+// ImageFilter is the built design.
+type ImageFilter struct {
+	Cfg ImageFilterConfig
+	M   *rtl.Module
+	Out rtl.Vec // filter output bus
+	// MaxOutput is the largest value the output can take
+	// (3·(2^DW - 1) / 4), so properties "out == v" for v > MaxOutput are
+	// the unreachable (provable) ones.
+	MaxOutput uint64
+}
+
+// NewImageFilter builds a streaming 3-tap vertical low-pass filter: pixels
+// arrive one per cycle; two line-buffer memories hold the two previous
+// scan lines; once the pipeline is primed the output is
+// (above2 + above1 + current) / 4 — a classic smoothing kernel whose
+// output can never exceed 3·255/4 = 191 for 8-bit pixels.
+//
+// Reachability properties "output == v" for v = 0..NumProps-1 mirror the
+// 216 properties of Industry I: values ≤ MaxOutput have witnesses (of
+// depth roughly two scan lines), values above it are unreachable and are
+// proved by induction.
+func NewImageFilter(cfg ImageFilterConfig) *ImageFilter {
+	if cfg.LineWidth < 2 || cfg.LineWidth >= 1<<uint(cfg.AW) {
+		panic(fmt.Sprintf("designs: line width %d out of range for AW=%d", cfg.LineWidth, cfg.AW))
+	}
+	m := rtl.NewModule("imagefilter")
+
+	pixel := m.Input("pixel", cfg.DW)
+	valid := m.InputBit("valid")
+
+	// Column counter walks each scan line.
+	col := m.Register("col", cfg.AW, 0)
+	atEnd := m.EqConst(col.Q, uint64(cfg.LineWidth-1))
+	col.Update(m.N.And(valid, atEnd.Not()), m.Inc(col.Q))
+	col.Update(m.N.And(valid, atEnd), m.Const(cfg.AW, 0))
+
+	// Two line buffers, both zero-initialized like Industry I.
+	line1 := m.Memory("line1", cfg.AW, cfg.DW, aig.MemZero) // previous line
+	line2 := m.Memory("line2", cfg.AW, cfg.DW, aig.MemZero) // line before that
+
+	above1 := line1.Read(col.Q, valid) // pixel one line up
+	above2 := line2.Read(col.Q, valid) // pixel two lines up
+	line2.Write(col.Q, above1, valid)  // shift: line1 → line2
+	line1.Write(col.Q, pixel, valid)   // store current line
+
+	// Row counter tracks pipeline priming (output live from row 2 on).
+	row := m.Register("row", 4, 0)
+	rowSat := m.EqConst(row.Q, 15)
+	row.Update(m.N.Ands(valid, atEnd, rowSat.Not()), m.Inc(row.Q))
+	primed := m.Uge(row.Q, m.Const(4, 2))
+
+	// out = (above2 + above1 + pixel) / 4, computed at full precision
+	// then truncated — max 3·(2^DW-1)/4.
+	ext := cfg.DW + 2
+	sum := m.Add(m.ZeroExtend(above2, ext), m.ZeroExtend(above1, ext))
+	sum = m.Add(sum, m.ZeroExtend(pixel, ext))
+	quarter := m.ShrConst(sum, 2)
+	outFull := m.MuxV(m.N.And(valid, primed), quarter, m.Const(ext, 0))
+	out := m.Truncate(outFull, cfg.DW)
+
+	outReg := m.Register("out", cfg.DW, 0)
+	outReg.SetNext(out)
+	m.Done(col, row, outReg)
+
+	f := &ImageFilter{
+		Cfg:       cfg,
+		M:         m,
+		Out:       outReg.Q,
+		MaxOutput: 3 * ((1 << uint(cfg.DW)) - 1) / 4,
+	}
+	for v := 0; v < cfg.NumProps; v++ {
+		m.AssertAlways(fmt.Sprintf("out-ne-%d", v),
+			m.EqConst(outReg.Q, uint64(v)).Not())
+	}
+	return f
+}
+
+// Netlist returns the underlying netlist.
+func (f *ImageFilter) Netlist() *aig.Netlist { return f.M.N }
+
+// PropIndices returns all property indices.
+func (f *ImageFilter) PropIndices() []int {
+	out := make([]int, f.Cfg.NumProps)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ExpectedReachable reports whether property v (out == v) has a witness.
+func (f *ImageFilter) ExpectedReachable(v int) bool {
+	return uint64(v) <= f.MaxOutput
+}

@@ -1,0 +1,140 @@
+package designs
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+)
+
+// LookupConfig parameterizes the multi-port lookup engine standing in for
+// the paper's "Industry Design II": one memory with AW=12, DW=32, 1 write
+// port and 3 read ports, zero-initialized, 8 reachability properties, and
+// a latent bug — the write path is dead, so the memory never leaves its
+// initial (all-zero) state and every read returns 0.
+type LookupConfig struct {
+	AW, DW int
+	// NumProps is the number of reachability properties (paper: 8).
+	NumProps int
+	// Latency is the request-pipeline depth; spurious witnesses under
+	// full memory abstraction appear at Latency+1 (paper: depth 7).
+	Latency int
+}
+
+// DefaultLookup returns the Industry-II-shaped configuration.
+func DefaultLookup() LookupConfig {
+	return LookupConfig{AW: 12, DW: 32, NumProps: 8, Latency: 6}
+}
+
+// Lookup is the built design.
+type Lookup struct {
+	Cfg LookupConfig
+	M   *rtl.Module
+	// InvariantIndex is the property index of G(WE=0 ∨ WD=0), the
+	// invariant the paper proves by backward induction at depth 2.
+	InvariantIndex int
+	// ReachIndices are the reachability properties.
+	ReachIndices []int
+}
+
+// NewLookup builds the engine. Three request channels pipeline their
+// addresses for Latency cycles before the table lookup commits into a
+// sticky response register. A table-update channel drives the write port,
+// but the write strobe requires a privilege flag sampled one cycle late —
+// and a (buggy) watchdog clears the privilege flag every cycle, so no
+// write ever fires and the zero-initialized table stays all-zero.
+//
+// Consequences, mirroring the Industry II narrative:
+//
+//   - fully abstracting the memory (no EMM) yields spurious witnesses for
+//     every reachability property at depth Latency+1;
+//   - with EMM no witness exists at any depth;
+//   - the invariant G(WE=0 ∨ WD=0) is provable by backward induction at
+//     depth 2 (the privilege pipeline is 2 flops deep);
+//   - given the invariant, the memory can be dropped entirely with an
+//     RD=0 environment constraint (WithRDZeroConstraint), after which
+//     plain BMC-1 with PBA proves all properties.
+func NewLookup(cfg LookupConfig) *Lookup {
+	if cfg.Latency < 1 {
+		panic("designs: lookup latency must be ≥ 1")
+	}
+	m := rtl.NewModule("lookup")
+
+	table := m.Memory("table", cfg.AW, cfg.DW, aig.MemZero)
+
+	// Dead write path: the write strobe needs last cycle's privilege,
+	// but the watchdog unconditionally clears the privilege flag (the
+	// latent bug), so privD1 is 0 from cycle 2 on — and it starts 0.
+	updReq := m.InputBit("upd_req")
+	updAddr := m.Input("upd_addr", cfg.AW)
+	updData := m.Input("upd_data", cfg.DW)
+	priv := m.BitReg("priv", false)
+	priv.SetNext(rtl.Vec{aig.False}) // watchdog: cleared every cycle
+	privD1 := m.BitReg("priv_d1", false)
+	privD1.SetNext(rtl.Vec{priv.Bit()})
+	accept := m.N.And(updReq, privD1.Bit())
+	table.Write(updAddr, updData, accept)
+
+	regs := []*rtl.Reg{priv, privD1}
+
+	// Three lookup channels with a Latency-deep request pipeline.
+	var resp []*rtl.Reg
+	for ch := 0; ch < 3; ch++ {
+		req := m.InputBit(fmt.Sprintf("req%d", ch))
+		addr := m.Input(fmt.Sprintf("addr%d", ch), cfg.AW)
+		v := req
+		a := addr
+		for st := 0; st < cfg.Latency; st++ {
+			vr := m.BitReg(fmt.Sprintf("v%d_%d", ch, st), false)
+			vr.SetNext(rtl.Vec{v})
+			ar := m.Register(fmt.Sprintf("a%d_%d", ch, st), cfg.AW, 0)
+			ar.Update(v, a)
+			regs = append(regs, vr, ar)
+			v, a = vr.Bit(), ar.Q
+		}
+		rd := table.Read(a, v)
+		r := m.Register(fmt.Sprintf("resp%d", ch), cfg.DW, 0)
+		// Responses accumulate looked-up words (OR) so any nonzero read
+		// becomes sticky and observable.
+		r.Update(v, m.OrV(r.Q, rd))
+		resp = append(resp, r)
+		regs = append(regs, r)
+	}
+	m.Done(regs...)
+
+	l := &Lookup{Cfg: cfg, M: m}
+
+	// The paper's invariant: G(WE=0 ∨ WD=0).
+	l.InvariantIndex = len(m.N.Props)
+	m.AssertAlways("G(we=0 or wd=0)", m.N.Or(accept.Not(), m.IsZero(updData)))
+
+	// Reachability properties: selected response bits can become 1.
+	for p := 0; p < cfg.NumProps; p++ {
+		ch := p % 3
+		bit := (p * 7) % cfg.DW
+		l.ReachIndices = append(l.ReachIndices, len(m.N.Props))
+		m.AssertAlways(fmt.Sprintf("resp%d-bit%d-stays0", ch, bit),
+			resp[ch].Q[bit].Not())
+	}
+	return l
+}
+
+// Netlist returns the underlying netlist.
+func (l *Lookup) Netlist() *aig.Netlist { return l.M.N }
+
+// WithRDZeroConstraint returns a fresh copy of the design in which the
+// memory's read data is constrained to zero — the abstraction the paper
+// applies after proving the invariant ("we abstracted out the memory, but
+// applied this constraint to the input read data signals"). Callers then
+// verify this netlist without EMM: the memory contributes nothing beyond
+// the constrained read nets.
+func (l *Lookup) WithRDZeroConstraint() *aig.Netlist {
+	n := NewLookup(l.Cfg)
+	net := n.M.N
+	for _, rp := range net.Memories[0].Reads {
+		for _, d := range rp.DataLits() {
+			net.AddConstraint(d.Not())
+		}
+	}
+	return net
+}

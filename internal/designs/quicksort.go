@@ -1,0 +1,282 @@
+// Package designs contains the paper's case-study workloads, written in
+// the rtl design-entry layer:
+//
+//   - QuickSort: the §5 quicksort machine — an iterative quicksort FSM
+//     over an arbitrary-initialized array memory with an explicit
+//     recursion-stack memory, carrying the paper's P1 (sortedness) and P2
+//     (stack/control discipline) properties. Drives Tables 1 and 2.
+//   - ImageFilter: a streaming low-pass filter with two line-buffer
+//     memories and many reachability properties, standing in for the
+//     proprietary "Industry I" design.
+//   - Lookup: a multi-port lookup engine with a dead write path, standing
+//     in for "Industry II" (one memory, 1 write + 3 read ports, the
+//     G(WE=0 ∨ WD=0) invariant, and RD=0 abstraction).
+package designs
+
+import (
+	"fmt"
+	"sort"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+	"emmver/internal/sim"
+)
+
+// QuickSort FSM states.
+const (
+	QsInit uint64 = iota
+	QsPCheck
+	QsPInit
+	QsPLoop
+	QsSwapRd
+	QsSwapWr
+	QsFinRd
+	QsFinWr
+	QsRecurse
+	QsPopCheck
+	QsPop
+	QsCheck0
+	QsCheck1
+	QsChecked
+)
+
+// QuickSortConfig parameterizes the quicksort machine. The paper uses
+// N ∈ {3,4,5} over an AW=10, DW=32 array and an AW=10, DW=24 stack.
+type QuickSortConfig struct {
+	N       int // number of elements to sort (≥ 2)
+	ArrayAW int // array address width (paper: 10)
+	DataW   int // element width (paper: 32)
+	StackAW int // stack address width (paper: 10)
+	// Buggy inverts the partition comparison, producing a machine that
+	// "sorts" descending — P1 then has real counter-examples, exercising
+	// the falsification side of EMM (the use case of the earlier CAV'04
+	// paper this one extends).
+	Buggy bool
+}
+
+// DefaultQuickSort returns the paper's configuration for a given N.
+func DefaultQuickSort(n int) QuickSortConfig {
+	return QuickSortConfig{N: n, ArrayAW: 10, DataW: 32, StackAW: 10}
+}
+
+// QuickSort is the built design with handles for tests and experiments.
+type QuickSort struct {
+	Cfg    QuickSortConfig
+	M      *rtl.Module
+	State  *rtl.FSM
+	ChkA   *rtl.Reg
+	ChkB   *rtl.Reg
+	SP     *rtl.Reg
+	Lo, Hi *rtl.Reg
+	// P1Index and P2Index are the property positions in the netlist.
+	P1Index, P2Index int
+}
+
+// NewQuickSort builds the quicksort machine.
+//
+// The algorithm is the standard iterative Lomuto-partition quicksort: the
+// left partition is processed immediately (hi ← p-1) and the right
+// partition (p+1, hi) is pushed on the stack, matching the paper's
+// "recursively called first on the left partition and next on the right".
+// The array memory has an arbitrary initial state ("the array is allowed
+// to have arbitrary values to begin with"); so does the stack.
+//
+// Properties:
+//
+//	P1 ("sorted01"): once the checker has read back elements 0 and 1 after
+//	    sorting, arr[0] ≤ arr[1]. Depends on the array and the stack.
+//	P2 ("stack-discipline"): immediately after a pop, control is
+//	    partitioning the popped range, and that range is well-formed
+//	    (lo ≤ hi ≤ N-1). Depends only on the stack and control — the
+//	    array contents are irrelevant, which is what EMM+PBA discovers in
+//	    Table 2.
+func NewQuickSort(cfg QuickSortConfig) *QuickSort {
+	if cfg.N < 2 || cfg.N > 1<<uint(cfg.ArrayAW) {
+		panic(fmt.Sprintf("designs: quicksort N=%d out of range for AW=%d", cfg.N, cfg.ArrayAW))
+	}
+	pw := cfg.ArrayAW // pointer (index) width
+	if 2*pw > 64 {
+		panic("designs: pointer width too large")
+	}
+	spw := cfg.StackAW + 1 // stack pointer counts up to 2^StackAW
+	m := rtl.NewModule(fmt.Sprintf("quicksort_n%d", cfg.N))
+
+	arr := m.Memory("arr", cfg.ArrayAW, cfg.DataW, aig.MemArbitrary)
+	// Stack entries hold {lo, hi}; the paper's DW=24 stack comfortably
+	// fits two 10-bit pointers.
+	stackDW := 2 * pw
+	stk := m.Memory("stack", cfg.StackAW, stackDW, aig.MemArbitrary)
+
+	st := m.NewFSM("state", 4, QsInit)
+	lo := m.Register("lo", pw, 0)
+	hi := m.Register("hi", pw, 0)
+	iReg := m.Register("i", pw, 0)
+	jReg := m.Register("j", pw, 0)
+	pReg := m.Register("p", pw, 0)
+	pivot := m.Register("pivot", cfg.DataW, 0)
+	tmp := m.Register("tmp", cfg.DataW, 0)
+	chkA := m.Register("chkA", cfg.DataW, 0)
+	chkB := m.Register("chkB", cfg.DataW, 0)
+	sp := m.Register("sp", spw, 0)
+	prev := m.Register("prev", 4, QsInit)
+	prev.SetNext(st.State())
+
+	in := st.In
+
+	// --- array read port: address muxed by state ---
+	raddr := m.Const(cfg.ArrayAW, 0) // CHECK0 reads address 0
+	raddr = m.MuxV(in(QsPInit), hi.Q, raddr)
+	raddr = m.MuxV(in(QsPLoop), jReg.Q, raddr)
+	raddr = m.MuxV(in(QsSwapRd), iReg.Q, raddr)
+	raddr = m.MuxV(in(QsFinRd), iReg.Q, raddr)
+	raddr = m.MuxV(in(QsCheck1), m.Const(cfg.ArrayAW, 1), raddr)
+	re := m.N.Ors(in(QsPInit), in(QsPLoop), in(QsSwapRd), in(QsFinRd), in(QsCheck0), in(QsCheck1))
+	rd := arr.Read(raddr, re)
+
+	// --- array write port ---
+	waddr := m.MuxV(in(QsSwapRd), jReg.Q, iReg.Q) // SwapRd writes arr[j]
+	waddr = m.MuxV(in(QsFinRd), hi.Q, waddr)      // FinRd writes arr[hi]
+	wdata := m.MuxV(in(QsFinWr), pivot.Q, m.MuxV(in(QsSwapWr), tmp.Q, rd))
+	we := m.N.Ors(in(QsSwapRd), in(QsSwapWr), in(QsFinRd), in(QsFinWr))
+	arr.Write(waddr, wdata, we)
+
+	// --- stack ports ---
+	pPlus1 := m.Inc(pReg.Q)
+	pushData := m.Concat(pPlus1, hi.Q) // {lo: p+1, hi}
+	pushNow := m.N.And(in(QsRecurse), m.Ult(pReg.Q, hi.Q))
+	stk.Write(m.Truncate(sp.Q, cfg.StackAW), pushData, pushNow)
+	spMinus1 := m.Dec(sp.Q)
+	srd := stk.Read(m.Truncate(spMinus1, cfg.StackAW), in(QsPop))
+	poppedLo := m.Slice(srd, 0, pw)
+	poppedHi := m.Slice(srd, pw, 2*pw)
+
+	// --- transitions and datapath updates ---
+	nm1 := m.Const(pw, uint64(cfg.N-1))
+
+	// Init: lo←0, hi←N-1.
+	st.GotoAlways(QsInit, QsPCheck)
+	lo.Update(in(QsInit), m.Const(pw, 0))
+	hi.Update(in(QsInit), nm1)
+
+	// PCheck: partition if the range has ≥ 2 elements.
+	needPart := m.Ult(lo.Q, hi.Q)
+	st.Goto(QsPCheck, needPart, QsPInit)
+	st.Goto(QsPCheck, needPart.Not(), QsPopCheck)
+
+	// PInit: pivot ← arr[hi]; i ← lo; j ← lo.
+	pivot.Update(in(QsPInit), rd)
+	iReg.Update(in(QsPInit), lo.Q)
+	jReg.Update(in(QsPInit), lo.Q)
+	st.GotoAlways(QsPInit, QsPLoop)
+
+	// PLoop: scan j over [lo, hi).
+	jAtEnd := m.Eq(jReg.Q, hi.Q)
+	small := m.Ule(rd, pivot.Q) // arr[j] ≤ pivot
+	if cfg.Buggy {
+		small = m.Ugt(rd, pivot.Q) // inverted comparison: sorts descending
+	}
+	st.Goto(QsPLoop, jAtEnd, QsFinRd)
+	advance := m.N.Ands(in(QsPLoop), jAtEnd.Not(), small.Not())
+	jReg.Update(advance, m.Inc(jReg.Q)) // skip large element
+	st.Goto(QsPLoop, m.N.And(jAtEnd.Not(), small), QsSwapRd)
+	tmp.Update(m.N.And(in(QsPLoop), m.N.And(jAtEnd.Not(), small)), rd) // tmp ← arr[j]
+
+	// SwapRd: arr[j] ← arr[i] (write happens this cycle via wdata=rd).
+	st.GotoAlways(QsSwapRd, QsSwapWr)
+
+	// SwapWr: arr[i] ← tmp; i++; j++; continue scanning.
+	iReg.Update(in(QsSwapWr), m.Inc(iReg.Q))
+	jReg.Update(in(QsSwapWr), m.Inc(jReg.Q))
+	st.GotoAlways(QsSwapWr, QsPLoop)
+
+	// FinRd: arr[hi] ← arr[i] (write this cycle); FinWr: arr[i] ← pivot.
+	st.GotoAlways(QsFinRd, QsFinWr)
+	pReg.Update(in(QsFinWr), iReg.Q)
+	st.GotoAlways(QsFinWr, QsRecurse)
+
+	// Recurse: push right partition if nonempty; descend left if
+	// nonempty, else pop.
+	leftNonempty := m.Ult(lo.Q, pReg.Q) // p > lo
+	hi.Update(m.N.And(in(QsRecurse), leftNonempty), m.Dec(pReg.Q))
+	sp.Update(pushNow, m.Inc(sp.Q))
+	st.Goto(QsRecurse, leftNonempty, QsPCheck)
+	st.Goto(QsRecurse, leftNonempty.Not(), QsPopCheck)
+
+	// PopCheck: done when the stack is empty.
+	empty := m.IsZero(sp.Q)
+	st.Goto(QsPopCheck, empty, QsCheck0)
+	st.Goto(QsPopCheck, empty.Not(), QsPop)
+
+	// Pop: {lo, hi} ← stack[sp-1]; sp--.
+	lo.Update(in(QsPop), poppedLo)
+	hi.Update(in(QsPop), poppedHi)
+	sp.Update(in(QsPop), spMinus1)
+	st.GotoAlways(QsPop, QsPCheck)
+
+	// Checker: read arr[0] then arr[1].
+	chkA.Update(in(QsCheck0), rd)
+	st.GotoAlways(QsCheck0, QsCheck1)
+	chkB.Update(in(QsCheck1), rd)
+	st.GotoAlways(QsCheck1, QsChecked)
+	// Checked: terminal self-loop (no Goto).
+
+	m.Done(st.Reg, lo, hi, iReg, jReg, pReg, pivot, tmp, chkA, chkB, sp, prev)
+
+	q := &QuickSort{
+		Cfg: cfg, M: m, State: st,
+		ChkA: chkA, ChkB: chkB, SP: sp, Lo: lo, Hi: hi,
+	}
+
+	// P1: the sorted prefix check.
+	p1 := m.N.Implies(in(QsChecked), m.Ule(chkA.Q, chkB.Q))
+	q.P1Index = len(m.N.Props)
+	m.AssertAlways("P1-sorted01", p1)
+
+	// P2: stack/control discipline after a pop.
+	afterPop := m.EqConst(prev.Q, QsPop)
+	wellFormed := m.N.Ands(
+		st.In(QsPCheck),   // control returned to partitioning
+		m.Ule(lo.Q, hi.Q), // popped range is well-formed
+		m.Ule(hi.Q, nm1),  // and within the array
+	)
+	q.P2Index = len(m.N.Props)
+	m.AssertAlways("P2-stack-discipline", m.N.Implies(afterPop, wellFormed))
+
+	return q
+}
+
+// Netlist returns the underlying netlist.
+func (q *QuickSort) Netlist() *aig.Netlist { return q.M.N }
+
+// SimulateSort runs the design on a concrete input array via the
+// cycle-accurate simulator and returns the array contents once the FSM
+// reaches the Checked state (plus the cycle count). Used by tests to
+// confirm the machine actually sorts.
+func (q *QuickSort) SimulateSort(input []uint64, maxCycles int) ([]uint64, int, error) {
+	if len(input) != q.Cfg.N {
+		return nil, 0, fmt.Errorf("designs: input length %d != N=%d", len(input), q.Cfg.N)
+	}
+	s := sim.New(q.M.N)
+	for i, v := range input {
+		s.SetMemWord(0, i, v)
+	}
+	for c := 0; c < maxCycles; c++ {
+		s.Begin(nil)
+		if s.EvalVec(q.State.State()) == QsChecked {
+			out := make([]uint64, q.Cfg.N)
+			for i := range out {
+				out[i] = s.MemWord(0, i)
+			}
+			return out, c, nil
+		}
+		s.Step(nil)
+	}
+	return nil, 0, fmt.Errorf("designs: quicksort did not finish in %d cycles", maxCycles)
+}
+
+// ReferenceSort returns a sorted copy (the software oracle).
+func ReferenceSort(in []uint64) []uint64 {
+	out := append([]uint64(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

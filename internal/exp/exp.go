@@ -1,0 +1,93 @@
+// Package exp regenerates the paper's evaluation artifacts: Table 1 and
+// Table 2 (quicksort, EMM vs Explicit Modeling, with and without PBA), the
+// Industry I and Industry II case-study narratives, and the
+// constraint-growth validation of the §3/§4.1 closed forms. Each
+// experiment returns structured rows and can render itself as a
+// paper-style markdown table.
+//
+// Two scales are supported: ScalePaper uses the paper's exact design
+// parameters (AW=10/DW=32 arrays, 216 properties, ...), where the explicit
+// baseline times out just as it did for the authors; ScaleReduced shrinks
+// widths so both engines finish in seconds and the crossover is
+// measurable. EXPERIMENTS.md records results at both scales.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Experiment scales.
+const (
+	// ScaleReduced shrinks memory widths so every engine terminates
+	// quickly; used by the benchmark harness.
+	ScaleReduced Scale = iota
+	// ScalePaper uses the paper's exact parameters.
+	ScalePaper
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == ScalePaper {
+		return "paper"
+	}
+	return "reduced"
+}
+
+// Config parameterizes a harness run.
+type Config struct {
+	Scale Scale
+	// Timeout bounds each individual verification run (the paper used 3
+	// hours). Runs that exceed it are reported as ">TO", as in Table 1.
+	Timeout time.Duration
+	// Log receives progress lines (nil = quiet).
+	Log io.Writer
+}
+
+// DefaultConfig returns a reduced-scale configuration with the given
+// per-run timeout.
+func DefaultConfig(timeout time.Duration) Config {
+	return Config{Scale: ScaleReduced, Timeout: timeout}
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// fmtDur renders a duration like the paper's seconds column.
+func fmtDur(d time.Duration, timedOut bool) string {
+	if timedOut {
+		return ">TO"
+	}
+	if d < time.Second {
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// fmtMB renders megabytes.
+func fmtMB(mb float64, timedOut bool) string {
+	if timedOut {
+		return "NA"
+	}
+	return fmt.Sprintf("%.0f", mb)
+}
+
+// durOf converts seconds back to a duration for formatting.
+func durOf(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// heapMB samples the current heap size.
+func heapMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}

@@ -1,0 +1,249 @@
+// Package expmem implements the paper's comparison baseline, "Explicit
+// Modeling": every embedded memory module is expanded into 2^AW × DW
+// latches with address decoders on the write side and word-select mux logic
+// on the read side. The result is a memory-free netlist that any plain BMC
+// engine (BMC-1) can verify, at the cost of the state-space blowup the
+// paper's EMM exists to avoid.
+//
+// The expansion preserves the exact memory semantics used by EMM and the
+// simulator: asynchronous reads, synchronous writes visible the next cycle,
+// and higher-indexed write ports winning same-cycle same-address races.
+package expmem
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+)
+
+// Mapping relates objects of the original netlist to the expanded one.
+type Mapping struct {
+	// Input maps original input nodes to expanded input nodes.
+	Input map[aig.NodeID]aig.NodeID
+	// Latch maps original latch nodes to expanded latch nodes.
+	Latch map[aig.NodeID]aig.NodeID
+	// MemLatches[mi][word] is the expanded word register (LSB first) of
+	// memory mi.
+	MemLatches [][][]aig.Lit
+}
+
+// Expand builds a memory-free copy of n. It panics on combinational cycles
+// through memory ports (a read port whose address depends on its own data).
+func Expand(n *aig.Netlist) (*aig.Netlist, *Mapping) {
+	x := &expander{
+		src: n,
+		dst: aig.New(n.Name + "_explicit"),
+		mp: &Mapping{
+			Input: make(map[aig.NodeID]aig.NodeID),
+			Latch: make(map[aig.NodeID]aig.NodeID),
+		},
+		memo:  make(map[aig.NodeID]aig.Lit),
+		state: make(map[aig.NodeID]int),
+	}
+	x.run()
+	return x.dst, x.mp
+}
+
+type expander struct {
+	src *aig.Netlist
+	dst *aig.Netlist
+	mp  *Mapping
+
+	memo  map[aig.NodeID]aig.Lit
+	state map[aig.NodeID]int // 0 unvisited, 1 visiting, 2 done
+
+	// readVal[port pointer] -> expanded read-data bus
+	readVal map[*aig.ReadPort][]aig.Lit
+	// wordSel caches, per memory index and read port, the word-select mux
+	// output; built lazily because the port address must be copied first.
+	portOf map[aig.NodeID]portRef
+}
+
+type portRef struct {
+	mi  int
+	rp  *aig.ReadPort
+	bit int
+}
+
+func (x *expander) run() {
+	// Inputs, in declaration order, with their names.
+	for _, id := range x.src.Inputs {
+		nl := x.dst.NewInput(x.src.InputName(id))
+		x.mp.Input[id] = nl.Node()
+		x.memo[id] = nl
+		x.state[id] = 2
+	}
+	// Design latches.
+	for _, l := range x.src.Latches {
+		nl := x.dst.NewLatch(l.Name, l.Init)
+		x.mp.Latch[l.Node] = nl.Node()
+		x.memo[l.Node] = nl
+		x.state[l.Node] = 2
+	}
+	// Memory word registers.
+	for mi, m := range x.src.Memories {
+		words := make([][]aig.Lit, m.Words())
+		for w := range words {
+			bits := make([]aig.Lit, m.DW)
+			for b := range bits {
+				init := aig.Init0
+				switch m.Init {
+				case aig.MemArbitrary:
+					init = aig.InitX
+				case aig.MemImage:
+					if m.Image[w]>>uint(b)&1 == 1 {
+						init = aig.Init1
+					}
+				}
+				bits[b] = x.dst.NewLatch(fmt.Sprintf("%s[%d][%d]", m.Name, w, b), init)
+			}
+			words[w] = bits
+		}
+		x.mp.MemLatches = append(x.mp.MemLatches, words)
+		_ = mi
+	}
+	// Index read-data nodes back to their ports.
+	x.portOf = make(map[aig.NodeID]portRef)
+	x.readVal = make(map[*aig.ReadPort][]aig.Lit)
+	for mi, m := range x.src.Memories {
+		for _, rp := range m.Reads {
+			for b, id := range rp.Data {
+				x.portOf[id] = portRef{mi: mi, rp: rp, bit: b}
+			}
+		}
+	}
+
+	// Copy combinational definitions: latch next-state functions.
+	for _, l := range x.src.Latches {
+		x.dst.SetNext(x.memo[l.Node], x.copyLit(l.Next))
+	}
+	// Write-side logic for every memory word.
+	for mi, m := range x.src.Memories {
+		x.buildWrites(mi, m)
+	}
+	// Properties and constraints.
+	for _, p := range x.src.Props {
+		x.dst.AddProperty(p.Name, x.copyLit(p.OK))
+	}
+	for _, c := range x.src.Constraints {
+		x.dst.AddConstraint(x.copyLit(c))
+	}
+}
+
+func (x *expander) copyLit(l aig.Lit) aig.Lit {
+	v := x.copyNode(l.Node())
+	return v.XorInv(l.Inverted())
+}
+
+func (x *expander) copyNode(id aig.NodeID) aig.Lit {
+	if v, ok := x.memo[id]; ok && x.state[id] == 2 {
+		return v
+	}
+	if x.state[id] == 1 {
+		panic("expmem: combinational cycle through a memory port")
+	}
+	x.state[id] = 1
+	node := x.src.NodeAt(id)
+	var v aig.Lit
+	switch node.Kind {
+	case aig.KConst:
+		v = aig.False
+	case aig.KAnd:
+		a := x.copyLit(node.F0)
+		b := x.copyLit(node.F1)
+		v = x.dst.And(a, b)
+	case aig.KMemRead:
+		pr, ok := x.portOf[id]
+		if !ok {
+			panic("expmem: orphan memory-read node")
+		}
+		v = x.readData(pr.mi, pr.rp)[pr.bit]
+	default:
+		panic(fmt.Sprintf("expmem: unexpected kind %v during copy", node.Kind))
+	}
+	x.memo[id] = v
+	x.state[id] = 2
+	return v
+}
+
+// wordSelect builds the one-hot word-select signals for an address bus.
+func (x *expander) wordSelect(m *aig.Memory, addr []aig.Lit) []aig.Lit {
+	sel := make([]aig.Lit, m.Words())
+	for w := range sel {
+		s := aig.True
+		for b, al := range addr {
+			bit := al
+			if w>>uint(b)&1 == 0 {
+				bit = bit.Not()
+			}
+			s = x.dst.And(s, bit)
+		}
+		sel[w] = s
+	}
+	return sel
+}
+
+// readData builds (once per port) the full read mux: the value most
+// recently stored at the port's address. Reads are modeled as always
+// returning the stored word; designs are expected to consume read data only
+// under an active read enable, where this coincides with the EMM model.
+func (x *expander) readData(mi int, rp *aig.ReadPort) []aig.Lit {
+	if v, ok := x.readVal[rp]; ok {
+		return v
+	}
+	m := x.src.Memories[mi]
+	addr := make([]aig.Lit, len(rp.Addr))
+	for i, al := range rp.Addr {
+		addr[i] = x.copyLit(al)
+	}
+	sel := x.wordSelect(m, addr)
+	words := x.mp.MemLatches[mi]
+	out := make([]aig.Lit, m.DW)
+	for b := 0; b < m.DW; b++ {
+		v := aig.False
+		for w := range words {
+			v = x.dst.Or(v, x.dst.And(sel[w], words[w][b]))
+		}
+		out[b] = v
+	}
+	x.readVal[rp] = out
+	return out
+}
+
+// buildWrites assigns next-state functions to every word register of
+// memory mi: later (higher-indexed) write ports take priority on
+// same-cycle same-address races, matching the EMM chain of eq. 4.
+func (x *expander) buildWrites(mi int, m *aig.Memory) {
+	words := x.mp.MemLatches[mi]
+	type wport struct {
+		sel  []aig.Lit
+		data []aig.Lit
+		en   aig.Lit
+	}
+	var ports []wport
+	for _, wp := range m.Writes {
+		addr := make([]aig.Lit, len(wp.Addr))
+		for i, al := range wp.Addr {
+			addr[i] = x.copyLit(al)
+		}
+		data := make([]aig.Lit, len(wp.Data))
+		for i, dl := range wp.Data {
+			data[i] = x.copyLit(dl)
+		}
+		ports = append(ports, wport{
+			sel:  x.wordSelect(m, addr),
+			data: data,
+			en:   x.copyLit(wp.En),
+		})
+	}
+	for w := range words {
+		for b := range words[w] {
+			next := words[w][b]
+			for _, p := range ports {
+				hit := x.dst.And(p.sel[w], p.en)
+				next = x.dst.Mux(hit, p.data[b], next)
+			}
+			x.dst.SetNext(words[w][b], next)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package expmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+	"emmver/internal/sim"
+)
+
+// buildMemDesign creates a design whose memory ports are driven by inputs
+// and whose read data is exposed through per-bit properties, so that the
+// original (memory-ful) and expanded (memory-free) netlists can be compared
+// cycle by cycle under identical stimulus.
+func buildMemDesign(aw, dw, nw, nr int, init aig.MemInit, image []uint64) *rtl.Module {
+	m := rtl.NewModule("dut")
+	mem := m.Memory("mem", aw, dw, init)
+	if init == aig.MemImage {
+		mem.Mod.Image = image
+	}
+	for w := 0; w < nw; w++ {
+		mem.Write(m.Input("wa", aw), m.Input("wd", dw), m.InputBit("we"))
+	}
+	for r := 0; r < nr; r++ {
+		rd := mem.Read(m.Input("ra", aw), aig.True)
+		for b, l := range rd {
+			_ = b
+			m.AssertAlways("rd", l)
+		}
+	}
+	return m
+}
+
+// compareRuns drives both netlists with the same random inputs for several
+// cycles and compares all property values.
+func compareRuns(t *testing.T, orig *aig.Netlist, seed int64, cycles int) {
+	t.Helper()
+	exp, mp := Expand(orig)
+	s1 := sim.New(orig)
+	s2 := sim.New(exp)
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < cycles; c++ {
+		in1 := s1.RandomInputs(rng)
+		in2 := make(map[aig.NodeID]bool, len(in1))
+		for id, v := range in1 {
+			in2[mp.Input[id]] = v
+		}
+		r1 := s1.Step(in1)
+		r2 := s2.Step(in2)
+		if len(r1.PropOK) != len(r2.PropOK) {
+			t.Fatalf("property count mismatch")
+		}
+		for i := range r1.PropOK {
+			if r1.PropOK[i] != r2.PropOK[i] {
+				t.Fatalf("cycle %d prop %d: orig=%v explicit=%v", c, i, r1.PropOK[i], r2.PropOK[i])
+			}
+		}
+	}
+}
+
+func TestExpandMatchesSimZeroInit(t *testing.T) {
+	m := buildMemDesign(3, 4, 1, 1, aig.MemZero, nil)
+	for seed := int64(0); seed < 10; seed++ {
+		compareRuns(t, m.N, seed, 40)
+	}
+}
+
+func TestExpandMatchesSimMultiPort(t *testing.T) {
+	m := buildMemDesign(2, 3, 2, 2, aig.MemZero, nil)
+	for seed := int64(0); seed < 10; seed++ {
+		compareRuns(t, m.N, seed, 40)
+	}
+}
+
+func TestExpandMatchesSimImageInit(t *testing.T) {
+	image := []uint64{1, 2, 3, 4, 5, 6, 7, 0}
+	m := buildMemDesign(3, 3, 1, 1, aig.MemImage, image)
+	for seed := int64(0); seed < 5; seed++ {
+		compareRuns(t, m.N, seed, 30)
+	}
+}
+
+func TestExpandWithDesignLatches(t *testing.T) {
+	// A design mixing a memory with ordinary state: an accumulator sums
+	// every value read from the memory.
+	m := rtl.NewModule("dut")
+	mem := m.Memory("mem", 2, 4, aig.MemZero)
+	mem.Write(m.Input("wa", 2), m.Input("wd", 4), m.InputBit("we"))
+	rd := mem.Read(m.Input("ra", 2), aig.True)
+	acc := m.Register("acc", 4, 0)
+	acc.SetNext(m.Add(acc.Q, rd))
+	m.Done(acc)
+	for _, l := range acc.Q {
+		m.AssertAlways("acc", l)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		compareRuns(t, m.N, seed, 30)
+	}
+}
+
+func TestWriteRacePriority(t *testing.T) {
+	// Two write ports, same address, same cycle: the higher port index
+	// must win, matching the EMM chain semantics.
+	m := rtl.NewModule("dut")
+	mem := m.Memory("mem", 2, 4, aig.MemZero)
+	addr := m.Input("a", 2)
+	mem.Write(addr, m.Const(4, 5), aig.True) // port 0 writes 5
+	mem.Write(addr, m.Const(4, 9), aig.True) // port 1 writes 9
+	rd := mem.Read(addr, aig.True)
+	for _, l := range rd {
+		m.AssertAlways("rd", l)
+	}
+	exp, mp := Expand(m.N)
+	s := sim.New(exp)
+	in := make(map[aig.NodeID]bool)
+	for _, l := range addr {
+		in[mp.Input[l.Node()]] = false
+	}
+	s.Step(in)
+	s.Begin(in)
+	var got uint64
+	for b := range rd {
+		if s.Eval(exp.Props[b].OK) {
+			got |= 1 << uint(b)
+		}
+	}
+	if got != 9 {
+		t.Fatalf("race winner: got %d want 9 (higher port index)", got)
+	}
+}
+
+func TestExpandStats(t *testing.T) {
+	m := buildMemDesign(4, 8, 1, 1, aig.MemZero, nil)
+	exp, _ := Expand(m.N)
+	st := exp.Stats()
+	if st.Memories != 0 {
+		t.Fatalf("explicit model must have no memories")
+	}
+	if st.Latches != 16*8 {
+		t.Fatalf("expected %d word-register latches, got %d", 16*8, st.Latches)
+	}
+	if st.Inputs != m.N.Stats().Inputs {
+		t.Fatalf("input count must be preserved")
+	}
+}
+
+func TestExpandArbitraryInitLatches(t *testing.T) {
+	m := buildMemDesign(2, 2, 1, 1, aig.MemArbitrary, nil)
+	exp, mp := Expand(m.N)
+	for _, word := range mp.MemLatches[0] {
+		for _, bit := range word {
+			if exp.LatchOf(bit.Node()).Init != aig.InitX {
+				t.Fatalf("arbitrary-init memory must expand to InitX latches")
+			}
+		}
+	}
+}
+
+func TestExpandPreservesConstraints(t *testing.T) {
+	m := buildMemDesign(2, 2, 1, 1, aig.MemZero, nil)
+	c := m.InputBit("cond")
+	m.Assume(c)
+	exp, _ := Expand(m.N)
+	if len(exp.Constraints) != 1 {
+		t.Fatalf("constraints must be copied")
+	}
+}
+
+func TestCombinationalCyclePanics(t *testing.T) {
+	// A read port whose address depends on its own data is a
+	// combinational cycle; Expand must reject it.
+	m := rtl.NewModule("bad")
+	mem := m.Memory("mem", 2, 2, aig.MemZero)
+	rp := m.N.NewReadPort(mem.Mod)
+	d := rp.DataLits()
+	m.N.SetReadAddr(mem.Mod, rp, d, aig.True)
+	m.AssertAlways("cyclic", d[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("combinational cycle must panic")
+		}
+	}()
+	Expand(m.N)
+}
+
+func TestExpandedModelIsDeterministic(t *testing.T) {
+	// Expanding twice yields netlists of identical size.
+	m := buildMemDesign(3, 4, 2, 1, aig.MemZero, nil)
+	e1, _ := Expand(m.N)
+	e2, _ := Expand(m.N)
+	if e1.NumNodes() != e2.NumNodes() || e1.NumAnds() != e2.NumAnds() {
+		t.Fatalf("expansion not deterministic")
+	}
+}

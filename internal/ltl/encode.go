@@ -1,0 +1,304 @@
+package ltl
+
+import (
+	"fmt"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/core"
+	"emmver/internal/sat"
+	"emmver/internal/unroll"
+)
+
+// Binding maps atom names to design signals.
+type Binding map[string]aig.Lit
+
+// LassoWitness is a bounded LTL witness: a path of K+1 states, optionally
+// closing back to frame LoopTo (LoopTo = -1 for loop-free witnesses).
+type LassoWitness struct {
+	K      int
+	LoopTo int
+	Inputs []map[aig.NodeID]bool
+}
+
+// String summarizes the witness.
+func (w *LassoWitness) String() string {
+	if w.LoopTo < 0 {
+		return fmt.Sprintf("path witness of length %d", w.K)
+	}
+	return fmt.Sprintf("(%d,%d)-lasso witness", w.K, w.LoopTo)
+}
+
+// SearchOptions configures FindWitness.
+type SearchOptions struct {
+	MaxK    int
+	Timeout time.Duration
+}
+
+// FindWitness searches for a bounded witness of f over n, increasing the
+// bound from 0 to MaxK (the standard BMC loop of §2.1). The formula is
+// taken existentially: a result means some execution satisfies f. To
+// refute a universal property ψ, search for a witness of ¬ψ.
+//
+// Designs with embedded memories are handled through EMM constraints; a
+// lasso witness additionally requires the loop section to perform no
+// memory writes, which guarantees the memory state repeats (sound, though
+// it can miss lassos that rewrite identical contents).
+func FindWitness(n *aig.Netlist, bind Binding, f *Formula, opt SearchOptions) (*LassoWitness, error) {
+	if err := checkBinding(n, bind, f); err != nil {
+		return nil, err
+	}
+	g := f.NNF()
+	deadline := time.Time{}
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	for k := 0; k <= opt.MaxK; k++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, fmt.Errorf("ltl: timeout at bound %d", k)
+		}
+		w, err := witnessAt(n, bind, g, k, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			return w, nil
+		}
+	}
+	return nil, nil
+}
+
+func checkBinding(n *aig.Netlist, bind Binding, f *Formula) error {
+	switch f.Op {
+	case OpAtom:
+		if _, ok := bind[f.Atom]; !ok {
+			return fmt.Errorf("ltl: unbound atom %q", f.Atom)
+		}
+		return nil
+	case OpNot, OpX, OpF, OpG:
+		return checkBinding(n, bind, f.L)
+	default:
+		if err := checkBinding(n, bind, f.L); err != nil {
+			return err
+		}
+		return checkBinding(n, bind, f.R)
+	}
+}
+
+type encoder struct {
+	u    *unroll.Unroller
+	bind Binding
+	k    int
+	memo map[encKey]sat.Lit
+	tag  unroll.Tag
+}
+
+type encKey struct {
+	f    *Formula
+	i    int
+	loop int // -1 for the no-loop translation
+}
+
+func witnessAt(n *aig.Netlist, bind Binding, f *Formula, k int, deadline time.Time) (*LassoWitness, error) {
+	s := sat.New()
+	if !deadline.IsZero() {
+		s.Interrupt = func() bool { return time.Now().After(deadline) }
+	}
+	u := unroll.New(n, s, unroll.Initialized)
+	u.FoldInits = true
+	if len(n.Memories) > 0 {
+		gen := core.NewGenerator(u, false)
+		gen.AddUpTo(k)
+	}
+	for t := 0; t <= k; t++ {
+		u.AssertConstraints(t)
+	}
+	e := &encoder{u: u, bind: bind, k: k, memo: make(map[encKey]sat.Lit), tag: unroll.MkTag(unroll.TagAux, k, 1)}
+
+	// No-loop translation.
+	top := e.enc(f, 0, -1)
+	// Loop translations, one selector per loop-back point.
+	sels := make([]sat.Lit, k+1)
+	for l := 0; l <= k; l++ {
+		cond := e.loopCondition(l)
+		body := e.enc(f, 0, l)
+		sel := u.MkAndAux(cond, body, e.tag)
+		sels[l] = sel
+		top = u.MkOrAux(top, sel, e.tag)
+	}
+
+	switch s.Solve(top) {
+	case sat.Sat:
+		w := &LassoWitness{K: k, LoopTo: -1}
+		for l := 0; l <= k; l++ {
+			if s.LitValue(sels[l]) == sat.True {
+				w.LoopTo = l
+				break
+			}
+		}
+		for t := 0; t <= k; t++ {
+			in := make(map[aig.NodeID]bool)
+			for _, id := range n.Inputs {
+				if u.Built(id, t) {
+					in[id] = u.ModelBit(aig.MkLit(id, false), t)
+				}
+			}
+			w.Inputs = append(w.Inputs, in)
+		}
+		return w, nil
+	case sat.Unknown:
+		return nil, fmt.Errorf("ltl: timeout at bound %d", k)
+	}
+	return nil, nil
+}
+
+// loopCondition encodes "the successor of state k equals state l" — and,
+// when memories exist, "no write fires anywhere on the path", so that the
+// memory contents provably repeat around the loop.
+func (e *encoder) loopCondition(l int) sat.Lit {
+	u := e.u
+	cond := u.TrueLit()
+	for _, latch := range u.N.Latches {
+		nextAtK := u.Lit(latch.Next, e.k)
+		atL := u.Lit(aig.MkLit(latch.Node, false), l)
+		// eq := nextAtK ≡ atL
+		a := u.MkAndAux(nextAtK, atL, e.tag)
+		b := u.MkAndAux(nextAtK.Not(), atL.Not(), e.tag)
+		cond = u.MkAndAux(cond, u.MkOrAux(a, b, e.tag), e.tag)
+	}
+	if len(u.N.Memories) > 0 {
+		for t := l; t <= e.k; t++ {
+			cond = u.MkAndAux(cond, u.WriteActivity(t).Not(), e.tag)
+		}
+	}
+	return cond
+}
+
+// succ is the successor frame under loop l.
+func (e *encoder) succ(i, l int) int {
+	if i < e.k {
+		return i + 1
+	}
+	return l
+}
+
+// enc builds the CNF literal of formula f at frame i under loop l (-1 for
+// the no-loop translation). f must be in NNF.
+func (e *encoder) enc(f *Formula, i, l int) sat.Lit {
+	key := encKey{f: f, i: i, loop: l}
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	u := e.u
+	var out sat.Lit
+	switch f.Op {
+	case OpAtom:
+		out = u.Lit(e.bind[f.Atom], i)
+	case OpNot:
+		out = u.Lit(e.bind[f.L.Atom], i).Not()
+	case OpAnd:
+		out = u.MkAndAux(e.enc(f.L, i, l), e.enc(f.R, i, l), e.tag)
+	case OpOr:
+		out = u.MkOrAux(e.enc(f.L, i, l), e.enc(f.R, i, l), e.tag)
+	case OpX:
+		if l < 0 && i >= e.k {
+			out = u.FalseLit()
+		} else {
+			out = e.enc(f.L, e.succ(i, l), l)
+		}
+	case OpF:
+		out = u.FalseLit()
+		for _, j := range e.positions(i, l) {
+			out = u.MkOrAux(out, e.enc(f.L, j, l), e.tag)
+		}
+	case OpG:
+		if l < 0 {
+			out = u.FalseLit() // G needs an infinite path
+		} else {
+			out = u.TrueLit()
+			for _, j := range e.positions(i, l) {
+				out = u.MkAndAux(out, e.enc(f.L, j, l), e.tag)
+			}
+		}
+	case OpU:
+		out = e.encUntil(f, i, l)
+	case OpR:
+		out = e.encRelease(f, i, l)
+	default:
+		panic("ltl: non-NNF formula in encoder")
+	}
+	e.memo[key] = out
+	return out
+}
+
+// positions lists the frames visited from i onward: {i..k} plus, on a
+// lasso, the loop section {l..k}.
+func (e *encoder) positions(i, l int) []int {
+	from := i
+	if l >= 0 && l < from {
+		from = l
+	}
+	out := make([]int, 0, e.k-from+1)
+	for j := from; j <= e.k; j++ {
+		out = append(out, j)
+	}
+	return out
+}
+
+// encUntil: f U g — g eventually holds, with f holding at every earlier
+// visited position (Biere et al.'s bounded translation).
+func (e *encoder) encUntil(f *Formula, i, l int) sat.Lit {
+	u := e.u
+	out := u.FalseLit()
+	// Straight section: g at j ∈ [i..k], f on [i..j).
+	prefix := u.TrueLit()
+	for j := i; j <= e.k; j++ {
+		hit := u.MkAndAux(prefix, e.enc(f.R, j, l), e.tag)
+		out = u.MkOrAux(out, hit, e.tag)
+		prefix = u.MkAndAux(prefix, e.enc(f.L, j, l), e.tag)
+	}
+	if l >= 0 {
+		// Wrap-around: g at j ∈ [l..i), f on [i..k] and on [l..j).
+		fTail := prefix // f on all of [i..k]
+		wrapPrefix := u.TrueLit()
+		for j := l; j < i; j++ {
+			hit := u.MkAndAux(u.MkAndAux(fTail, wrapPrefix, e.tag), e.enc(f.R, j, l), e.tag)
+			out = u.MkOrAux(out, hit, e.tag)
+			wrapPrefix = u.MkAndAux(wrapPrefix, e.enc(f.L, j, l), e.tag)
+		}
+	}
+	return out
+}
+
+// encRelease: f R g — g holds up to and including the point where f
+// holds, or forever.
+func (e *encoder) encRelease(f *Formula, i, l int) sat.Lit {
+	u := e.u
+	out := u.FalseLit()
+	// g forever (all visited positions) — only meaningful on a lasso.
+	if l >= 0 {
+		all := u.TrueLit()
+		for _, j := range e.positions(i, l) {
+			all = u.MkAndAux(all, e.enc(f.R, j, l), e.tag)
+		}
+		out = all
+	}
+	// Straight section: f at j ∈ [i..k] with g on [i..j].
+	gPrefix := u.TrueLit()
+	for j := i; j <= e.k; j++ {
+		gPrefix = u.MkAndAux(gPrefix, e.enc(f.R, j, l), e.tag)
+		hit := u.MkAndAux(gPrefix, e.enc(f.L, j, l), e.tag)
+		out = u.MkOrAux(out, hit, e.tag)
+	}
+	if l >= 0 {
+		// Wrap-around: f at j ∈ [l..i) with g on [i..k] and [l..j].
+		gTail := gPrefix // g on all of [i..k]
+		gWrap := u.TrueLit()
+		for j := l; j < i; j++ {
+			gWrap = u.MkAndAux(gWrap, e.enc(f.R, j, l), e.tag)
+			hit := u.MkAndAux(u.MkAndAux(gTail, gWrap, e.tag), e.enc(f.L, j, l), e.tag)
+			out = u.MkOrAux(out, hit, e.tag)
+		}
+	}
+	return out
+}

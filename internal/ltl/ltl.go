@@ -1,0 +1,354 @@
+// Package ltl implements linear temporal logic formulas and their bounded
+// translation into SAT, following the semantics the paper's BMC background
+// (§2.1) builds on: given a Kripke structure M, an LTL formula f and a
+// bound k, the translation [M, f]_k is satisfiable iff a witness of length
+// k exists — either a finite path (for formulas whose witnesses need no
+// loop) or a (k, l)-lasso.
+//
+// The bmc package handles plain safety (G p) natively; this package adds
+// full existential LTL witness search — F, X, U, R and nested
+// combinations — used, e.g., to hunt for liveness counter-examples.
+package ltl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a formula node kind.
+type Op int
+
+// Formula operators.
+const (
+	OpAtom Op = iota
+	OpNot
+	OpAnd
+	OpOr
+	OpImplies
+	OpX
+	OpF
+	OpG
+	OpU
+	OpR
+)
+
+// Formula is an LTL formula tree.
+type Formula struct {
+	Op   Op
+	Atom string // OpAtom
+	L, R *Formula
+}
+
+// Atom builds an atomic proposition referring to a named design signal.
+func Atom(name string) *Formula { return &Formula{Op: OpAtom, Atom: name} }
+
+// Not builds ¬f.
+func Not(f *Formula) *Formula { return &Formula{Op: OpNot, L: f} }
+
+// And builds f ∧ g.
+func And(f, g *Formula) *Formula { return &Formula{Op: OpAnd, L: f, R: g} }
+
+// Or builds f ∨ g.
+func Or(f, g *Formula) *Formula { return &Formula{Op: OpOr, L: f, R: g} }
+
+// Implies builds f → g.
+func Implies(f, g *Formula) *Formula { return &Formula{Op: OpImplies, L: f, R: g} }
+
+// X builds "next f".
+func X(f *Formula) *Formula { return &Formula{Op: OpX, L: f} }
+
+// F builds "eventually f".
+func F(f *Formula) *Formula { return &Formula{Op: OpF, L: f} }
+
+// G builds "always f".
+func G(f *Formula) *Formula { return &Formula{Op: OpG, L: f} }
+
+// U builds "f until g".
+func U(f, g *Formula) *Formula { return &Formula{Op: OpU, L: f, R: g} }
+
+// R builds "f releases g".
+func R(f, g *Formula) *Formula { return &Formula{Op: OpR, L: f, R: g} }
+
+// String renders the formula.
+func (f *Formula) String() string {
+	switch f.Op {
+	case OpAtom:
+		return f.Atom
+	case OpNot:
+		return "!" + f.L.String()
+	case OpAnd:
+		return "(" + f.L.String() + " & " + f.R.String() + ")"
+	case OpOr:
+		return "(" + f.L.String() + " | " + f.R.String() + ")"
+	case OpImplies:
+		return "(" + f.L.String() + " -> " + f.R.String() + ")"
+	case OpX:
+		return "X " + f.L.String()
+	case OpF:
+		return "F " + f.L.String()
+	case OpG:
+		return "G " + f.L.String()
+	case OpU:
+		return "(" + f.L.String() + " U " + f.R.String() + ")"
+	case OpR:
+		return "(" + f.L.String() + " R " + f.R.String() + ")"
+	}
+	return "?"
+}
+
+// NNF rewrites the formula into negation normal form (negations only on
+// atoms, implications expanded), which the bounded encoder requires.
+func (f *Formula) NNF() *Formula { return nnf(f, false) }
+
+func nnf(f *Formula, neg bool) *Formula {
+	switch f.Op {
+	case OpAtom:
+		if neg {
+			return Not(f)
+		}
+		return f
+	case OpNot:
+		if f.L.Op == OpAtom && !neg {
+			return f
+		}
+		return nnf(f.L, !neg)
+	case OpAnd:
+		if neg {
+			return Or(nnf(f.L, true), nnf(f.R, true))
+		}
+		return And(nnf(f.L, false), nnf(f.R, false))
+	case OpOr:
+		if neg {
+			return And(nnf(f.L, true), nnf(f.R, true))
+		}
+		return Or(nnf(f.L, false), nnf(f.R, false))
+	case OpImplies:
+		// f -> g ≡ ¬f ∨ g
+		if neg {
+			return And(nnf(f.L, false), nnf(f.R, true))
+		}
+		return Or(nnf(f.L, true), nnf(f.R, false))
+	case OpX:
+		return X(nnf(f.L, neg))
+	case OpF:
+		if neg {
+			return G(nnf(f.L, true))
+		}
+		return F(nnf(f.L, false))
+	case OpG:
+		if neg {
+			return F(nnf(f.L, true))
+		}
+		return G(nnf(f.L, false))
+	case OpU:
+		if neg {
+			return R(nnf(f.L, true), nnf(f.R, true))
+		}
+		return U(nnf(f.L, false), nnf(f.R, false))
+	case OpR:
+		if neg {
+			return U(nnf(f.L, true), nnf(f.R, true))
+		}
+		return R(nnf(f.L, false), nnf(f.R, false))
+	}
+	panic("ltl: unknown op")
+}
+
+// Parse reads a formula from text. Grammar (loosest to tightest binding):
+//
+//	formula := until ('->' formula)?
+//	until   := or (('U'|'R') or)*
+//	or      := and ('|' and)*
+//	and     := unary ('&' unary)*
+//	unary   := ('!'|'X'|'F'|'G') unary | atom | '(' formula ')'
+//
+// Atoms are identifiers (letters, digits, '_', '.', '[', ']').
+func Parse(s string) (*Formula, error) {
+	p := &parser{toks: lex(s)}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("ltl: trailing input at %q", p.toks[p.pos])
+	}
+	return f, nil
+}
+
+func lex(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '!' || c == '&' || c == '|':
+			toks = append(toks, string(c))
+			i++
+		case c == '-' && i+1 < len(s) && s[i+1] == '>':
+			toks = append(toks, "->")
+			i += 2
+		default:
+			j := i
+			for j < len(s) && isAtomChar(s[j]) {
+				j++
+			}
+			if j == i {
+				toks = append(toks, string(c))
+				i++
+				continue
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func isAtomChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.' || c == '[' || c == ']' || c == '='
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) formula() (*Formula, error) {
+	l, err := p.until()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "->" {
+		p.next()
+		r, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) until() (*Formula, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "U" || p.peek() == "R" {
+		op := p.next()
+		r, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if op == "U" {
+			l = U(l, r)
+		} else {
+			l = R(l, r)
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) or() (*Formula, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.next()
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) and() (*Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&" {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (*Formula, error) {
+	switch t := p.peek(); t {
+	case "!":
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case "X", "F", "G":
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case "X":
+			return X(f), nil
+		case "F":
+			return F(f), nil
+		default:
+			return G(f), nil
+		}
+	case "(":
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("ltl: missing ')'")
+		}
+		return f, nil
+	case "", ")", "&", "|", "->", "U", "R":
+		return nil, fmt.Errorf("ltl: unexpected token %q", t)
+	default:
+		name := p.next()
+		if !validAtom(name) {
+			return nil, fmt.Errorf("ltl: bad atom %q", name)
+		}
+		return Atom(name), nil
+	}
+}
+
+func validAtom(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isAtomChar(s[i]) {
+			return false
+		}
+	}
+	return !strings.ContainsAny(s[:1], "0123456789")
+}

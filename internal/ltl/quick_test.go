@@ -1,0 +1,258 @@
+package ltl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+)
+
+// randFormula builds a random formula over a small atom alphabet.
+func randFormula(rng *rand.Rand, depth int) *Formula {
+	atoms := []string{"p", "q", "r"}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		f := Atom(atoms[rng.Intn(len(atoms))])
+		if rng.Intn(3) == 0 {
+			return Not(f)
+		}
+		return f
+	}
+	switch rng.Intn(9) {
+	case 0:
+		return Not(randFormula(rng, depth-1))
+	case 1:
+		return And(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 2:
+		return Or(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 3:
+		return Implies(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	case 4:
+		return X(randFormula(rng, depth-1))
+	case 5:
+		return F(randFormula(rng, depth-1))
+	case 6:
+		return G(randFormula(rng, depth-1))
+	case 7:
+		return U(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	default:
+		return R(randFormula(rng, depth-1), randFormula(rng, depth-1))
+	}
+}
+
+// isNNF reports whether negations appear only on atoms and no implication
+// remains.
+func isNNF(f *Formula) bool {
+	switch f.Op {
+	case OpAtom:
+		return true
+	case OpNot:
+		return f.L.Op == OpAtom
+	case OpImplies:
+		return false
+	case OpX, OpF, OpG:
+		return isNNF(f.L)
+	default:
+		return isNNF(f.L) && isNNF(f.R)
+	}
+}
+
+// TestNNFProperties: NNF output is in NNF and idempotent, and the printer
+// and parser are mutually inverse on it.
+func TestNNFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	check := func() bool {
+		f := randFormula(rng, 4)
+		n := f.NNF()
+		if !isNNF(n) {
+			t.Logf("not NNF: %s -> %s", f, n)
+			return false
+		}
+		if n.NNF().String() != n.String() {
+			t.Logf("not idempotent: %s", n)
+			return false
+		}
+		back, err := Parse(n.String())
+		if err != nil {
+			t.Logf("reparse failed: %s: %v", n, err)
+			return false
+		}
+		return back.String() == n.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// evalTrace evaluates an NNF formula over a lasso trace of atom
+// assignments (infinite unrolling by following the loop), the reference
+// semantics for the bounded encoder.
+func evalTrace(f *Formula, trace []map[string]bool, loop int, i int, depthBudget int) bool {
+	if depthBudget == 0 {
+		return false // defensive; budgets are sized to suffice
+	}
+	succ := func(j int) int {
+		if j < len(trace)-1 {
+			return j + 1
+		}
+		return loop
+	}
+	switch f.Op {
+	case OpAtom:
+		return trace[i][f.Atom]
+	case OpNot:
+		return !trace[i][f.L.Atom]
+	case OpAnd:
+		return evalTrace(f.L, trace, loop, i, depthBudget-1) && evalTrace(f.R, trace, loop, i, depthBudget-1)
+	case OpOr:
+		return evalTrace(f.L, trace, loop, i, depthBudget-1) || evalTrace(f.R, trace, loop, i, depthBudget-1)
+	case OpX:
+		return evalTrace(f.L, trace, loop, succ(i), depthBudget-1)
+	case OpF:
+		for _, j := range positionsFrom(trace, loop, i) {
+			if evalTrace(f.L, trace, loop, j, depthBudget-1) {
+				return true
+			}
+		}
+		return false
+	case OpG:
+		for _, j := range positionsFrom(trace, loop, i) {
+			if !evalTrace(f.L, trace, loop, j, depthBudget-1) {
+				return false
+			}
+		}
+		return true
+	case OpU:
+		// Walk the (finite) set of distinct suffix positions.
+		seen := map[int]bool{}
+		j := i
+		for !seen[j] {
+			seen[j] = true
+			if evalTrace(f.R, trace, loop, j, depthBudget-1) {
+				return true
+			}
+			if !evalTrace(f.L, trace, loop, j, depthBudget-1) {
+				return false
+			}
+			j = succ(j)
+		}
+		return false
+	case OpR:
+		seen := map[int]bool{}
+		j := i
+		for !seen[j] {
+			seen[j] = true
+			if !evalTrace(f.R, trace, loop, j, depthBudget-1) {
+				return false
+			}
+			if evalTrace(f.L, trace, loop, j, depthBudget-1) {
+				return true
+			}
+			j = succ(j)
+		}
+		return true
+	}
+	return false
+}
+
+// TestEncoderAgainstTraceSemantics cross-checks FindWitness against the
+// reference lasso semantics on a stateless design whose atoms are free
+// inputs:
+//
+//   - soundness: every witness found must satisfy the formula under
+//     evalTrace;
+//   - completeness: if FindWitness reports no witness up to bound K, no
+//     lasso of length ≤ K+1 satisfies the formula (checked by exhaustive
+//     enumeration over two atoms).
+func TestEncoderAgainstTraceSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const maxK = 3
+
+	for iter := 0; iter < 120; iter++ {
+		f := randFormula2(rng, 3) // over atoms p, q only
+		m, bind, inputs := freeAtomDesign()
+		w, err := FindWitness(m, bind, f, SearchOptions{MaxK: maxK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nnf := f.NNF()
+		if w != nil {
+			if w.LoopTo < 0 {
+				// Finite-path witness: extend to a lasso by looping the
+				// last frame onto itself (the design is stateless, so
+				// that is a legal execution).
+				w.LoopTo = w.K
+			}
+			trace := make([]map[string]bool, w.K+1)
+			for i := range trace {
+				trace[i] = map[string]bool{
+					"p": w.Inputs[i][inputs[0]],
+					"q": w.Inputs[i][inputs[1]],
+				}
+			}
+			if !evalTrace(nnf, trace, w.LoopTo, 0, 10000) {
+				t.Fatalf("iter %d: witness for %s does not satisfy it (trace %v loop %d)",
+					iter, f, trace, w.LoopTo)
+			}
+			continue
+		}
+		// Exhaustive completeness check.
+		for k := 0; k <= maxK; k++ {
+			for mask := 0; mask < 1<<uint(2*(k+1)); mask++ {
+				trace := make([]map[string]bool, k+1)
+				for i := range trace {
+					trace[i] = map[string]bool{
+						"p": mask>>(2*i)&1 == 1,
+						"q": mask>>(2*i+1)&1 == 1,
+					}
+				}
+				for loop := 0; loop <= k; loop++ {
+					if evalTrace(nnf, trace, loop, 0, 10000) {
+						t.Fatalf("iter %d: %s has a (%d,%d)-lasso witness %v but the encoder found none",
+							iter, f, k, loop, trace)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randFormula2 is randFormula restricted to atoms p and q.
+func randFormula2(rng *rand.Rand, depth int) *Formula {
+	f := randFormula(rng, depth)
+	var fix func(g *Formula)
+	fix = func(g *Formula) {
+		if g == nil {
+			return
+		}
+		if g.Op == OpAtom && g.Atom == "r" {
+			g.Atom = "q"
+		}
+		fix(g.L)
+		fix(g.R)
+	}
+	fix(f)
+	return f
+}
+
+// freeAtomDesign builds a stateless design with two free input atoms.
+func freeAtomDesign() (*aig.Netlist, Binding, []aig.NodeID) {
+	m := rtl.NewModule("atoms")
+	p := m.InputBit("p")
+	q := m.InputBit("q")
+	bind := Binding{"p": p, "q": q}
+	return m.N, bind, []aig.NodeID{p.Node(), q.Node()}
+}
+
+func positionsFrom(trace []map[string]bool, loop, i int) []int {
+	from := i
+	if loop < from {
+		from = loop
+	}
+	var out []int
+	for j := from; j < len(trace); j++ {
+		out = append(out, j)
+	}
+	return out
+}

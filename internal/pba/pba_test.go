@@ -1,0 +1,163 @@
+package pba
+
+import (
+	"testing"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+	"emmver/internal/unroll"
+)
+
+func tag(k unroll.TagKind, frame, idx int) int64 {
+	return int64(unroll.MkTag(k, frame, idx))
+}
+
+func TestLatchesInCore(t *testing.T) {
+	core := []int64{
+		tag(unroll.TagGate, 3, 17),
+		tag(unroll.TagLatchNext, 2, 4),
+		tag(unroll.TagLatchInit, 0, 9),
+		tag(unroll.TagEMM, 1, 0),
+	}
+	got := LatchesInCore(core)
+	if len(got) != 2 || !got[4] || !got[9] {
+		t.Fatalf("latch extraction wrong: %v", got)
+	}
+}
+
+func TestMemPortsInCore(t *testing.T) {
+	core := []int64{
+		tag(unroll.TagEMM, 1, 2<<8|1),
+		tag(unroll.TagEMMInit, 4, 0<<8|3),
+		tag(unroll.TagGate, 0, 5),
+	}
+	got := MemPortsInCore(core)
+	if len(got) != 2 || !got[[2]int{2, 1}] || !got[[2]int{0, 3}] {
+		t.Fatalf("mem port extraction wrong: %v", got)
+	}
+}
+
+func TestTrackerStability(t *testing.T) {
+	tr := NewTracker()
+	if tr.StableFor(5) != 0 {
+		t.Fatalf("fresh tracker must report no stability")
+	}
+	if !tr.Update(0, []int64{tag(unroll.TagLatchNext, 0, 1)}) {
+		t.Fatalf("first update must grow")
+	}
+	if tr.Update(1, []int64{tag(unroll.TagLatchNext, 1, 1)}) {
+		t.Fatalf("same latch must not grow")
+	}
+	if tr.StableFor(4) != 4 {
+		t.Fatalf("stability miscomputed: %d", tr.StableFor(4))
+	}
+	if !tr.Update(5, []int64{tag(unroll.TagLatchInit, 0, 2)}) {
+		t.Fatalf("new latch must grow")
+	}
+	if tr.StableFor(5) != 0 {
+		t.Fatalf("growth must reset stability")
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size wrong: %d", tr.Size())
+	}
+	sorted := tr.Sorted()
+	if len(sorted) != 2 || sorted[0] != 1 || sorted[1] != 2 {
+		t.Fatalf("sorted wrong: %v", sorted)
+	}
+}
+
+// buildTwoCounterDesign: counter A (latches 0..2) controls memory A's
+// ports; counter B (latches 3..6) controls memory B's ports.
+func buildTwoCounterDesign() (*rtl.Module, *rtl.Reg, *rtl.Reg) {
+	m := rtl.NewModule("two")
+	ca := m.Register("ca", 3, 0)
+	ca.SetNext(m.Inc(ca.Q))
+	cb := m.Register("cb", 4, 0)
+	cb.SetNext(m.Inc(cb.Q))
+	memA := m.Memory("memA", 3, 4, aig.MemZero)
+	memA.Write(ca.Q, m.ZeroExtend(ca.Q, 4), aig.True)
+	memA.Read(ca.Q, aig.True)
+	memB := m.Memory("memB", 4, 4, aig.MemZero)
+	memB.Write(cb.Q, cb.Q, aig.True)
+	memB.Read(cb.Q, aig.True)
+	m.Done(ca, cb)
+	return m, ca, cb
+}
+
+func TestAbstractDropsIrrelevantMemory(t *testing.T) {
+	m, ca, _ := buildTwoCounterDesign()
+	tr := NewTracker()
+	// Counter A's latches and memory A's EMM constraints appeared in
+	// refutations; memory B never did.
+	tr.Update(0, []int64{
+		tag(unroll.TagLatchNext, 1, 0),
+		tag(unroll.TagLatchNext, 1, 1),
+		tag(unroll.TagLatchNext, 1, 2),
+		tag(unroll.TagEMM, 2, 0<<8|0),
+	})
+	abs := tr.Abstract(m.N)
+	if abs.KeptLatches != 3 {
+		t.Fatalf("kept %d latches, want 3", abs.KeptLatches)
+	}
+	if !abs.MemEnabled[0] {
+		t.Fatalf("memA appeared in refutations and must stay")
+	}
+	if abs.MemEnabled[1] {
+		t.Fatalf("memB never appeared in a refutation; it must be dropped")
+	}
+	for _, q := range ca.Q {
+		if abs.FreeLatches[q.Node()] {
+			t.Fatalf("kept latch marked free")
+		}
+	}
+	if abs.String() == "" {
+		t.Fatalf("empty abstraction string")
+	}
+}
+
+func TestAbstractKeepsMemoryWhenEMMTagsUsed(t *testing.T) {
+	m, _, _ := buildTwoCounterDesign()
+	tr := NewTracker()
+	// No latch reasons at all, but memory 1's EMM constraints appeared.
+	tr.Update(0, []int64{tag(unroll.TagEMM, 2, 1<<8|0)})
+	abs := tr.Abstract(m.N)
+	if !abs.MemEnabled[1] {
+		t.Fatalf("memory with used EMM constraints must be kept")
+	}
+	if abs.MemEnabled[0] {
+		t.Fatalf("memory without reasons must be dropped")
+	}
+	if !abs.WriteEnabled[1][0] {
+		t.Fatalf("write ports of a kept memory must stay")
+	}
+}
+
+func TestAbstractPortLevel(t *testing.T) {
+	// One memory, two read ports: only port 0's constraints appeared in
+	// refutations. Port 1 must be disabled.
+	m := rtl.NewModule("ports")
+	ca := m.Register("ca", 2, 0)
+	ca.SetNext(m.Inc(ca.Q))
+	cb := m.Register("cb", 2, 0)
+	cb.SetNext(m.Inc(cb.Q))
+	mem := m.Memory("mem", 2, 2, aig.MemZero)
+	mem.Write(ca.Q, ca.Q, aig.True)
+	mem.Read(ca.Q, aig.True)
+	mem.Read(cb.Q, aig.True)
+	m.Done(ca, cb)
+	tr := NewTracker()
+	tr.Update(0, []int64{tag(unroll.TagEMMInit, 3, 0<<8|0)})
+	abs := tr.Abstract(m.N)
+	if !abs.MemEnabled[0] {
+		t.Fatalf("memory must be kept (port 0 relevant)")
+	}
+	if !abs.ReadEnabled[0][0] {
+		t.Fatalf("read port 0 must be kept")
+	}
+	if abs.ReadEnabled[0][1] {
+		t.Fatalf("read port 1 must be dropped")
+	}
+	if !abs.WriteEnabled[0][0] {
+		t.Fatalf("write port must be kept")
+	}
+}

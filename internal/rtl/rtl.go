@@ -1,0 +1,474 @@
+// Package rtl is a word-level design-entry layer over package aig: a small
+// Verilog-like construction API for registers, buses, arithmetic,
+// comparisons, multiplexers, finite-state machines, and embedded memory
+// ports. The paper's case studies (quicksort machine, image filter,
+// multi-port lookup engine) are written against this package and compile to
+// plain and-inverter netlists.
+package rtl
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+)
+
+// Vec is a bus: a slice of literals, least-significant bit first.
+type Vec []aig.Lit
+
+// Width returns the number of bits in the bus.
+func (v Vec) Width() int { return len(v) }
+
+// Module wraps a netlist under construction.
+type Module struct {
+	N *aig.Netlist
+}
+
+// NewModule creates an empty design.
+func NewModule(name string) *Module {
+	return &Module{N: aig.New(name)}
+}
+
+// Const builds a width-bit constant bus holding value.
+func (m *Module) Const(width int, value uint64) Vec {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("rtl: bad constant width %d", width))
+	}
+	v := make(Vec, width)
+	for i := 0; i < width; i++ {
+		if value>>uint(i)&1 == 1 {
+			v[i] = aig.True
+		} else {
+			v[i] = aig.False
+		}
+	}
+	return v
+}
+
+// Input declares a width-bit primary-input bus.
+func (m *Module) Input(name string, width int) Vec {
+	v := make(Vec, width)
+	for i := range v {
+		v[i] = m.N.NewInput(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return v
+}
+
+// InputBit declares a single-bit primary input.
+func (m *Module) InputBit(name string) aig.Lit { return m.N.NewInput(name) }
+
+// Reg is a register (a bus of latches) whose next-state is assigned with
+// SetNext or updated conditionally with Update.
+type Reg struct {
+	m    *Module
+	Q    Vec // current value
+	next Vec // accumulated next-state expression
+	set  bool
+}
+
+// Register declares a width-bit register initialized to init.
+func (m *Module) Register(name string, width int, init uint64) *Reg {
+	r := &Reg{m: m, Q: make(Vec, width)}
+	for i := 0; i < width; i++ {
+		iv := aig.Init0
+		if init>>uint(i)&1 == 1 {
+			iv = aig.Init1
+		}
+		r.Q[i] = m.N.NewLatch(fmt.Sprintf("%s[%d]", name, i), iv)
+	}
+	r.next = append(Vec(nil), r.Q...) // default: hold
+	return r
+}
+
+// RegisterX declares a register with an unconstrained initial value.
+func (m *Module) RegisterX(name string, width int) *Reg {
+	r := &Reg{m: m, Q: make(Vec, width)}
+	for i := 0; i < width; i++ {
+		r.Q[i] = m.N.NewLatch(fmt.Sprintf("%s[%d]", name, i), aig.InitX)
+	}
+	r.next = append(Vec(nil), r.Q...)
+	return r
+}
+
+// BitReg declares a 1-bit register and returns it.
+func (m *Module) BitReg(name string, init bool) *Reg {
+	iv := uint64(0)
+	if init {
+		iv = 1
+	}
+	return m.Register(name, 1, iv)
+}
+
+// Bit returns bit 0 of the register (for 1-bit registers).
+func (r *Reg) Bit() aig.Lit { return r.Q[0] }
+
+// SetNext assigns the full next-state expression, replacing the default
+// hold behavior and any prior Update calls.
+func (r *Reg) SetNext(v Vec) {
+	if len(v) != len(r.Q) {
+		panic("rtl: SetNext width mismatch")
+	}
+	r.next = append(Vec(nil), v...)
+	r.set = true
+}
+
+// Update makes the register load v when cond holds (later Update calls take
+// priority over earlier ones, like later assignments in a Verilog always
+// block).
+func (r *Reg) Update(cond aig.Lit, v Vec) {
+	if len(v) != len(r.Q) {
+		panic("rtl: Update width mismatch")
+	}
+	r.next = r.m.MuxV(cond, v, r.next)
+	r.set = true
+}
+
+// UpdateBit is Update for 1-bit registers.
+func (r *Reg) UpdateBit(cond, v aig.Lit) { r.Update(cond, Vec{v}) }
+
+// finalize wires the accumulated next-state into the latches.
+func (r *Reg) finalize() {
+	for i, q := range r.Q {
+		r.m.N.SetNext(q, r.next[i])
+	}
+}
+
+// Done finalizes all registers created through the module. It must be
+// called exactly once, after all Update/SetNext calls.
+func (m *Module) Done(regs ...*Reg) {
+	for _, r := range regs {
+		r.finalize()
+	}
+}
+
+// --- bitwise logic ---
+
+func checkSameWidth(op string, a, b Vec) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("rtl: %s width mismatch %d vs %d", op, len(a), len(b)))
+	}
+}
+
+// NotV complements every bit.
+func (m *Module) NotV(a Vec) Vec {
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = a[i].Not()
+	}
+	return out
+}
+
+// AndV is bitwise AND.
+func (m *Module) AndV(a, b Vec) Vec {
+	checkSameWidth("AndV", a, b)
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = m.N.And(a[i], b[i])
+	}
+	return out
+}
+
+// OrV is bitwise OR.
+func (m *Module) OrV(a, b Vec) Vec {
+	checkSameWidth("OrV", a, b)
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = m.N.Or(a[i], b[i])
+	}
+	return out
+}
+
+// XorV is bitwise XOR.
+func (m *Module) XorV(a, b Vec) Vec {
+	checkSameWidth("XorV", a, b)
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = m.N.Xor(a[i], b[i])
+	}
+	return out
+}
+
+// MuxV returns sel ? t : e, bitwise.
+func (m *Module) MuxV(sel aig.Lit, t, e Vec) Vec {
+	checkSameWidth("MuxV", t, e)
+	out := make(Vec, len(t))
+	for i := range t {
+		out[i] = m.N.Mux(sel, t[i], e[i])
+	}
+	return out
+}
+
+// --- arithmetic ---
+
+// AddC returns a+b+cin and the carry out (ripple-carry).
+func (m *Module) AddC(a, b Vec, cin aig.Lit) (Vec, aig.Lit) {
+	checkSameWidth("Add", a, b)
+	out := make(Vec, len(a))
+	c := cin
+	for i := range a {
+		out[i] = m.N.Xor(m.N.Xor(a[i], b[i]), c)
+		c = m.N.Or(m.N.And(a[i], b[i]), m.N.And(c, m.N.Xor(a[i], b[i])))
+	}
+	return out, c
+}
+
+// Add returns a+b (mod 2^w).
+func (m *Module) Add(a, b Vec) Vec {
+	s, _ := m.AddC(a, b, aig.False)
+	return s
+}
+
+// Sub returns a-b (mod 2^w).
+func (m *Module) Sub(a, b Vec) Vec {
+	s, _ := m.AddC(a, m.NotV(b), aig.True)
+	return s
+}
+
+// Inc returns a+1.
+func (m *Module) Inc(a Vec) Vec { return m.Add(a, m.Const(len(a), 1)) }
+
+// Dec returns a-1.
+func (m *Module) Dec(a Vec) Vec { return m.Sub(a, m.Const(len(a), 1)) }
+
+// Mul returns a*b (mod 2^w, w = max width), via shift-and-add.
+func (m *Module) Mul(a, b Vec) Vec {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	a = m.ZeroExtend(a, w)
+	b = m.ZeroExtend(b, w)
+	acc := m.Const(w, 0)
+	for i := 0; i < w; i++ {
+		part := m.MuxV(b[i], m.ShlConst(a, i), m.Const(w, 0))
+		acc = m.Add(acc, part)
+	}
+	return acc
+}
+
+// ShlV is a barrel left shift by a variable amount (zero filling; shifts
+// ≥ width produce zero).
+func (m *Module) ShlV(a, sh Vec) Vec {
+	out := append(Vec(nil), a...)
+	for i := 0; i < len(sh); i++ {
+		k := 1 << uint(i)
+		if k >= len(a) {
+			// Any higher shift bit zeroes the result.
+			out = m.MuxV(sh[i], m.Const(len(a), 0), out)
+			continue
+		}
+		out = m.MuxV(sh[i], m.ShlConst(out, k), out)
+	}
+	return out
+}
+
+// ShrV is a barrel right shift by a variable amount.
+func (m *Module) ShrV(a, sh Vec) Vec {
+	out := append(Vec(nil), a...)
+	for i := 0; i < len(sh); i++ {
+		k := 1 << uint(i)
+		if k >= len(a) {
+			out = m.MuxV(sh[i], m.Const(len(a), 0), out)
+			continue
+		}
+		out = m.MuxV(sh[i], m.ShrConst(out, k), out)
+	}
+	return out
+}
+
+// BitSelect returns a[idx] for a variable index (0 when idx is out of
+// range). Bit positions not representable in idx's width are unreachable
+// and excluded, so a narrow index never aliases high positions.
+func (m *Module) BitSelect(a Vec, idx Vec) aig.Lit {
+	out := aig.False
+	for i := range a {
+		if len(idx) < 64 && uint64(i) >= 1<<uint(len(idx)) {
+			break
+		}
+		hit := m.EqConst(idx, uint64(i))
+		out = m.N.Mux(hit, a[i], out)
+	}
+	return out
+}
+
+// --- comparison ---
+
+// Eq returns a == b.
+func (m *Module) Eq(a, b Vec) aig.Lit {
+	checkSameWidth("Eq", a, b)
+	out := aig.True
+	for i := range a {
+		out = m.N.And(out, m.N.Xnor(a[i], b[i]))
+	}
+	return out
+}
+
+// EqConst returns a == value.
+func (m *Module) EqConst(a Vec, value uint64) aig.Lit {
+	return m.Eq(a, m.Const(len(a), value))
+}
+
+// Ne returns a != b.
+func (m *Module) Ne(a, b Vec) aig.Lit { return m.Eq(a, b).Not() }
+
+// Ult returns a < b, unsigned.
+func (m *Module) Ult(a, b Vec) aig.Lit {
+	checkSameWidth("Ult", a, b)
+	// a < b iff a - b borrows: compute a + ~b + 1 and invert carry out.
+	_, c := m.AddC(a, m.NotV(b), aig.True)
+	return c.Not()
+}
+
+// Ule returns a <= b, unsigned.
+func (m *Module) Ule(a, b Vec) aig.Lit { return m.Ult(b, a).Not() }
+
+// Ugt returns a > b, unsigned.
+func (m *Module) Ugt(a, b Vec) aig.Lit { return m.Ult(b, a) }
+
+// Uge returns a >= b, unsigned.
+func (m *Module) Uge(a, b Vec) aig.Lit { return m.Ult(a, b).Not() }
+
+// IsZero returns a == 0.
+func (m *Module) IsZero(a Vec) aig.Lit {
+	out := aig.True
+	for _, l := range a {
+		out = m.N.And(out, l.Not())
+	}
+	return out
+}
+
+// NonZero returns a != 0.
+func (m *Module) NonZero(a Vec) aig.Lit { return m.IsZero(a).Not() }
+
+// --- width adjustment ---
+
+// ZeroExtend widens a to width bits with zeros.
+func (m *Module) ZeroExtend(a Vec, width int) Vec {
+	if width < len(a) {
+		panic("rtl: ZeroExtend narrows")
+	}
+	out := append(Vec(nil), a...)
+	for len(out) < width {
+		out = append(out, aig.False)
+	}
+	return out
+}
+
+// Truncate keeps the low width bits of a.
+func (m *Module) Truncate(a Vec, width int) Vec {
+	if width > len(a) {
+		panic("rtl: Truncate widens")
+	}
+	return append(Vec(nil), a[:width]...)
+}
+
+// Slice returns bits [lo, hi) of a.
+func (m *Module) Slice(a Vec, lo, hi int) Vec {
+	if lo < 0 || hi > len(a) || lo >= hi {
+		panic("rtl: bad slice bounds")
+	}
+	return append(Vec(nil), a[lo:hi]...)
+}
+
+// Concat joins buses, first argument in the low bits.
+func (m *Module) Concat(vs ...Vec) Vec {
+	var out Vec
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// ShrConst shifts right by k bits, filling with zeros.
+func (m *Module) ShrConst(a Vec, k int) Vec {
+	out := make(Vec, len(a))
+	for i := range out {
+		if i+k < len(a) {
+			out[i] = a[i+k]
+		} else {
+			out[i] = aig.False
+		}
+	}
+	return out
+}
+
+// ShlConst shifts left by k bits, filling with zeros.
+func (m *Module) ShlConst(a Vec, k int) Vec {
+	out := make(Vec, len(a))
+	for i := range out {
+		if i-k >= 0 {
+			out[i] = a[i-k]
+		} else {
+			out[i] = aig.False
+		}
+	}
+	return out
+}
+
+// --- memory ---
+
+// Mem is a handle over an embedded memory module.
+type Mem struct {
+	m   *Module
+	Mod *aig.Memory
+}
+
+// Memory declares an embedded memory module.
+func (m *Module) Memory(name string, aw, dw int, init aig.MemInit) *Mem {
+	return &Mem{m: m, Mod: m.N.NewMemory(name, aw, dw, init)}
+}
+
+// Read adds a read port driven by addr/en and returns its data bus. The
+// data is valid in the same cycle (asynchronous read), matching §2.3 of the
+// paper.
+func (mm *Mem) Read(addr Vec, en aig.Lit) Vec {
+	rp := mm.m.N.NewReadPort(mm.Mod)
+	mm.m.N.SetReadAddr(mm.Mod, rp, addr, en)
+	return rp.DataLits()
+}
+
+// Write adds a write port. Written data is visible to reads from the next
+// cycle on (synchronous write), matching §2.3 of the paper.
+func (mm *Mem) Write(addr, data Vec, en aig.Lit) {
+	mm.m.N.NewWritePort(mm.Mod, addr, data, en)
+}
+
+// --- FSM ---
+
+// FSM is a finite-state machine helper: a state register plus transition
+// accumulation via Goto.
+type FSM struct {
+	m   *Module
+	Reg *Reg
+}
+
+// NewFSM declares a state register of the given width, starting in state
+// initial.
+func (m *Module) NewFSM(name string, width int, initial uint64) *FSM {
+	return &FSM{m: m, Reg: m.Register(name, width, initial)}
+}
+
+// In returns a literal that holds when the machine is in state s.
+func (f *FSM) In(s uint64) aig.Lit { return f.m.EqConst(f.Reg.Q, s) }
+
+// Goto transitions to state s when the machine is in state from and cond
+// holds.
+func (f *FSM) Goto(from uint64, cond aig.Lit, to uint64) {
+	g := f.m.N.And(f.In(from), cond)
+	f.Reg.Update(g, f.m.Const(len(f.Reg.Q), to))
+}
+
+// GotoAlways transitions unconditionally out of state from.
+func (f *FSM) GotoAlways(from, to uint64) { f.Goto(from, aig.True, to) }
+
+// State returns the current state bus.
+func (f *FSM) State() Vec { return f.Reg.Q }
+
+// --- properties ---
+
+// AssertAlways registers the safety property "ok holds in every cycle".
+func (m *Module) AssertAlways(name string, ok aig.Lit) {
+	m.N.AddProperty(name, ok)
+}
+
+// Assume registers an environment constraint applied in every cycle.
+func (m *Module) Assume(c aig.Lit) { m.N.AddConstraint(c) }

@@ -1,0 +1,488 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+
+	"emmver/internal/aig"
+	"emmver/internal/sim"
+)
+
+// evalHarness builds a module with two w-bit input buses and evaluates a
+// combinational function of them over random values via the simulator.
+type evalHarness struct {
+	m    *Module
+	a, b Vec
+}
+
+func newHarness(w int) *evalHarness {
+	m := NewModule("h")
+	return &evalHarness{m: m, a: m.Input("a", w), b: m.Input("b", w)}
+}
+
+func (h *evalHarness) inputs(av, bv uint64) map[aig.NodeID]bool {
+	in := make(map[aig.NodeID]bool)
+	for i, l := range h.a {
+		in[l.Node()] = av>>uint(i)&1 == 1
+	}
+	for i, l := range h.b {
+		in[l.Node()] = bv>>uint(i)&1 == 1
+	}
+	return in
+}
+
+func (h *evalHarness) evalVec(t *testing.T, v Vec, av, bv uint64) uint64 {
+	t.Helper()
+	s := sim.New(h.m.N)
+	s.Begin(h.inputs(av, bv))
+	return s.EvalVec(v)
+}
+
+func (h *evalHarness) evalBit(t *testing.T, l aig.Lit, av, bv uint64) bool {
+	t.Helper()
+	s := sim.New(h.m.N)
+	s.Begin(h.inputs(av, bv))
+	return s.Eval(l)
+}
+
+func TestArithmeticAgainstUint64(t *testing.T) {
+	const w = 8
+	h := newHarness(w)
+	add := h.m.Add(h.a, h.b)
+	sub := h.m.Sub(h.a, h.b)
+	inc := h.m.Inc(h.a)
+	dec := h.m.Dec(h.a)
+	mask := uint64(1)<<w - 1
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		av, bv := rng.Uint64()&mask, rng.Uint64()&mask
+		if got := h.evalVec(t, add, av, bv); got != (av+bv)&mask {
+			t.Fatalf("add(%d,%d)=%d want %d", av, bv, got, (av+bv)&mask)
+		}
+		if got := h.evalVec(t, sub, av, bv); got != (av-bv)&mask {
+			t.Fatalf("sub(%d,%d)=%d want %d", av, bv, got, (av-bv)&mask)
+		}
+		if got := h.evalVec(t, inc, av, bv); got != (av+1)&mask {
+			t.Fatalf("inc(%d)=%d", av, got)
+		}
+		if got := h.evalVec(t, dec, av, bv); got != (av-1)&mask {
+			t.Fatalf("dec(%d)=%d", av, got)
+		}
+	}
+}
+
+func TestComparisonsAgainstUint64(t *testing.T) {
+	const w = 6
+	h := newHarness(w)
+	eq := h.m.Eq(h.a, h.b)
+	ne := h.m.Ne(h.a, h.b)
+	lt := h.m.Ult(h.a, h.b)
+	le := h.m.Ule(h.a, h.b)
+	gt := h.m.Ugt(h.a, h.b)
+	ge := h.m.Uge(h.a, h.b)
+	mask := uint64(1)<<w - 1
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		av, bv := rng.Uint64()&mask, rng.Uint64()&mask
+		checks := []struct {
+			name string
+			lit  aig.Lit
+			want bool
+		}{
+			{"eq", eq, av == bv},
+			{"ne", ne, av != bv},
+			{"lt", lt, av < bv},
+			{"le", le, av <= bv},
+			{"gt", gt, av > bv},
+			{"ge", ge, av >= bv},
+		}
+		for _, c := range checks {
+			if got := h.evalBit(t, c.lit, av, bv); got != c.want {
+				t.Fatalf("%s(%d,%d)=%v want %v", c.name, av, bv, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	const w = 8
+	h := newHarness(w)
+	and := h.m.AndV(h.a, h.b)
+	or := h.m.OrV(h.a, h.b)
+	xor := h.m.XorV(h.a, h.b)
+	not := h.m.NotV(h.a)
+	mask := uint64(1)<<w - 1
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 200; i++ {
+		av, bv := rng.Uint64()&mask, rng.Uint64()&mask
+		if got := h.evalVec(t, and, av, bv); got != av&bv {
+			t.Fatalf("and wrong")
+		}
+		if got := h.evalVec(t, or, av, bv); got != av|bv {
+			t.Fatalf("or wrong")
+		}
+		if got := h.evalVec(t, xor, av, bv); got != av^bv {
+			t.Fatalf("xor wrong")
+		}
+		if got := h.evalVec(t, not, av, bv); got != ^av&mask {
+			t.Fatalf("not wrong")
+		}
+	}
+}
+
+func TestMuxShiftSliceConcat(t *testing.T) {
+	const w = 8
+	h := newHarness(w)
+	sel := h.m.InputBit("sel")
+	mux := h.m.MuxV(sel, h.a, h.b)
+	shr := h.m.ShrConst(h.a, 3)
+	shl := h.m.ShlConst(h.a, 2)
+	sl := h.m.Slice(h.a, 2, 6)
+	cc := h.m.Concat(h.m.Slice(h.a, 0, 4), h.m.Slice(h.b, 0, 4))
+	zx := h.m.ZeroExtend(h.m.Truncate(h.a, 4), 8)
+	mask := uint64(1)<<w - 1
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 200; i++ {
+		av, bv := rng.Uint64()&mask, rng.Uint64()&mask
+		sv := rng.Intn(2) == 1
+		in := h.inputs(av, bv)
+		in[sel.Node()] = sv
+		s := sim.New(h.m.N)
+		s.Begin(in)
+		want := bv
+		if sv {
+			want = av
+		}
+		if got := s.EvalVec(mux); got != want {
+			t.Fatalf("mux wrong")
+		}
+		if got := s.EvalVec(shr); got != av>>3 {
+			t.Fatalf("shr wrong: %d want %d", got, av>>3)
+		}
+		if got := s.EvalVec(shl); got != av<<2&mask {
+			t.Fatalf("shl wrong")
+		}
+		if got := s.EvalVec(sl); got != av>>2&0xf {
+			t.Fatalf("slice wrong")
+		}
+		if got := s.EvalVec(cc); got != av&0xf|(bv&0xf)<<4 {
+			t.Fatalf("concat wrong")
+		}
+		if got := s.EvalVec(zx); got != av&0xf {
+			t.Fatalf("zeroextend wrong")
+		}
+	}
+}
+
+func TestIsZeroNonZero(t *testing.T) {
+	h := newHarness(4)
+	z := h.m.IsZero(h.a)
+	nz := h.m.NonZero(h.a)
+	for av := uint64(0); av < 16; av++ {
+		if got := h.evalBit(t, z, av, 0); got != (av == 0) {
+			t.Fatalf("IsZero(%d)=%v", av, got)
+		}
+		if got := h.evalBit(t, nz, av, 0); got != (av != 0) {
+			t.Fatalf("NonZero(%d)=%v", av, got)
+		}
+	}
+}
+
+func TestConstWidthAndValue(t *testing.T) {
+	m := NewModule("t")
+	c := m.Const(8, 0xA5)
+	want := []aig.Lit{aig.True, aig.False, aig.True, aig.False, aig.False, aig.True, aig.False, aig.True}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("const bit %d wrong", i)
+		}
+	}
+	if c.Width() != 8 {
+		t.Fatalf("width wrong")
+	}
+}
+
+func TestRegisterHoldAndUpdate(t *testing.T) {
+	m := NewModule("t")
+	en := m.InputBit("en")
+	d := m.Input("d", 4)
+	r := m.Register("r", 4, 9)
+	r.Update(en, d)
+	m.Done(r)
+
+	s := sim.New(m.N)
+	// Initial value is 9.
+	s.Begin(nil)
+	if got := s.EvalVec(r.Q); got != 9 {
+		t.Fatalf("init value %d want 9", got)
+	}
+	// Hold when en=0.
+	in := map[aig.NodeID]bool{en.Node(): false}
+	for i, l := range d {
+		in[l.Node()] = 5>>uint(i)&1 == 1
+	}
+	s.Step(in)
+	s.Begin(nil)
+	if got := s.EvalVec(r.Q); got != 9 {
+		t.Fatalf("hold failed: %d", got)
+	}
+	// Load when en=1.
+	in[en.Node()] = true
+	s.Step(in)
+	s.Begin(nil)
+	if got := s.EvalVec(r.Q); got != 5 {
+		t.Fatalf("load failed: %d", got)
+	}
+}
+
+func TestUpdatePriority(t *testing.T) {
+	m := NewModule("t")
+	c1 := m.InputBit("c1")
+	c2 := m.InputBit("c2")
+	r := m.Register("r", 4, 0)
+	r.Update(c1, m.Const(4, 1))
+	r.Update(c2, m.Const(4, 2)) // later update wins
+	m.Done(r)
+	s := sim.New(m.N)
+	s.Step(map[aig.NodeID]bool{c1.Node(): true, c2.Node(): true})
+	s.Begin(nil)
+	if got := s.EvalVec(r.Q); got != 2 {
+		t.Fatalf("priority wrong: got %d want 2", got)
+	}
+}
+
+func TestFSM(t *testing.T) {
+	m := NewModule("t")
+	go1 := m.InputBit("go")
+	f := m.NewFSM("st", 2, 0)
+	f.Goto(0, go1, 1)
+	f.GotoAlways(1, 2)
+	f.GotoAlways(2, 0)
+	m.Done(f.Reg)
+	s := sim.New(m.N)
+	step := func(g bool) uint64 {
+		s.Step(map[aig.NodeID]bool{go1.Node(): g})
+		s.Begin(nil)
+		return s.EvalVec(f.State())
+	}
+	if got := step(false); got != 0 {
+		t.Fatalf("should stay in 0, got %d", got)
+	}
+	if got := step(true); got != 1 {
+		t.Fatalf("should move to 1, got %d", got)
+	}
+	if got := step(false); got != 2 {
+		t.Fatalf("should move to 2, got %d", got)
+	}
+	if got := step(false); got != 0 {
+		t.Fatalf("should wrap to 0, got %d", got)
+	}
+}
+
+func TestMemoryThroughSim(t *testing.T) {
+	m := NewModule("t")
+	we := m.InputBit("we")
+	waddr := m.Input("waddr", 3)
+	wdata := m.Input("wdata", 8)
+	raddr := m.Input("raddr", 3)
+	mem := m.Memory("ram", 3, 8, aig.MemZero)
+	mem.Write(waddr, wdata, we)
+	rd := mem.Read(raddr, aig.True)
+
+	s := sim.New(m.N)
+	in := make(map[aig.NodeID]bool)
+	set := func(v Vec, val uint64) {
+		for i, l := range v {
+			in[l.Node()] = val>>uint(i)&1 == 1
+		}
+	}
+	// Write 0xAB at address 5.
+	in[we.Node()] = true
+	set(waddr, 5)
+	set(wdata, 0xAB)
+	set(raddr, 5)
+	s.Begin(in)
+	if got := s.EvalVec(rd); got != 0 {
+		t.Fatalf("read-before-write must see initial 0, got %#x", got)
+	}
+	s.Step(in)
+	// Next cycle the data is visible.
+	in[we.Node()] = false
+	s.Begin(in)
+	if got := s.EvalVec(rd); got != 0xAB {
+		t.Fatalf("read after write got %#x want 0xAB", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 4)
+	b := m.Input("b", 5)
+	cases := []func(){
+		func() { m.Add(a, b) },
+		func() { m.Eq(a, b) },
+		func() { m.MuxV(aig.True, a, b) },
+		func() { m.AndV(a, b) },
+		func() { m.ZeroExtend(a, 2) },
+		func() { m.Truncate(a, 9) },
+		func() { m.Slice(a, 3, 2) },
+		func() { m.Const(0, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d must panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegisterXInitsUnconstrained(t *testing.T) {
+	m := NewModule("t")
+	r := m.RegisterX("r", 4)
+	m.Done(r)
+	for _, q := range r.Q {
+		l := m.N.LatchOf(q.Node())
+		if l.Init != aig.InitX {
+			t.Fatalf("RegisterX latch must be InitX")
+		}
+	}
+}
+
+func TestAssertAssume(t *testing.T) {
+	m := NewModule("t")
+	a := m.InputBit("a")
+	m.AssertAlways("p", a)
+	m.Assume(a.Not())
+	if len(m.N.Props) != 1 || len(m.N.Constraints) != 1 {
+		t.Fatalf("assert/assume not registered")
+	}
+}
+
+func TestBitRegHelpers(t *testing.T) {
+	m := NewModule("t")
+	c := m.InputBit("c")
+	r := m.BitReg("flag", true)
+	r.UpdateBit(c, aig.False)
+	m.Done(r)
+	s := sim.New(m.N)
+	s.Begin(nil)
+	if !s.Eval(r.Bit()) {
+		t.Fatalf("BitReg init true lost")
+	}
+	s.Step(map[aig.NodeID]bool{c.Node(): true})
+	s.Begin(nil)
+	if s.Eval(r.Bit()) {
+		t.Fatalf("UpdateBit failed")
+	}
+}
+
+func TestMulAgainstUint64(t *testing.T) {
+	const w = 6
+	h := newHarness(w)
+	prod := h.m.Mul(h.a, h.b)
+	mask := uint64(1)<<w - 1
+	rng := rand.New(rand.NewSource(50))
+	for i := 0; i < 200; i++ {
+		av, bv := rng.Uint64()&mask, rng.Uint64()&mask
+		if got := h.evalVec(t, prod, av, bv); got != av*bv&mask {
+			t.Fatalf("mul(%d,%d)=%d want %d", av, bv, got, av*bv&mask)
+		}
+	}
+}
+
+func TestMulMixedWidths(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 3)
+	b := m.Input("b", 6)
+	prod := m.Mul(a, b)
+	if prod.Width() != 6 {
+		t.Fatalf("width %d want 6", prod.Width())
+	}
+}
+
+func TestVariableShiftsAgainstUint64(t *testing.T) {
+	const w = 8
+	m := NewModule("t")
+	a := m.Input("a", w)
+	sh := m.Input("sh", 4)
+	shl := m.ShlV(a, sh)
+	shr := m.ShrV(a, sh)
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 200; i++ {
+		av := rng.Uint64() & 0xff
+		sv := rng.Uint64() & 0xf
+		in := make(map[aig.NodeID]bool)
+		for b, l := range a {
+			in[l.Node()] = av>>uint(b)&1 == 1
+		}
+		for b, l := range sh {
+			in[l.Node()] = sv>>uint(b)&1 == 1
+		}
+		s := sim.New(m.N)
+		s.Begin(in)
+		wantL, wantR := uint64(0), uint64(0)
+		if sv < 64 {
+			wantL = av << sv & 0xff
+			wantR = av >> sv
+		}
+		if got := s.EvalVec(shl); got != wantL {
+			t.Fatalf("shl(%#x,%d)=%#x want %#x", av, sv, got, wantL)
+		}
+		if got := s.EvalVec(shr); got != wantR {
+			t.Fatalf("shr(%#x,%d)=%#x want %#x", av, sv, got, wantR)
+		}
+	}
+}
+
+func TestBitSelectAgainstUint64(t *testing.T) {
+	const w = 8
+	m := NewModule("t")
+	a := m.Input("a", w)
+	idx := m.Input("idx", 4)
+	bit := m.BitSelect(a, idx)
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 200; i++ {
+		av := rng.Uint64() & 0xff
+		iv := rng.Uint64() & 0xf
+		in := make(map[aig.NodeID]bool)
+		for b, l := range a {
+			in[l.Node()] = av>>uint(b)&1 == 1
+		}
+		for b, l := range idx {
+			in[l.Node()] = iv>>uint(b)&1 == 1
+		}
+		s := sim.New(m.N)
+		s.Begin(in)
+		want := iv < w && av>>iv&1 == 1
+		if got := s.Eval(bit); got != want {
+			t.Fatalf("bitsel(%#x,%d)=%v want %v", av, iv, got, want)
+		}
+	}
+}
+
+func TestBitSelectNarrowIndexNoAliasing(t *testing.T) {
+	// A 2-bit index over an 8-bit bus must never reach bits 4..7.
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	idx := m.Input("idx", 2)
+	bit := m.BitSelect(a, idx)
+	s := sim.New(m.N)
+	in := make(map[aig.NodeID]bool)
+	// a = 0xF0 (only high bits set), every index in range reads 0.
+	for b, l := range a {
+		in[l.Node()] = b >= 4
+	}
+	for iv := uint64(0); iv < 4; iv++ {
+		for b, l := range idx {
+			in[l.Node()] = iv>>uint(b)&1 == 1
+		}
+		s.Begin(in)
+		if s.Eval(bit) {
+			t.Fatalf("index %d aliased into the high half", iv)
+		}
+	}
+}

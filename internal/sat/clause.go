@@ -1,0 +1,140 @@
+package sat
+
+// clause is the internal clause representation. The first two literals are
+// the watched literals. Learnt clauses carry an activity for clause-database
+// reduction and, when proof tracing is enabled, the list of clause IDs that
+// were resolved together to derive them.
+type clause struct {
+	lits   []Lit
+	id     int32   // unique id for proof tracing; -1 when tracing is off
+	act    float32 // activity (learnt clauses only)
+	lbd    int32   // literal block distance at learning time
+	learnt bool
+	del    bool // marked for deletion (kept until watch lists are rebuilt)
+}
+
+func (c *clause) size() int { return len(c.lits) }
+
+// watcher is an entry in a literal's watch list. blocker is a literal of the
+// clause that, when already true, lets propagation skip visiting the clause.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// varOrder is a max-heap over variable activities used for VSIDS decisions.
+type varOrder struct {
+	heap     []Var // binary heap of variables
+	indices  []int // var -> position in heap, -1 if absent
+	activity *[]float64
+}
+
+func newVarOrder(act *[]float64) *varOrder {
+	return &varOrder{activity: act}
+}
+
+func (o *varOrder) less(a, b Var) bool {
+	return (*o.activity)[a] > (*o.activity)[b]
+}
+
+func (o *varOrder) grow(n int) {
+	for len(o.indices) < n {
+		o.indices = append(o.indices, -1)
+	}
+}
+
+func (o *varOrder) contains(v Var) bool {
+	return int(v) < len(o.indices) && o.indices[v] >= 0
+}
+
+func (o *varOrder) insert(v Var) {
+	o.grow(int(v) + 1)
+	if o.contains(v) {
+		return
+	}
+	o.heap = append(o.heap, v)
+	o.indices[v] = len(o.heap) - 1
+	o.percolateUp(len(o.heap) - 1)
+}
+
+func (o *varOrder) empty() bool { return len(o.heap) == 0 }
+
+func (o *varOrder) removeMin() Var {
+	top := o.heap[0]
+	last := o.heap[len(o.heap)-1]
+	o.heap[0] = last
+	o.indices[last] = 0
+	o.heap = o.heap[:len(o.heap)-1]
+	o.indices[top] = -1
+	if len(o.heap) > 1 {
+		o.percolateDown(0)
+	}
+	return top
+}
+
+// decreased restores the heap property after v's activity increased
+// (a larger activity means v should move toward the root).
+func (o *varOrder) decreased(v Var) {
+	if o.contains(v) {
+		o.percolateUp(o.indices[v])
+	}
+}
+
+func (o *varOrder) percolateUp(i int) {
+	v := o.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !o.less(v, o.heap[parent]) {
+			break
+		}
+		o.heap[i] = o.heap[parent]
+		o.indices[o.heap[i]] = i
+		i = parent
+	}
+	o.heap[i] = v
+	o.indices[v] = i
+}
+
+func (o *varOrder) percolateDown(i int) {
+	v := o.heap[i]
+	n := len(o.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if child+1 < n && o.less(o.heap[child+1], o.heap[child]) {
+			child++
+		}
+		if !o.less(o.heap[child], v) {
+			break
+		}
+		o.heap[i] = o.heap[child]
+		o.indices[o.heap[i]] = i
+		i = child
+	}
+	o.heap[i] = v
+	o.indices[v] = i
+}
+
+// luby computes the i-th element (1-based) of the Luby restart sequence
+// scaled by y: y^luby(i) restart intervals 1,1,2,1,1,2,4,...
+func luby(y float64, i int) float64 {
+	// Find the finite subsequence that contains index i, and the index of
+	// i within that subsequence.
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	pow := 1.0
+	for ; seq > 0; seq-- {
+		pow *= y
+	}
+	return pow
+}

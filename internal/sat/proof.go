@@ -1,0 +1,121 @@
+package sat
+
+// Proof tracing internals.
+//
+// Every attached clause gets a dense id. For learnt clauses the solver
+// records a resolution chain: the ids of the clauses resolved together
+// during conflict analysis. Literals assigned at decision level 0 are
+// dropped from resolvents without resolving them out explicitly; instead
+// of expanding their (possibly huge, shared) level-0 derivations into every
+// chain, the chain stores a compact marker for the variable and the
+// derivation is expanded once — memoized across the whole walk — when Core
+// is called. Level-0 assignments and their reason clauses are never undone
+// or deleted (reasons are locked), so deferred expansion is sound.
+//
+// Chains live in a flat arena indexed by clause id, keeping the per-learnt
+// overhead to the antecedent count times 4 bytes.
+
+// chainEntry encoding: values ≥ 0 are clause ids; value -(v+1) marks "the
+// level-0 derivation of variable v".
+func markLevelZero(v Var) int32 { return -int32(v) - 1 }
+
+func isLevelZeroMark(e int32) bool { return e < 0 }
+
+func markedVar(e int32) Var { return Var(-e - 1) }
+
+// proofStore holds chains and tags for all attached clauses.
+type proofStore struct {
+	arena []int32 // concatenated chains
+	off   []int32 // id -> start offset in arena (len id+1 entries when built)
+	tags  []int64 // id -> caller tag (originals), -1 for learnt clauses
+}
+
+// addOriginal registers an original clause and returns its id.
+func (p *proofStore) addOriginal(tag int64) int32 {
+	id := int32(len(p.off))
+	p.off = append(p.off, int32(len(p.arena)))
+	p.tags = append(p.tags, tag)
+	return id
+}
+
+// addLearnt registers a learnt clause with its resolution chain.
+func (p *proofStore) addLearnt(chain []int32) int32 {
+	id := int32(len(p.off))
+	p.off = append(p.off, int32(len(p.arena)))
+	p.tags = append(p.tags, -1)
+	p.arena = append(p.arena, chain...)
+	return id
+}
+
+// chain returns the stored chain of a clause id.
+func (p *proofStore) chain(id int32) []int32 {
+	start := p.off[id]
+	end := int32(len(p.arena))
+	if int(id+1) < len(p.off) {
+		end = p.off[id+1]
+	}
+	return p.arena[start:end]
+}
+
+func (p *proofStore) isLearnt(id int32) bool { return p.tags[id] == -1 }
+
+// Core returns the provenance tags of a subset of original clauses that,
+// together with the failed assumptions of the last Solve, is
+// unsatisfiable. It must be called after an Unsat answer with proof
+// tracing enabled. Tags equal to -1 (untagged clauses) are omitted;
+// duplicate tags are reported once.
+func (s *Solver) Core() []int64 {
+	if !s.trace {
+		panic("sat: Core requires proof tracing")
+	}
+	chain := s.finalChain
+	if chain == nil && !s.ok {
+		chain = s.rootCause
+	}
+	seenID := make(map[int32]bool)
+	seenVar := make(map[Var]bool)
+	seenTag := make(map[int64]bool)
+	var tags []int64
+
+	var stack []int32
+	push := func(entries []int32) {
+		stack = append(stack, entries...)
+	}
+	push(chain)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if isLevelZeroMark(e) {
+			v := markedVar(e)
+			if seenVar[v] {
+				continue
+			}
+			seenVar[v] = true
+			r := s.reasons[v]
+			if r == nil {
+				continue // defensive: level-0 decision cannot happen
+			}
+			stack = append(stack, r.id)
+			for _, q := range r.lits {
+				if q.Var() != v && s.levels[q.Var()] == 0 {
+					stack = append(stack, markLevelZero(q.Var()))
+				}
+			}
+			continue
+		}
+		if seenID[e] {
+			continue
+		}
+		seenID[e] = true
+		if s.proof.isLearnt(e) {
+			push(s.proof.chain(e))
+			continue
+		}
+		tag := s.proof.tags[e]
+		if tag >= 0 && !seenTag[tag] {
+			seenTag[tag] = true
+			tags = append(tags, tag)
+		}
+	}
+	return tags
+}

@@ -1,0 +1,734 @@
+package sat
+
+// Solver is an incremental CDCL SAT solver. The zero value is not usable;
+// construct with New.
+//
+// Typical use:
+//
+//	s := sat.New()
+//	v := s.NewVar()
+//	s.AddClause(sat.PosLit(v))
+//	if s.Solve() == sat.Sat { _ = s.Value(v) }
+//
+// Clauses may be added between Solve calls. Solve accepts assumption
+// literals; after an Unsat answer under assumptions, FailedAssumptions
+// reports a subset of assumptions sufficient for unsatisfiability, and (when
+// proof tracing is enabled) Core reports provenance tags of a sufficient
+// subset of original clauses.
+type Solver struct {
+	ok bool // false once the clause database is UNSAT at level 0
+
+	clauses []*clause // original problem clauses
+	learnts []*clause
+
+	watches  [][]watcher // literal -> watch list
+	assigns  []LBool     // variable assignment
+	levels   []int32     // decision level of each assigned variable
+	reasons  []*clause   // antecedent clause of each implied variable
+	polarity []bool      // saved phase per variable
+	decider  []bool      // whether the variable may be picked as a decision
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	order    *varOrder
+	activity []float64
+	varInc   float64
+	claInc   float32
+
+	seen           []byte
+	analyzeScratch []Lit
+
+	model         []LBool
+	conflictAssum []Lit // failed assumptions from the last Unsat answer
+
+	// Proof tracing.
+	trace      bool
+	proof      proofStore
+	finalChain []int32 // antecedents of the final (empty) conflict
+	rootCause  []int32 // chain when AddClause itself hit UNSAT
+
+	// Budgets.
+	ConflictBudget int64       // ≤0 means unlimited
+	Interrupt      func() bool // polled; returning true aborts Solve with Unknown
+
+	stats Stats
+}
+
+// Stats holds cumulative search statistics.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	LearntsAdded int64
+	MaxVar       int
+}
+
+// New constructs an empty solver.
+func New() *Solver {
+	return &Solver{
+		ok:     true,
+		varInc: 1.0,
+		claInc: 1.0,
+	}
+}
+
+// EnableProofTracing turns on resolution-chain recording. It must be called
+// before any clause is added.
+func (s *Solver) EnableProofTracing() {
+	if len(s.clauses) > 0 || len(s.trail) > 0 {
+		panic("sat: EnableProofTracing must be called before adding clauses")
+	}
+	s.trace = true
+}
+
+// Tracing reports whether proof tracing is enabled.
+func (s *Solver) Tracing() bool { return s.trace }
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of original clauses currently attached.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// ClauseAt returns a copy of the i-th stored original clause (literal
+// order is internal and may differ from the order given to AddClause).
+func (s *Solver) ClauseAt(i int) []Lit {
+	return append([]Lit(nil), s.clauses[i].lits...)
+}
+
+// NumLearnts returns the number of learnt clauses currently attached.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Stats returns cumulative statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, Undef)
+	s.levels = append(s.levels, 0)
+	s.reasons = append(s.reasons, nil)
+	s.polarity = append(s.polarity, true) // default phase: false
+	s.decider = append(s.decider, true)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, 0)
+	if s.order == nil {
+		s.order = newVarOrder(&s.activity)
+	}
+	s.order.insert(v)
+	s.stats.MaxVar = len(s.assigns)
+	return v
+}
+
+// SetDecidable controls whether v may be chosen as a decision variable.
+// Non-decidable variables can still be assigned by propagation.
+func (s *Solver) SetDecidable(v Var, d bool) { s.decider[v] = d }
+
+// Value returns the value of v in the most recent satisfying model.
+func (s *Solver) Value(v Var) LBool {
+	if int(v) >= len(s.model) {
+		return Undef
+	}
+	return s.model[v]
+}
+
+// LitValue returns the model value of literal l.
+func (s *Solver) LitValue(l Lit) LBool { return s.Value(l.Var()).XorSign(l.Sign()) }
+
+// FailedAssumptions returns the subset of the last Solve's assumptions that
+// was used to derive Unsat. Valid only immediately after an Unsat answer.
+func (s *Solver) FailedAssumptions() []Lit { return s.conflictAssum }
+
+// value is the current (search-time) value of a literal.
+func (s *Solver) value(l Lit) LBool { return s.assigns[l.Var()].XorSign(l.Sign()) }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds an untagged clause. It returns false if the clause database
+// has become unsatisfiable at level 0.
+func (s *Solver) AddClause(lits ...Lit) bool { return s.AddClauseTagged(-1, lits) }
+
+// AddClauseTagged adds a clause carrying a provenance tag used by Core.
+// It returns false if the clause database has become unsatisfiable.
+func (s *Solver) AddClauseTagged(tag int64, lits []Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	// Normalize: sort, drop duplicates, detect tautologies.
+	tmp := append([]Lit(nil), lits...)
+	sortLits(tmp)
+	out := tmp[:0]
+	var prev Lit = LitUndef
+	for _, l := range tmp {
+		if int(l.Var()) >= len(s.assigns) {
+			panic("sat: literal references unallocated variable")
+		}
+		if l == prev {
+			continue
+		}
+		if prev != LitUndef && l == prev.Not() {
+			return true // tautology
+		}
+		if !s.trace {
+			// Without tracing we may freely strengthen at level 0.
+			if s.value(l) == True {
+				return true
+			}
+			if s.value(l) == False {
+				continue
+			}
+		} else if s.value(l) == True && s.levels[l.Var()] == 0 {
+			return true // satisfied at level 0: redundant, safe to drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+
+	c := &clause{lits: append([]Lit(nil), out...), id: -1}
+	if s.trace {
+		c.id = s.proof.addOriginal(tag)
+	}
+
+	// Count non-false literals and move them to the front for watching.
+	nonFalse := 0
+	for i, l := range c.lits {
+		if s.value(l) != False {
+			c.lits[i], c.lits[nonFalse] = c.lits[nonFalse], c.lits[i]
+			nonFalse++
+		}
+	}
+	switch {
+	case nonFalse == 0:
+		// Conflict at level 0: the database is UNSAT.
+		s.ok = false
+		if s.trace {
+			s.rootCause = s.levelZeroChain(c)
+		}
+		if len(c.lits) > 0 {
+			s.clauses = append(s.clauses, c)
+		}
+		return false
+	case nonFalse == 1:
+		// Effectively a unit clause.
+		s.clauses = append(s.clauses, c)
+		s.uncheckedEnqueue(c.lits[0], c)
+		if confl := s.propagate(); confl != nil {
+			s.ok = false
+			if s.trace {
+				s.rootCause = s.levelZeroChain(confl)
+			}
+			return false
+		}
+		return true
+	default:
+		s.clauses = append(s.clauses, c)
+		s.attach(c)
+		return true
+	}
+}
+
+func sortLits(lits []Lit) {
+	// Insertion sort: clause literal lists are short.
+	for i := 1; i < len(lits); i++ {
+		l := lits[i]
+		j := i - 1
+		for j >= 0 && lits[j] > l {
+			lits[j+1] = lits[j]
+			j--
+		}
+		lits[j+1] = l
+	}
+}
+
+func (s *Solver) attach(c *clause) {
+	w0, w1 := c.lits[0].Not(), c.lits[1].Not()
+	s.watches[w0] = append(s.watches[w0], watcher{c: c, blocker: c.lits[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = True.XorSign(l.Sign())
+	s.levels[v] = int32(s.decisionLevel())
+	s.reasons[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the watch lists and returns a
+// conflicting clause, or nil if no conflict was found.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		n := len(ws)
+	nextWatcher:
+		for wi := 0; wi < n; wi++ {
+			w := ws[wi]
+			if s.value(w.blocker) == True {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			if c.del {
+				continue // dropped clause: let the watcher disappear
+			}
+			// Ensure the false literal is at position 1.
+			notP := p.Not()
+			if c.lits[0] == notP {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == True {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					wl := c.lits[1].Not()
+					s.watches[wl] = append(s.watches[wl], watcher{c: c, blocker: first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.value(first) == False {
+				// Conflict: restore remaining watchers and bail.
+				kept = append(kept, ws[wi+1:n]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = Undef
+		s.polarity[v] = s.trail[i].Sign()
+		s.reasons[v] = nil
+		if !s.order.contains(v) {
+			s.order.insert(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.decreased(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e30 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-30
+		}
+		s.claInc *= 1e-30
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= 0.999 }
+
+// analyze performs first-UIP conflict analysis. It returns the learnt clause
+// literals (asserting literal first), the backtrack level, and — when
+// tracing — the resolution chain of clause IDs.
+func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int, chain []int32) {
+	learnt = append(s.analyzeScratch[:0], LitUndef) // reserve slot 0
+	seen := s.seen
+	counter := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		if s.trace {
+			chain = append(chain, confl.id)
+		}
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1 // skip the resolved literal confl.lits[0]
+		}
+		for _, q := range confl.lits[start:] {
+			if p != LitUndef && q == p {
+				continue
+			}
+			v := q.Var()
+			if seen[v] != 0 {
+				continue
+			}
+			lv := int(s.levels[v])
+			if lv == 0 {
+				// Dropping a level-0 literal resolves against its
+				// level-0 derivation; record a deferred marker.
+				if s.trace {
+					chain = append(chain, markLevelZero(v))
+				}
+				continue
+			}
+			seen[v] = 1
+			s.bumpVar(v)
+			if lv >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to resolve on.
+		for seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reasons[p.Var()]
+		seen[p.Var()] = 0
+		counter--
+		if counter <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Conflict-clause minimization (self-subsumption with level-0 removal).
+	learnt, chain = s.minimize(learnt, chain)
+
+	// Compute backtrack level and move the second-highest literal to slot 1.
+	if len(learnt) == 1 {
+		btLevel = 0
+	} else {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.levels[learnt[i].Var()] > s.levels[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.levels[learnt[1].Var()])
+	}
+	for _, l := range learnt {
+		seen[l.Var()] = 0
+	}
+	s.analyzeScratch = learnt[:0]
+	return append([]Lit(nil), learnt...), btLevel, chain
+}
+
+// minimize removes literals from the learnt clause that are implied by the
+// others via their reason clauses, extending the proof chain accordingly.
+func (s *Solver) minimize(learnt []Lit, chain []int32) ([]Lit, []int32) {
+	seen := s.seen
+	for _, l := range learnt {
+		seen[l.Var()] = 1
+	}
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		r := s.reasons[l.Var()]
+		if r == nil {
+			out = append(out, l)
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits {
+			if q == l.Not() {
+				continue
+			}
+			if seen[q.Var()] != 0 {
+				continue
+			}
+			if s.levels[q.Var()] == 0 {
+				continue
+			}
+			redundant = false
+			break
+		}
+		if redundant {
+			if s.trace {
+				chain = append(chain, r.id)
+				for _, q := range r.lits {
+					if q != l.Not() && seen[q.Var()] == 0 && s.levels[q.Var()] == 0 {
+						chain = append(chain, markLevelZero(q.Var()))
+					}
+				}
+			}
+			seen[l.Var()] = 0 // removed: do not let later literals rely on it
+			continue
+		}
+		out = append(out, l)
+	}
+	for _, l := range out {
+		seen[l.Var()] = 0
+	}
+	return out, chain
+}
+
+// levelZeroChain records the derivation of a conflict at level 0: the
+// conflicting clause plus deferred markers for its (level-0) literals.
+func (s *Solver) levelZeroChain(confl *clause) []int32 {
+	chain := []int32{confl.id}
+	for _, q := range confl.lits {
+		chain = append(chain, markLevelZero(q.Var()))
+	}
+	return chain
+}
+
+func (s *Solver) recordLearnt(lits []Lit, chain []int32) *clause {
+	c := &clause{lits: lits, learnt: true, id: -1}
+	if s.trace {
+		c.id = s.proof.addLearnt(chain)
+	}
+	s.stats.LearntsAdded++
+	if len(lits) >= 2 {
+		s.learnts = append(s.learnts, c)
+		s.attach(c)
+		s.bumpClause(c)
+	}
+	return c
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring clauses
+// with low activity, while keeping clauses that are reasons on the trail.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	// Partial sort by activity: simple threshold at median via nth element
+	// approximation (full sort is fine at our scale).
+	ls := s.learnts
+	sortClausesByAct(ls)
+	keep := ls[:0]
+	locked := func(c *clause) bool {
+		l := c.lits[0]
+		return s.value(l) == True && s.reasons[l.Var()] == c
+	}
+	half := len(ls) / 2
+	for i, c := range ls {
+		if i < half && len(c.lits) > 2 && !locked(c) {
+			c.del = true // watchers lazily dropped in propagate
+			continue
+		}
+		keep = append(keep, c)
+	}
+	s.learnts = keep
+}
+
+func sortClausesByAct(cs []*clause) {
+	// Ascending activity; shell sort to avoid importing sort for a hot path.
+	n := len(cs)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			c := cs[i]
+			j := i
+			for ; j >= gap && cs[j-gap].act > c.act; j -= gap {
+				cs[j] = cs[j-gap]
+			}
+			cs[j] = c
+		}
+	}
+}
+
+func (s *Solver) pickBranchVar() Var {
+	for !s.order.empty() {
+		v := s.order.removeMin()
+		if s.assigns[v] == Undef && s.decider[v] {
+			return v
+		}
+	}
+	return VarUndef
+}
+
+// Solve searches for a satisfying assignment under the given assumptions.
+func (s *Solver) Solve(assumps ...Lit) Status {
+	s.model = nil
+	s.conflictAssum = nil
+	s.finalChain = nil
+	if !s.ok {
+		if s.trace {
+			s.finalChain = s.rootCause
+		}
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if confl := s.propagate(); confl != nil {
+		s.ok = false
+		if s.trace {
+			s.rootCause = s.levelZeroChain(confl)
+			s.finalChain = s.rootCause
+		}
+		return Unsat
+	}
+
+	var conflicts int64
+	restartN := 0
+	limit := int64(luby(2, restartN) * 100)
+	sinceRestart := int64(0)
+	maxLearnts := int64(len(s.clauses)/3 + 1000)
+
+	for {
+		if s.Interrupt != nil && conflicts%64 == 0 && s.Interrupt() {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			sinceRestart++
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				if s.trace {
+					s.rootCause = s.levelZeroChain(confl)
+					s.finalChain = s.rootCause
+				}
+				s.cancelUntil(0)
+				return Unsat
+			}
+			learnt, btLevel, chain := s.analyze(confl)
+			// Do not backtrack past the assumptions unless forced to.
+			s.cancelUntil(btLevel)
+			c := s.recordLearnt(learnt, chain)
+			if s.value(learnt[0]) != Undef {
+				panic("sat: asserting literal assigned after backjump")
+			}
+			s.uncheckedEnqueue(learnt[0], c)
+			s.decayVar()
+			s.decayClause()
+			if s.ConflictBudget > 0 && conflicts > s.ConflictBudget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		if sinceRestart >= limit {
+			// Restart, keeping assumptions intact by replaying them below.
+			restartN++
+			s.stats.Restarts++
+			limit = int64(luby(2, restartN) * 100)
+			sinceRestart = 0
+			s.cancelUntil(0)
+		}
+		if int64(len(s.learnts)) > maxLearnts {
+			s.reduceDB()
+			maxLearnts += maxLearnts / 10
+		}
+
+		// Re-establish assumptions as the first decisions.
+		if s.decisionLevel() < len(assumps) {
+			a := assumps[s.decisionLevel()]
+			switch s.value(a) {
+			case True:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+			case False:
+				s.analyzeFinal(a)
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				s.stats.Decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(a, nil)
+			}
+			continue
+		}
+
+		v := s.pickBranchVar()
+		if v == VarUndef {
+			// Model found.
+			s.model = append([]LBool(nil), s.assigns...)
+			s.cancelUntil(0)
+			return Sat
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(MkLit(v, s.polarity[v]), nil)
+	}
+}
+
+// analyzeFinal computes the failed-assumption set and clause chain for an
+// assumption literal a that is false under the current (assumption-level)
+// assignment.
+func (s *Solver) analyzeFinal(a Lit) {
+	s.conflictAssum = []Lit{a}
+	if r := s.reasons[a.Var()]; r != nil {
+		s.analyzeFinalLit(a, r)
+		return
+	}
+	// a was directly contradicted by an earlier assumption decision.
+	s.conflictAssum = append(s.conflictAssum, a.Not())
+	s.finalChain = nil
+}
+
+// analyzeFinalLit walks implications backward from a conflicting implied
+// literal, separating assumption decisions (reported in conflictAssum) from
+// clauses (reported, when tracing, in finalChain).
+func (s *Solver) analyzeFinalLit(a Lit, r *clause) {
+	s.conflictAssum = []Lit{a}
+	var chain []int32
+	seen := s.seen
+	seen[a.Var()] = 1
+	stack := []*clause{r}
+	var vars []Var
+	vars = append(vars, a.Var())
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.trace {
+			chain = append(chain, c.id)
+		}
+		for _, q := range c.lits {
+			v := q.Var()
+			if seen[v] != 0 {
+				continue
+			}
+			if s.value(q) != False {
+				continue
+			}
+			seen[v] = 1
+			vars = append(vars, v)
+			if rr := s.reasons[v]; rr != nil {
+				stack = append(stack, rr)
+			} else if s.levels[v] > 0 {
+				// Assumption decision.
+				s.conflictAssum = append(s.conflictAssum, q.Not())
+			}
+		}
+	}
+	for _, v := range vars {
+		seen[v] = 0
+	}
+	s.finalChain = chain
+}
+
+// Okay reports whether the clause database is still (possibly) satisfiable.
+func (s *Solver) Okay() bool { return s.ok }

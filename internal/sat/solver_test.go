@@ -1,0 +1,629 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lits(xs ...int) []Lit {
+	out := make([]Lit, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			out[i] = PosLit(Var(x - 1))
+		} else {
+			out[i] = NegLit(Var(-x - 1))
+		}
+	}
+	return out
+}
+
+// addVars allocates n variables.
+func addVars(s *Solver, n int) {
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+}
+
+func TestLitEncoding(t *testing.T) {
+	v := Var(5)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatalf("Var roundtrip failed")
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatalf("Sign wrong")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Fatalf("Not wrong")
+	}
+	if MkLit(v, true) != n || MkLit(v, false) != p {
+		t.Fatalf("MkLit wrong")
+	}
+	if p.XorSign(true) != n || p.XorSign(false) != p {
+		t.Fatalf("XorSign wrong")
+	}
+}
+
+func TestLBool(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Undef.Not() != Undef {
+		t.Fatalf("LBool.Not wrong")
+	}
+	if True.XorSign(true) != False || True.XorSign(false) != True {
+		t.Fatalf("LBool.XorSign wrong")
+	}
+	if True.String() != "true" || False.String() != "false" || Undef.String() != "undef" {
+		t.Fatalf("LBool.String wrong")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	addVars(s, 2)
+	s.AddClause(lits(1, 2)...)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("expected SAT, got %v", got)
+	}
+	// Model must satisfy the clause.
+	if s.LitValue(lits(1)[0]) != True && s.LitValue(lits(2)[0]) != True {
+		t.Fatalf("model does not satisfy clause")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	addVars(s, 1)
+	s.AddClause(lits(1)...)
+	ok := s.AddClause(lits(-1)...)
+	if ok {
+		t.Fatalf("expected AddClause to report UNSAT")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("expected UNSAT, got %v", got)
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	addVars(s, 3)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("expected SAT on empty formula, got %v", got)
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	s := New()
+	addVars(s, 5)
+	s.AddClause(lits(1)...)
+	s.AddClause(lits(-1, 2)...)
+	s.AddClause(lits(-2, 3)...)
+	s.AddClause(lits(-3, 4)...)
+	s.AddClause(lits(-4, 5)...)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("expected SAT, got %v", got)
+	}
+	for v := Var(0); v < 5; v++ {
+		if s.Value(v) != True {
+			t.Fatalf("var %d should be forced true", v+1)
+		}
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	addVars(s, 2)
+	if !s.AddClause(lits(1, -1)...) {
+		t.Fatalf("tautology must not make the DB unsat")
+	}
+	if s.NumClauses() != 0 {
+		t.Fatalf("tautology should not be stored, have %d clauses", s.NumClauses())
+	}
+	s.AddClause(lits(2)...)
+	if s.Solve() != Sat {
+		t.Fatalf("expected SAT")
+	}
+}
+
+func TestDuplicateLiteralsCollapsed(t *testing.T) {
+	s := New()
+	addVars(s, 1)
+	s.AddClause(lits(1, 1, 1)...)
+	if s.Solve() != Sat || s.Value(0) != True {
+		t.Fatalf("duplicate literals mishandled")
+	}
+}
+
+// pigeonhole builds PHP(p, h): p pigeons into h holes, unsat when p > h.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]Var, pigeons)
+	for i := range vars {
+		vars[i] = make([]Var, holes)
+		for j := range vars[i] {
+			vars[i][j] = s.NewVar()
+		}
+	}
+	// Each pigeon in some hole.
+	for i := 0; i < pigeons; i++ {
+		cl := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			cl[j] = PosLit(vars[i][j])
+		}
+		s.AddClause(cl...)
+	}
+	// No two pigeons share a hole.
+	for j := 0; j < holes; j++ {
+		for a := 0; a < pigeons; a++ {
+			for b := a + 1; b < pigeons; b++ {
+				s.AddClause(NegLit(vars[a][j]), NegLit(vars[b][j]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for h := 2; h <= 6; h++ {
+		s := New()
+		pigeonhole(s, h+1, h)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d): expected UNSAT, got %v", h+1, h, got)
+		}
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	for h := 2; h <= 6; h++ {
+		s := New()
+		pigeonhole(s, h, h)
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("PHP(%d,%d): expected SAT, got %v", h, h, got)
+		}
+	}
+}
+
+// bruteForce decides satisfiability of a CNF over n vars by enumeration.
+func bruteForce(n int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<n; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>uint(l.Var())&1 == 1
+				if val != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func randomCNF(rng *rand.Rand, nVars, nClauses, width int) [][]Lit {
+	cnf := make([][]Lit, nClauses)
+	for i := range cnf {
+		w := 1 + rng.Intn(width)
+		cl := make([]Lit, w)
+		for j := range cl {
+			cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+		}
+		cnf[i] = cl
+	}
+	return cnf
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(30)
+		cnf := randomCNF(rng, nVars, nClauses, 4)
+		want := bruteForce(nVars, cnf)
+		s := New()
+		addVars(s, nVars)
+		dbOK := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				dbOK = false
+				break
+			}
+		}
+		got := false
+		if dbOK {
+			got = s.Solve() == Sat
+		}
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, got, want, cnf)
+		}
+		if got {
+			// Model must satisfy every clause.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					if s.LitValue(l) == True {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model violates clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	s := New()
+	addVars(s, 4)
+	s.AddClause(lits(1, 2)...)
+	if s.Solve() != Sat {
+		t.Fatalf("phase 1 should be SAT")
+	}
+	s.AddClause(lits(-1)...)
+	if s.Solve() != Sat {
+		t.Fatalf("phase 2 should be SAT")
+	}
+	if s.Value(1) != True {
+		t.Fatalf("x2 must be true after x1 forced false")
+	}
+	s.AddClause(lits(-2)...)
+	if s.Solve() != Unsat {
+		t.Fatalf("phase 3 should be UNSAT")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	addVars(s, 3)
+	s.AddClause(lits(-1, 2)...)
+	s.AddClause(lits(-2, 3)...)
+	if s.Solve(lits(1)[0]) != Sat {
+		t.Fatalf("assuming x1 should be SAT")
+	}
+	if s.Value(2) != True {
+		t.Fatalf("x3 should be implied true")
+	}
+	if s.Solve(lits(1)[0], lits(-3)[0]) != Unsat {
+		t.Fatalf("assuming x1 and ¬x3 should be UNSAT")
+	}
+	fa := s.FailedAssumptions()
+	if len(fa) == 0 {
+		t.Fatalf("expected failed assumptions")
+	}
+	// Solver must remain usable and unpolluted by assumptions.
+	if s.Solve() != Sat {
+		t.Fatalf("solver should still be SAT without assumptions")
+	}
+	if s.Solve(lits(-1)[0]) != Sat {
+		t.Fatalf("assuming ¬x1 should be SAT")
+	}
+}
+
+func TestFailedAssumptionsSubset(t *testing.T) {
+	s := New()
+	addVars(s, 5)
+	s.AddClause(lits(-1, -2)...)
+	// Assume many irrelevant things plus the conflicting pair.
+	as := lits(3, 4, 5, 1, 2)
+	if s.Solve(as...) != Unsat {
+		t.Fatalf("expected UNSAT")
+	}
+	fa := s.FailedAssumptions()
+	for _, l := range fa {
+		found := false
+		for _, a := range as {
+			if a == l {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("failed assumption %v not among assumptions", l)
+		}
+	}
+	// The failed set must itself be unsatisfiable with the formula.
+	s2 := New()
+	addVars(s2, 5)
+	s2.AddClause(lits(-1, -2)...)
+	if s2.Solve(fa...) != Unsat {
+		t.Fatalf("failed-assumption set is not sufficient for UNSAT")
+	}
+}
+
+func TestContradictoryAssumptions(t *testing.T) {
+	s := New()
+	addVars(s, 2)
+	s.AddClause(lits(1, 2)...)
+	if s.Solve(lits(1)[0], lits(-1)[0]) != Unsat {
+		t.Fatalf("contradictory assumptions should be UNSAT")
+	}
+}
+
+func TestCoreSimple(t *testing.T) {
+	s := New()
+	s.EnableProofTracing()
+	addVars(s, 4)
+	s.AddClauseTagged(0, lits(1))
+	s.AddClauseTagged(1, lits(-1, 2))
+	s.AddClauseTagged(2, lits(-2))
+	s.AddClauseTagged(3, lits(3, 4)) // irrelevant
+	if s.Solve() != Unsat {
+		t.Fatalf("expected UNSAT")
+	}
+	core := s.Core()
+	seen := map[int64]bool{}
+	for _, tag := range core {
+		seen[tag] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("core %v must contain tags 0,1,2", core)
+	}
+	if seen[3] {
+		t.Fatalf("core %v must not contain irrelevant tag 3", core)
+	}
+}
+
+// TestCoreSoundRandom checks, on random UNSAT instances, that the reported
+// core is itself unsatisfiable.
+func TestCoreSoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tested := 0
+	for iter := 0; iter < 600 && tested < 120; iter++ {
+		nVars := 3 + rng.Intn(6)
+		nClauses := 5 + rng.Intn(40)
+		cnf := randomCNF(rng, nVars, nClauses, 3)
+		if bruteForce(nVars, cnf) {
+			continue
+		}
+		tested++
+		s := New()
+		s.EnableProofTracing()
+		addVars(s, nVars)
+		ok := true
+		for i, cl := range cnf {
+			if !s.AddClauseTagged(int64(i), cl) {
+				ok = false
+				break
+			}
+		}
+		if ok && s.Solve() != Unsat {
+			t.Fatalf("iter %d: expected UNSAT", iter)
+		}
+		core := s.Core()
+		sub := make([][]Lit, 0, len(core))
+		for _, tag := range core {
+			sub = append(sub, cnf[tag])
+		}
+		if bruteForce(nVars, sub) {
+			t.Fatalf("iter %d: core %v is satisfiable; cnf=%v", iter, core, cnf)
+		}
+	}
+	if tested < 20 {
+		t.Fatalf("too few UNSAT instances exercised: %d", tested)
+	}
+}
+
+// TestCoreSoundPigeonhole checks core extraction on structured instances.
+func TestCoreSoundPigeonhole(t *testing.T) {
+	s := New()
+	s.EnableProofTracing()
+	holes := 4
+	pigeons := holes + 1
+	vars := make([][]Var, pigeons)
+	for i := range vars {
+		vars[i] = make([]Var, holes)
+		for j := range vars[i] {
+			vars[i][j] = s.NewVar()
+		}
+	}
+	tag := int64(0)
+	tags := make(map[int64][]Lit)
+	add := func(cl []Lit) {
+		s.AddClauseTagged(tag, cl)
+		tags[tag] = cl
+		tag++
+	}
+	for i := 0; i < pigeons; i++ {
+		cl := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			cl[j] = PosLit(vars[i][j])
+		}
+		add(cl)
+	}
+	for j := 0; j < holes; j++ {
+		for a := 0; a < pigeons; a++ {
+			for b := a + 1; b < pigeons; b++ {
+				add([]Lit{NegLit(vars[a][j]), NegLit(vars[b][j])})
+			}
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Fatalf("PHP must be UNSAT")
+	}
+	core := s.Core()
+	if len(core) == 0 {
+		t.Fatalf("empty core for PHP")
+	}
+	// Re-solve the core subset: must still be UNSAT.
+	s2 := New()
+	for i := 0; i < pigeons*holes; i++ {
+		s2.NewVar()
+	}
+	for _, tg := range core {
+		s2.AddClause(tags[tg]...)
+	}
+	if s2.Solve() != Unsat {
+		t.Fatalf("PHP core is satisfiable")
+	}
+}
+
+func TestCoreUnderAssumptions(t *testing.T) {
+	s := New()
+	s.EnableProofTracing()
+	addVars(s, 4)
+	s.AddClauseTagged(0, lits(-1, 2))
+	s.AddClauseTagged(1, lits(-2, 3))
+	s.AddClauseTagged(2, lits(-3, -4))
+	s.AddClauseTagged(3, lits(1, 4)) // irrelevant under the assumptions below
+	if s.Solve(lits(1)[0], lits(4)[0]) != Unsat {
+		t.Fatalf("expected UNSAT under assumptions")
+	}
+	core := s.Core()
+	seen := map[int64]bool{}
+	for _, tg := range core {
+		seen[tg] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("core %v must contain the implication chain", core)
+	}
+}
+
+func TestDecidableRestriction(t *testing.T) {
+	s := New()
+	addVars(s, 2)
+	s.AddClause(lits(1, 2)...)
+	s.SetDecidable(0, false)
+	s.SetDecidable(1, false)
+	// Both vars unassignable by decision; x1∨x2 has no unit implication, so
+	// the solver must still find a model by... it cannot. This documents
+	// that disabling all deciders over a non-implied clause would block;
+	// instead verify decidable vars are honored when a model exists via
+	// propagation.
+	s.AddClause(lits(1)...)
+	if s.Solve() != Sat {
+		t.Fatalf("expected SAT via propagation only")
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	s.ConflictBudget = 5
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("expected Unknown under tiny budget, got %v", got)
+	}
+	// Budget removed: must finish.
+	s.ConflictBudget = 0
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("expected UNSAT, got %v", got)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	calls := 0
+	s.Interrupt = func() bool {
+		calls++
+		return calls > 2
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("expected Unknown on interrupt, got %v", got)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []float64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(2, i); got != w {
+			t.Fatalf("luby(2,%d)=%v want %v", i, got, w)
+		}
+	}
+}
+
+func TestVarOrderHeap(t *testing.T) {
+	act := []float64{1, 5, 3, 2, 4}
+	o := newVarOrder(&act)
+	for v := Var(0); v < 5; v++ {
+		o.insert(v)
+	}
+	var got []Var
+	for !o.empty() {
+		got = append(got, o.removeMin())
+	}
+	want := []Var{1, 4, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap order got %v want %v", got, want)
+		}
+	}
+}
+
+func TestVarOrderDecrease(t *testing.T) {
+	act := []float64{1, 2, 3}
+	o := newVarOrder(&act)
+	for v := Var(0); v < 3; v++ {
+		o.insert(v)
+	}
+	act[0] = 10
+	o.decreased(0)
+	if o.removeMin() != 0 {
+		t.Fatalf("var 0 should be at top after bump")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 4)
+	s.Solve()
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Decisions == 0 || st.Propagations == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestManySolveCallsStable(t *testing.T) {
+	s := New()
+	addVars(s, 8)
+	s.AddClause(lits(1, 2, 3)...)
+	s.AddClause(lits(-1, 4)...)
+	for i := 0; i < 50; i++ {
+		var as []Lit
+		if i%2 == 0 {
+			as = lits(1)
+		} else {
+			as = lits(-4)
+		}
+		got := s.Solve(as...)
+		if got != Sat {
+			t.Fatalf("iteration %d: expected SAT got %v", i, got)
+		}
+	}
+}
+
+func TestAddClauseAfterSolve(t *testing.T) {
+	s := New()
+	addVars(s, 3)
+	s.AddClause(lits(1, 2, 3)...)
+	if s.Solve() != Sat {
+		t.Fatalf("expect SAT")
+	}
+	s.AddClause(lits(-1)...)
+	s.AddClause(lits(-2)...)
+	if s.Solve() != Sat {
+		t.Fatalf("expect SAT")
+	}
+	if s.Value(2) != True {
+		t.Fatalf("x3 must be true")
+	}
+}
+
+func TestLitString(t *testing.T) {
+	if PosLit(2).String() != "3" || NegLit(2).String() != "-3" {
+		t.Fatalf("Lit.String wrong: %s %s", PosLit(2), NegLit(2))
+	}
+	if LitUndef.String() != "undef" {
+		t.Fatalf("LitUndef.String wrong")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatalf("Status.String wrong")
+	}
+}

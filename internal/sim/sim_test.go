@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+)
+
+func TestLatchInitAndStep(t *testing.T) {
+	m := rtl.NewModule("t")
+	q := m.Register("q", 2, 2)
+	q.SetNext(m.Inc(q.Q))
+	m.Done(q)
+	s := New(m.N)
+	s.Begin(nil)
+	if got := s.EvalVec(q.Q); got != 2 {
+		t.Fatalf("init %d want 2", got)
+	}
+	s.Step(nil)
+	s.Begin(nil)
+	if got := s.EvalVec(q.Q); got != 3 {
+		t.Fatalf("after step %d want 3", got)
+	}
+	if s.Cycle() != 1 {
+		t.Fatalf("cycle count wrong")
+	}
+}
+
+func TestSetLatchOverride(t *testing.T) {
+	m := rtl.NewModule("t")
+	q := m.RegisterX("q", 1)
+	q.SetNext(q.Q)
+	m.Done(q)
+	s := New(m.N)
+	s.SetLatch(q.Q[0].Node(), true)
+	if !s.LatchValue(q.Q[0].Node()) {
+		t.Fatalf("SetLatch lost")
+	}
+	s.Begin(nil)
+	if !s.Eval(q.Q[0]) {
+		t.Fatalf("override not visible")
+	}
+}
+
+func TestMemoryReadWriteCommitOrder(t *testing.T) {
+	m := rtl.NewModule("t")
+	mem := m.Memory("mem", 2, 4, aig.MemZero)
+	we := m.InputBit("we")
+	addr := m.Input("a", 2)
+	data := m.Input("d", 4)
+	mem.Write(addr, data, we)
+	rd := mem.Read(addr, aig.True)
+	s := New(m.N)
+	in := map[aig.NodeID]bool{we.Node(): true}
+	for i, l := range addr {
+		in[l.Node()] = 1>>uint(i)&1 == 1
+	}
+	for i, l := range data {
+		in[l.Node()] = 7>>uint(i)&1 == 1
+	}
+	s.Begin(in)
+	if s.EvalVec(rd) != 0 {
+		t.Fatalf("async read must see pre-write contents")
+	}
+	s.Step(in)
+	if s.MemWord(0, 1) != 7 {
+		t.Fatalf("write not committed")
+	}
+	s.Begin(in)
+	if s.EvalVec(rd) != 7 {
+		t.Fatalf("read after commit wrong")
+	}
+}
+
+func TestSetMemWordAndImage(t *testing.T) {
+	m := rtl.NewModule("t")
+	mem := m.Memory("rom", 2, 4, aig.MemImage)
+	mem.Mod.Image = []uint64{3, 1, 4, 1}
+	raddr := m.Input("ra", 2)
+	rd := mem.Read(raddr, aig.True)
+	s := New(m.N)
+	for a := 0; a < 4; a++ {
+		in := map[aig.NodeID]bool{}
+		for i, l := range raddr {
+			in[l.Node()] = a>>uint(i)&1 == 1
+		}
+		s.Begin(in)
+		if got := s.EvalVec(rd); got != mem.Mod.Image[a] {
+			t.Fatalf("rom[%d]=%d want %d", a, got, mem.Mod.Image[a])
+		}
+	}
+	s.SetMemWord(0, 2, 9)
+	in := map[aig.NodeID]bool{raddr[1].Node(): true}
+	s.Begin(in)
+	if got := s.EvalVec(rd); got != 9 {
+		t.Fatalf("SetMemWord not visible: %d", got)
+	}
+}
+
+func TestPropertiesAndConstraints(t *testing.T) {
+	m := rtl.NewModule("t")
+	x := m.InputBit("x")
+	m.AssertAlways("px", x)
+	m.Assume(x.Not())
+	s := New(m.N)
+	res := s.Step(map[aig.NodeID]bool{x.Node(): true})
+	if !res.PropOK[0] {
+		t.Fatalf("property should hold when x=1")
+	}
+	if res.ConstraintsOK {
+		t.Fatalf("constraint ¬x violated when x=1")
+	}
+	res = s.Step(map[aig.NodeID]bool{x.Node(): false})
+	if res.PropOK[0] || !res.ConstraintsOK {
+		t.Fatalf("wrong evaluation when x=0")
+	}
+}
+
+func TestRandomInputsCoverAllInputs(t *testing.T) {
+	m := rtl.NewModule("t")
+	m.Input("a", 4)
+	m.InputBit("b")
+	s := New(m.N)
+	in := s.RandomInputs(rand.New(rand.NewSource(1)))
+	if len(in) != 5 {
+		t.Fatalf("expected 5 inputs, got %d", len(in))
+	}
+}
+
+func TestRandomizeState(t *testing.T) {
+	m := rtl.NewModule("t")
+	q := m.Register("q", 8, 0)
+	q.SetNext(q.Q)
+	m.Done(q)
+	mem := m.Memory("mem", 3, 8, aig.MemZero)
+	mem.Read(m.Input("ra", 3), aig.True)
+	s := New(m.N)
+	s.RandomizeState(rand.New(rand.NewSource(7)))
+	any := false
+	for a := 0; a < 8; a++ {
+		if s.MemWord(0, a) != 0 {
+			any = true
+		}
+	}
+	s.Begin(nil)
+	if s.EvalVec(q.Q) != 0 && !any {
+		t.Fatalf("randomize changed nothing")
+	}
+	for a := 0; a < 8; a++ {
+		if s.MemWord(0, a) > 0xff {
+			t.Fatalf("randomized word exceeds DW mask")
+		}
+	}
+}
+
+func TestWriteRaceLastPortWins(t *testing.T) {
+	m := rtl.NewModule("t")
+	mem := m.Memory("mem", 1, 4, aig.MemZero)
+	addr := m.Const(1, 0)
+	mem.Write(addr, m.Const(4, 5), aig.True)
+	mem.Write(addr, m.Const(4, 9), aig.True)
+	s := New(m.N)
+	s.Step(nil)
+	if got := s.MemWord(0, 0); got != 9 {
+		t.Fatalf("race: got %d want 9 (higher port wins)", got)
+	}
+}

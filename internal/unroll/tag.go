@@ -1,0 +1,91 @@
+package unroll
+
+import "fmt"
+
+// TagKind classifies the provenance of a CNF clause, so that an UNSAT core
+// (a set of clause tags) can be mapped back to design objects — in
+// particular to latches, which drives the latch-based proof-based
+// abstraction of §2.2/§4.3.
+type TagKind int64
+
+// Clause provenance kinds.
+const (
+	// TagGate marks Tseitin clauses of a combinational AND gate; index is
+	// the aig node id.
+	TagGate TagKind = iota + 1
+	// TagLatchNext marks the clauses linking a latch variable at frame t to
+	// its next-state function at frame t-1; index is the latch position in
+	// Netlist.Latches.
+	TagLatchNext
+	// TagLatchInit marks frame-0 initial-value clauses of a latch.
+	TagLatchInit
+	// TagEMM marks memory-modeling (data forwarding) constraints; index
+	// packs the memory index and read port.
+	TagEMM
+	// TagEMMInit marks arbitrary-initial-state constraints (eq. 6).
+	TagEMMInit
+	// TagConstraint marks environment-constraint clauses.
+	TagConstraint
+	// TagLFP marks loop-free-path constraint clauses.
+	TagLFP
+	// TagAux marks helper clauses with no design meaning.
+	TagAux
+)
+
+// String names the kind.
+func (k TagKind) String() string {
+	switch k {
+	case TagGate:
+		return "gate"
+	case TagLatchNext:
+		return "latch"
+	case TagLatchInit:
+		return "latch-init"
+	case TagEMM:
+		return "emm"
+	case TagEMMInit:
+		return "emm-init"
+	case TagConstraint:
+		return "constraint"
+	case TagLFP:
+		return "lfp"
+	case TagAux:
+		return "aux"
+	}
+	return "?"
+}
+
+// Tag is a packed clause provenance: kind, time frame, and object index.
+type Tag int64
+
+const (
+	tagKindShift  = 56
+	tagFrameShift = 40
+	tagFrameMask  = 0xFFFF
+	tagIdxMask    = (1 << tagFrameShift) - 1
+)
+
+// MkTag packs a provenance tag.
+func MkTag(kind TagKind, frame, idx int) Tag {
+	if frame < 0 || frame > tagFrameMask {
+		panic(fmt.Sprintf("unroll: frame %d out of tag range", frame))
+	}
+	if idx < 0 || int64(idx) > tagIdxMask {
+		panic(fmt.Sprintf("unroll: index %d out of tag range", idx))
+	}
+	return Tag(int64(kind)<<tagKindShift | int64(frame)<<tagFrameShift | int64(idx))
+}
+
+// Kind extracts the provenance kind.
+func (t Tag) Kind() TagKind { return TagKind(int64(t) >> tagKindShift) }
+
+// Frame extracts the time frame.
+func (t Tag) Frame() int { return int(int64(t) >> tagFrameShift & tagFrameMask) }
+
+// Index extracts the object index.
+func (t Tag) Index() int { return int(int64(t) & tagIdxMask) }
+
+// String renders the tag for debugging.
+func (t Tag) String() string {
+	return fmt.Sprintf("%s@%d#%d", t.Kind(), t.Frame(), t.Index())
+}

@@ -1,0 +1,285 @@
+package unroll
+
+import (
+	"math/rand"
+	"testing"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+	"emmver/internal/sat"
+	"emmver/internal/sim"
+)
+
+// counterDesign builds a w-bit counter that increments when en holds.
+func counterDesign(w int) (*rtl.Module, aig.Lit, *rtl.Reg) {
+	m := rtl.NewModule("counter")
+	en := m.InputBit("en")
+	r := m.Register("cnt", w, 0)
+	r.Update(en, m.Inc(r.Q))
+	m.Done(r)
+	return m, en, r
+}
+
+func TestTagPacking(t *testing.T) {
+	tg := MkTag(TagLatchNext, 17, 12345)
+	if tg.Kind() != TagLatchNext || tg.Frame() != 17 || tg.Index() != 12345 {
+		t.Fatalf("tag roundtrip failed: %v", tg)
+	}
+	if tg.String() == "" {
+		t.Fatalf("empty tag string")
+	}
+	for _, k := range []TagKind{TagGate, TagLatchNext, TagLatchInit, TagEMM, TagEMMInit, TagConstraint, TagLFP, TagAux} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestTagRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-range frame must panic")
+		}
+	}()
+	MkTag(TagGate, 1<<20, 0)
+}
+
+func TestConstLits(t *testing.T) {
+	s := sat.New()
+	m := rtl.NewModule("t")
+	u := New(m.N, s, Initialized)
+	if u.TrueLit() != u.FalseLit().Not() {
+		t.Fatalf("const lits inconsistent")
+	}
+	if !u.IsConst(u.TrueLit()) || !u.IsConst(u.FalseLit()) {
+		t.Fatalf("IsConst wrong")
+	}
+	// The constant must be pinned.
+	if s.Solve(u.FalseLit()) != sat.Unsat {
+		t.Fatalf("false literal must be unsatisfiable")
+	}
+	if s.Solve(u.TrueLit()) != sat.Sat {
+		t.Fatalf("true literal must be satisfiable")
+	}
+}
+
+// TestUnrollMatchesSimulator drives the same random inputs through the
+// unrolled CNF (via assumptions) and the concrete simulator, comparing the
+// counter value at every frame.
+func TestUnrollMatchesSimulator(t *testing.T) {
+	const w, depth = 4, 12
+	m, en, r := counterDesign(w)
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+
+	rng := rand.New(rand.NewSource(3))
+	var assumps []sat.Lit
+	var envals []bool
+	for f := 0; f < depth; f++ {
+		ev := rng.Intn(2) == 1
+		envals = append(envals, ev)
+		assumps = append(assumps, u.Lit(en, f).XorSign(!ev))
+		// Make sure the counter cone is unrolled at this frame.
+		u.VecLits(r.Q, f)
+	}
+	if got := s.Solve(assumps...); got != sat.Sat {
+		t.Fatalf("unrolled trace must be satisfiable, got %v", got)
+	}
+	simu := sim.New(m.N)
+	for f := 0; f < depth; f++ {
+		simu.Begin(nil)
+		simVal := simu.EvalVec(r.Q)
+		cnfVal := u.ModelVec(r.Q, f)
+		if simVal != cnfVal {
+			t.Fatalf("frame %d: sim=%d cnf=%d", f, simVal, cnfVal)
+		}
+		simu.Step(map[aig.NodeID]bool{en.Node(): envals[f]})
+	}
+}
+
+func TestInitializedVsFreeMode(t *testing.T) {
+	m, _, r := counterDesign(2)
+	isThree := m.EqConst(r.Q, 3)
+	m.N.AddProperty("not3", isThree.Not())
+
+	// Initialized: counter starts at 0, so ¬P at frame 0 is UNSAT.
+	s1 := sat.New()
+	u1 := New(m.N, s1, Initialized)
+	if got := s1.Solve(u1.PropertyLit(0, 0).Not()); got != sat.Unsat {
+		t.Fatalf("initialized frame-0 violation must be UNSAT, got %v", got)
+	}
+	// Free: frame 0 is arbitrary, so the violation is reachable.
+	s2 := sat.New()
+	u2 := New(m.N, s2, Free)
+	if got := s2.Solve(u2.PropertyLit(0, 0).Not()); got != sat.Sat {
+		t.Fatalf("free frame-0 violation must be SAT, got %v", got)
+	}
+}
+
+func TestFoldInitsEquivalence(t *testing.T) {
+	m, en, r := counterDesign(3)
+	three := m.EqConst(r.Q, 3)
+	m.N.AddProperty("reach3", three.Not())
+	_ = en
+	for _, fold := range []bool{false, true} {
+		s := sat.New()
+		u := New(m.N, s, Initialized)
+		u.FoldInits = fold
+		// The counter can reach 3 first at frame 3.
+		for f := 0; f <= 3; f++ {
+			got := s.Solve(u.PropertyLit(0, f).Not())
+			want := sat.Unsat
+			if f == 3 {
+				want = sat.Sat
+			}
+			if got != want {
+				t.Fatalf("fold=%v frame %d: got %v want %v", fold, f, got, want)
+			}
+		}
+	}
+}
+
+func TestLoopFreePath(t *testing.T) {
+	m, en, _ := counterDesign(2) // 4 reachable states
+	_ = en
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+	// Depths 0..3 visit up to 4 distinct states: loop-free paths exist.
+	for d := 0; d <= 3; d++ {
+		if got := s.Solve(u.LoopFreeLit(d)); got != sat.Sat {
+			t.Fatalf("depth %d: expected SAT, got %v", d, got)
+		}
+	}
+	// Depth 4 needs 5 distinct states out of 4: impossible.
+	if got := s.Solve(u.LoopFreeLit(4)); got != sat.Unsat {
+		t.Fatalf("depth 4: expected UNSAT (diameter reached)")
+	}
+}
+
+func TestLoopFreePathFreeMode(t *testing.T) {
+	m, _, _ := counterDesign(2)
+	s := sat.New()
+	u := New(m.N, s, Free)
+	// From an arbitrary start, 4 distinct states still fit, 5 do not.
+	if got := s.Solve(u.LoopFreeLit(3)); got != sat.Sat {
+		t.Fatalf("depth 3 free: expected SAT, got %v", got)
+	}
+	if got := s.Solve(u.LoopFreeLit(4)); got != sat.Unsat {
+		t.Fatalf("depth 4 free: expected UNSAT, got %v", got)
+	}
+}
+
+func TestStatelessLoopFree(t *testing.T) {
+	m := rtl.NewModule("comb")
+	a := m.InputBit("a")
+	m.N.AddProperty("p", a)
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+	if u.LoopFreeLit(0) != u.TrueLit() {
+		t.Fatalf("stateless depth-0 LFP must be true")
+	}
+	if u.LoopFreeLit(1) != u.FalseLit() {
+		t.Fatalf("stateless depth-1 LFP must be false")
+	}
+}
+
+func TestAbstractedLatchIsFree(t *testing.T) {
+	m, _, r := counterDesign(2)
+	isThree := m.EqConst(r.Q, 3)
+	m.N.AddProperty("not3", isThree.Not())
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+	for _, q := range r.Q {
+		u.Abstracted[q.Node()] = true
+	}
+	// With the counter abstracted, the violation is immediate.
+	if got := s.Solve(u.PropertyLit(0, 0).Not()); got != sat.Sat {
+		t.Fatalf("abstracted latches must make frame-0 violation SAT")
+	}
+}
+
+func TestCoreContainsLatchTags(t *testing.T) {
+	m, en, r := counterDesign(2)
+	_ = en
+	isThree := m.EqConst(r.Q, 3)
+	m.N.AddProperty("not3", isThree.Not())
+	s := sat.New()
+	s.EnableProofTracing()
+	u := New(m.N, s, Initialized)
+	// Frame-1 violation is UNSAT (counter can be at most 1).
+	if got := s.Solve(u.PropertyLit(0, 1).Not()); got != sat.Unsat {
+		t.Fatalf("expected UNSAT")
+	}
+	var sawLatch bool
+	for _, raw := range s.Core() {
+		tg := Tag(raw)
+		if tg.Kind() == TagLatchNext || tg.Kind() == TagLatchInit {
+			sawLatch = true
+		}
+	}
+	if !sawLatch {
+		t.Fatalf("core must mention latch clauses")
+	}
+}
+
+func TestConstraintsRestrictBehavior(t *testing.T) {
+	m, en, r := counterDesign(2)
+	m.Assume(en.Not()) // counter never enabled
+	nonzero := m.NonZero(r.Q)
+	m.N.AddProperty("zero", nonzero.Not())
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+	for f := 0; f <= 4; f++ {
+		u.AssertConstraints(f)
+		if got := s.Solve(u.PropertyLit(0, f).Not()); got != sat.Unsat {
+			t.Fatalf("frame %d: constrained counter must stay 0", f)
+		}
+	}
+}
+
+func TestMemReadNodesAreFree(t *testing.T) {
+	m := rtl.NewModule("t")
+	mem := m.Memory("ram", 2, 4, aig.MemZero)
+	rd := mem.Read(m.Input("addr", 2), aig.True)
+	m.N.AddProperty("rd0", m.IsZero(rd))
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+	// Without EMM constraints, read data is unconstrained: violation SAT.
+	if got := s.Solve(u.PropertyLit(0, 0).Not()); got != sat.Sat {
+		t.Fatalf("unconstrained read data must allow violation")
+	}
+}
+
+func TestModelVecAndBit(t *testing.T) {
+	m := rtl.NewModule("t")
+	a := m.Input("a", 4)
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+	var assumps []sat.Lit
+	want := uint64(0b1010)
+	for i, l := range a {
+		assumps = append(assumps, u.Lit(l, 0).XorSign(want>>uint(i)&1 == 0))
+	}
+	if s.Solve(assumps...) != sat.Sat {
+		t.Fatalf("expected SAT")
+	}
+	if got := u.ModelVec(a, 0); got != want {
+		t.Fatalf("ModelVec got %#x want %#x", got, want)
+	}
+	if u.ModelBit(a[1], 0) != true || u.ModelBit(a[0], 0) != false {
+		t.Fatalf("ModelBit wrong")
+	}
+}
+
+func TestFramesGrowLazily(t *testing.T) {
+	m, en, _ := counterDesign(2)
+	s := sat.New()
+	u := New(m.N, s, Initialized)
+	if u.Frames() != 0 {
+		t.Fatalf("no frames should exist initially")
+	}
+	u.Lit(en, 5)
+	if u.Frames() != 6 {
+		t.Fatalf("expected 6 frames, got %d", u.Frames())
+	}
+}

@@ -1,0 +1,198 @@
+// Package vcd writes counter-example traces as Value Change Dump files,
+// the standard waveform interchange format, so that witnesses produced by
+// the BMC engines can be inspected in any waveform viewer. Bit signals
+// sharing a name with an index suffix ("addr[3]") are grouped into vector
+// variables.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"emmver/internal/aig"
+	"emmver/internal/bmc"
+	"emmver/internal/sim"
+)
+
+// signal is one VCD variable: a named group of netlist bits (LSB first).
+type signal struct {
+	name string
+	bits []aig.Lit
+	id   string
+	last string
+}
+
+// DumpWitness replays a witness on the concrete design and writes the
+// resulting trace: all named inputs, all named latches, and a "prop_ok"
+// flag for the property under check. One VCD time unit per clock cycle.
+func DumpWitness(w io.Writer, n *aig.Netlist, wit *bmc.Witness, prop int) error {
+	sigs := collectSignals(n)
+	sigs = append(sigs, &signal{name: "prop_ok", bits: []aig.Lit{n.Props[prop].OK}})
+	assignIDs(sigs)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$version emmver counter-example (property %q) $end\n", n.Props[prop].Name)
+	fmt.Fprintf(bw, "$timescale 1ns $end\n")
+	fmt.Fprintf(bw, "$scope module %s $end\n", vcdName(n.Name))
+	for _, s := range sigs {
+		if len(s.bits) == 1 {
+			fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", s.id, vcdName(s.name))
+		} else {
+			fmt.Fprintf(bw, "$var wire %d %s %s [%d:0] $end\n", len(s.bits), s.id, vcdName(s.name), len(s.bits)-1)
+		}
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	simu := sim.New(n)
+	for id, v := range wit.InitLatches {
+		simu.SetLatch(id, v)
+	}
+	for mi, words := range wit.MemInit {
+		for addr, word := range words {
+			simu.SetMemWord(mi, addr, word)
+		}
+	}
+	for f := 0; f <= wit.Length; f++ {
+		simu.Begin(wit.Inputs[f])
+		fmt.Fprintf(bw, "#%d\n", f)
+		for _, s := range sigs {
+			val := renderValue(simu, s)
+			if val != s.last {
+				if len(s.bits) == 1 {
+					fmt.Fprintf(bw, "%s%s\n", val, s.id)
+				} else {
+					fmt.Fprintf(bw, "b%s %s\n", val, s.id)
+				}
+				s.last = val
+			}
+		}
+		simu.Step(wit.Inputs[f])
+	}
+	fmt.Fprintf(bw, "#%d\n", wit.Length+1)
+	return bw.Flush()
+}
+
+func renderValue(s *sim.Simulator, sig *signal) string {
+	if len(sig.bits) == 1 {
+		if s.Eval(sig.bits[0]) {
+			return "1"
+		}
+		return "0"
+	}
+	out := make([]byte, len(sig.bits))
+	for i, b := range sig.bits {
+		c := byte('0')
+		if s.Eval(b) {
+			c = '1'
+		}
+		out[len(sig.bits)-1-i] = c // MSB first in VCD
+	}
+	return string(out)
+}
+
+// collectSignals groups named inputs and latches into vector signals.
+func collectSignals(n *aig.Netlist) []*signal {
+	type bitRef struct {
+		idx int
+		lit aig.Lit
+	}
+	groups := make(map[string][]bitRef)
+	addBit := func(name string, lit aig.Lit) {
+		base, idx := splitIndexed(name)
+		groups[base] = append(groups[base], bitRef{idx: idx, lit: lit})
+	}
+	for _, id := range n.Inputs {
+		if name := n.InputName(id); name != "" {
+			addBit(name, aig.MkLit(id, false))
+		}
+	}
+	for _, l := range n.Latches {
+		if l.Name != "" {
+			addBit(l.Name, aig.MkLit(l.Node, false))
+		}
+	}
+	var names []string
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sigs []*signal
+	for _, name := range names {
+		refs := groups[name]
+		sort.Slice(refs, func(i, j int) bool { return refs[i].idx < refs[j].idx })
+		bits := make([]aig.Lit, len(refs))
+		ok := true
+		for i, r := range refs {
+			if r.idx != i && !(len(refs) == 1 && r.idx == -1) {
+				ok = false // sparse or duplicate indices: keep bits separate
+				break
+			}
+			bits[i] = r.lit
+		}
+		if ok {
+			sigs = append(sigs, &signal{name: name, bits: bits})
+			continue
+		}
+		for _, r := range refs {
+			sigs = append(sigs, &signal{
+				name: fmt.Sprintf("%s_%d", name, r.idx),
+				bits: []aig.Lit{r.lit},
+			})
+		}
+	}
+	return sigs
+}
+
+// splitIndexed parses "name[3]" into ("name", 3); plain names yield -1.
+func splitIndexed(s string) (string, int) {
+	if !strings.HasSuffix(s, "]") {
+		return s, -1
+	}
+	open := strings.LastIndexByte(s, '[')
+	if open < 0 {
+		return s, -1
+	}
+	idx, err := strconv.Atoi(s[open+1 : len(s)-1])
+	if err != nil || idx < 0 {
+		return s, -1
+	}
+	return s[:open], idx
+}
+
+// assignIDs gives each signal a short printable VCD identifier.
+func assignIDs(sigs []*signal) {
+	for i, s := range sigs {
+		s.id = idFor(i)
+		s.last = "\x00" // force the first emission
+	}
+}
+
+func idFor(i int) string {
+	const first, count = 33, 94 // printable ASCII '!'..'~'
+	var out []byte
+	for {
+		out = append(out, byte(first+i%count))
+		i /= count
+		if i == 0 {
+			return string(out)
+		}
+		i--
+	}
+}
+
+// vcdName sanitizes an identifier for VCD (no whitespace).
+func vcdName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,248 @@
+package verilog
+
+// The abstract syntax tree for the supported subset.
+
+// SourceFile is a collection of modules.
+type SourceFile struct {
+	Modules []*Module
+}
+
+// Module is one module declaration.
+type Module struct {
+	Name   string
+	Ports  []*Decl // ANSI-style port declarations, in order
+	Params []*Param
+	Items  []Item
+	Line   int
+}
+
+// PortDir is a port direction.
+type PortDir int
+
+// Port directions.
+const (
+	DirNone PortDir = iota
+	DirInput
+	DirOutput
+)
+
+// Decl declares a wire, reg, or memory.
+type Decl struct {
+	Dir     PortDir
+	IsReg   bool
+	Name    string
+	MSB     Expr // nil for scalar
+	LSB     Expr
+	AMSB    Expr // memory address range (nil unless array)
+	ALSB    Expr
+	Init    Expr   // optional "= const" initializer (regs)
+	MemAttr string // "" | "zero" | "arbitrary" from (* init = "..." *)
+	Line    int
+}
+
+// Param is a parameter or localparam.
+type Param struct {
+	Name  string
+	Value Expr
+	Local bool
+	Line  int
+}
+
+// Item is a module body item.
+type Item interface{ itemNode() }
+
+// Assign is a continuous assignment.
+type Assign struct {
+	LHS  *LValue
+	RHS  Expr
+	Line int
+}
+
+// AlwaysFF is "always @(posedge clk) stmt".
+type AlwaysFF struct {
+	Clock string
+	Body  Stmt
+	Line  int
+}
+
+// AlwaysComb is "always @(*) stmt".
+type AlwaysComb struct {
+	Body Stmt
+	Line int
+}
+
+// AssertItem is a module-level immediate assertion (a safety property).
+type AssertItem struct {
+	Cond Expr
+	Name string
+	Line int
+}
+
+// AssumeItem is a module-level assumption (environment constraint).
+type AssumeItem struct {
+	Cond Expr
+	Line int
+}
+
+// Instance is a module instantiation.
+type Instance struct {
+	ModuleName string
+	Name       string
+	ParamOver  []Connection // #( .N(5) ) or positional
+	Conns      []Connection
+	Line       int
+}
+
+// Connection is one port or parameter connection.
+type Connection struct {
+	Name string // "" for positional
+	Expr Expr   // nil for unconnected
+}
+
+func (*Assign) itemNode()     {}
+func (*AlwaysFF) itemNode()   {}
+func (*AlwaysComb) itemNode() {}
+func (*AssertItem) itemNode() {}
+func (*AssumeItem) itemNode() {}
+func (*Instance) itemNode()   {}
+func (*Decl) itemNode()       {}
+func (*Param) itemNode()      {}
+
+// Stmt is a procedural statement.
+type Stmt interface{ stmtNode() }
+
+// Block is begin/end.
+type Block struct {
+	Stmts []Stmt
+}
+
+// NBAssign is a non-blocking assignment (clocked processes).
+type NBAssign struct {
+	LHS  *LValue
+	RHS  Expr
+	Line int
+}
+
+// BAssign is a blocking assignment (combinational processes).
+type BAssign struct {
+	LHS  *LValue
+	RHS  Expr
+	Line int
+}
+
+// If is if/else.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// Case is case/endcase. Each arm may have several label expressions.
+type Case struct {
+	Subject Expr
+	Arms    []CaseArm
+	Default Stmt // may be nil
+	Line    int
+}
+
+// CaseArm is one labeled arm.
+type CaseArm struct {
+	Labels []Expr
+	Body   Stmt
+}
+
+// NullStmt is ";".
+type NullStmt struct{}
+
+func (*Block) stmtNode()    {}
+func (*NBAssign) stmtNode() {}
+func (*BAssign) stmtNode()  {}
+func (*If) stmtNode()       {}
+func (*Case) stmtNode()     {}
+func (*NullStmt) stmtNode() {}
+
+// LValue is an assignment target: name, name[idx] (bit or memory word), or
+// name[msb:lsb].
+type LValue struct {
+	Name string
+	// Index is non-nil for "name[Index]"; for memories this selects the
+	// word, for vectors the bit.
+	Index Expr
+	// MSB/LSB are non-nil for a part select "name[MSB:LSB]".
+	MSB, LSB Expr
+	Line     int
+}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Ident references a net, variable, or parameter.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is a literal; Width 0 means unsized.
+type Number struct {
+	Value uint64
+	Width int
+	Line  int
+}
+
+// Unary is a prefix operator: ~ ! - & | ^ (reductions).
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is an infix operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+	Line             int
+}
+
+// Index is x[i] — bit select or memory read.
+type Index struct {
+	X    Expr // must be an Ident in this subset
+	I    Expr
+	Line int
+}
+
+// Slice is x[msb:lsb].
+type Slice struct {
+	X        Expr // must be an Ident
+	MSB, LSB Expr
+	Line     int
+}
+
+// Concat is {a, b, ...} (first element in the MSBs, per Verilog).
+type Concat struct {
+	Parts []Expr
+	Line  int
+}
+
+// Repeat is {n{x}}.
+type Repeat struct {
+	Count Expr
+	X     Expr
+	Line  int
+}
+
+func (*Ident) exprNode()   {}
+func (*Number) exprNode()  {}
+func (*Unary) exprNode()   {}
+func (*Binary) exprNode()  {}
+func (*Ternary) exprNode() {}
+func (*Index) exprNode()   {}
+func (*Slice) exprNode()   {}
+func (*Concat) exprNode()  {}
+func (*Repeat) exprNode()  {}

@@ -1,0 +1,613 @@
+package verilog
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+)
+
+// Elaborate compiles the given top module (and everything it instantiates)
+// into a word-level netlist. The top module's input ports become primary
+// inputs; assert/assume items become safety properties and environment
+// constraints.
+func Elaborate(file *SourceFile, top string) (*aig.Netlist, error) {
+	mods := make(map[string]*Module)
+	for _, m := range file.Modules {
+		if mods[m.Name] != nil {
+			return nil, fmt.Errorf("verilog: duplicate module %q", m.Name)
+		}
+		mods[m.Name] = m
+	}
+	tm := mods[top]
+	if tm == nil {
+		return nil, fmt.Errorf("verilog: top module %q not found", top)
+	}
+	e := &elaborator{
+		m:    rtl.NewModule(top),
+		mods: mods,
+	}
+	sc, err := e.declareScope(tm, "", nil, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.finalize(sc); err != nil {
+		return nil, err
+	}
+	return e.m.N, nil
+}
+
+// ElaborateString parses and elaborates in one step.
+func ElaborateString(src, top string) (*aig.Netlist, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Elaborate(f, top)
+}
+
+// ElaborateWithParams elaborates the top module with parameter overrides,
+// like a tool-level defparam.
+func ElaborateWithParams(file *SourceFile, top string, params map[string]uint64) (*aig.Netlist, error) {
+	mods := make(map[string]*Module)
+	for _, m := range file.Modules {
+		if mods[m.Name] != nil {
+			return nil, fmt.Errorf("verilog: duplicate module %q", m.Name)
+		}
+		mods[m.Name] = m
+	}
+	tm := mods[top]
+	if tm == nil {
+		return nil, fmt.Errorf("verilog: top module %q not found", top)
+	}
+	e := &elaborator{m: rtl.NewModule(top), mods: mods}
+	sc, err := e.declareScope(tm, "", params, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.finalize(sc); err != nil {
+		return nil, err
+	}
+	return e.m.N, nil
+}
+
+type elaborator struct {
+	m     *rtl.Module
+	mods  map[string]*Module
+	depth int
+}
+
+// net is one named signal in a scope.
+type net struct {
+	decl  *Decl
+	width int
+	lsb   int
+	// reg is non-nil for clocked registers.
+	reg *rtl.Reg
+	// For wires: the resolver computes the driven value on demand.
+	resolve  func() (rtl.Vec, error)
+	value    rtl.Vec
+	resolved bool
+	visiting bool
+	// drivers counts continuous/comb/output drivers for multi-driver
+	// detection.
+	drivers int
+	// ffDriven marks a register already claimed by a clocked process.
+	ffDriven bool
+}
+
+// memory is an inferred memory array.
+type memory struct {
+	decl *Decl
+	mem  *rtl.Mem
+	aw   int
+}
+
+// scope is one elaborated module instance.
+type scope struct {
+	mod    *Module
+	prefix string // hierarchical name prefix ("" for top)
+	params map[string]uint64
+	nets   map[string]*net
+	mems   map[string]*memory
+
+	ffs      []*AlwaysFF
+	asserts  []*AssertItem
+	assumes  []*AssumeItem
+	children []*scope
+	regs     []*rtl.Reg
+}
+
+func (s *scope) qualify(name string) string {
+	if s.prefix == "" {
+		return name
+	}
+	return s.prefix + "." + name
+}
+
+// declareScope performs pass 1: declarations, parameters, wires with their
+// resolvers, memories, and recursive instance declaration. portBind maps
+// input-port names to value thunks supplied by the parent; outBind
+// collects output-port nets for the parent to wire up.
+func (e *elaborator) declareScope(mod *Module, prefix string, paramOver map[string]uint64, portBind map[string]func() (rtl.Vec, error), depth int) (*scope, error) {
+	if depth > 32 {
+		return nil, fmt.Errorf("verilog: instantiation too deep (recursive module %q?)", mod.Name)
+	}
+	sc := &scope{
+		mod:    mod,
+		prefix: prefix,
+		params: make(map[string]uint64),
+		nets:   make(map[string]*net),
+		mems:   make(map[string]*memory),
+	}
+
+	// Parameters: header order, overridable.
+	for _, p := range mod.Params {
+		v, err := e.constEval(sc, p.Value)
+		if err != nil {
+			return nil, err
+		}
+		if ov, ok := paramOver[p.Name]; ok {
+			v = ov
+		}
+		sc.params[p.Name] = v
+	}
+
+	// Collect all declarations: ports then body.
+	var decls []*Decl
+	decls = append(decls, mod.Ports...)
+	for _, it := range mod.Items {
+		switch d := it.(type) {
+		case *Decl:
+			decls = append(decls, d)
+		case *Param:
+			v, err := e.constEval(sc, d.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !d.Local {
+				if ov, ok := paramOver[d.Name]; ok {
+					v = ov
+				}
+			}
+			if _, dup := sc.params[d.Name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate parameter %q", d.Line, d.Name)
+			}
+			sc.params[d.Name] = v
+		}
+	}
+
+	// Merge port-list entries with matching body declarations (non-ANSI
+	// style: "module m(a); input [3:0] a; ...").
+	declByName := make(map[string]*Decl)
+	var declOrder []*Decl
+	for _, d := range decls {
+		if prev, ok := declByName[d.Name]; ok {
+			// Merge direction/reg/range from whichever side has them.
+			if prev.Dir == DirNone {
+				prev.Dir = d.Dir
+			}
+			prev.IsReg = prev.IsReg || d.IsReg
+			if prev.MSB == nil {
+				prev.MSB, prev.LSB = d.MSB, d.LSB
+			}
+			if prev.AMSB == nil {
+				prev.AMSB, prev.ALSB = d.AMSB, d.ALSB
+			}
+			if prev.Init == nil {
+				prev.Init = d.Init
+			}
+			if prev.MemAttr == "" {
+				prev.MemAttr = d.MemAttr
+			}
+			continue
+		}
+		declByName[d.Name] = d
+		declOrder = append(declOrder, d)
+	}
+
+	// Create nets, registers, memories, in declaration order (so input,
+	// latch, and memory indices are deterministic and follow the source).
+	for _, d := range declOrder {
+		width, lsb, err := e.declWidth(sc, d)
+		if err != nil {
+			return nil, err
+		}
+		if d.AMSB != nil {
+			// Memory array.
+			if !d.IsReg {
+				return nil, fmt.Errorf("line %d: memory %q must be a reg", d.Line, d.Name)
+			}
+			alsb, err := e.constEval(sc, d.ALSB)
+			if err != nil {
+				return nil, err
+			}
+			amsb, err := e.constEval(sc, d.AMSB)
+			if err != nil {
+				return nil, err
+			}
+			if alsb != 0 || amsb < 1 {
+				return nil, fmt.Errorf("line %d: memory %q must use a [N:0] address range", d.Line, d.Name)
+			}
+			aw := 0
+			for uint64(1)<<uint(aw) < amsb+1 {
+				aw++
+			}
+			init := aig.MemArbitrary
+			if d.MemAttr == "zero" {
+				init = aig.MemZero
+			}
+			sc.mems[d.Name] = &memory{
+				decl: d,
+				mem:  e.m.Memory(sc.qualify(d.Name), aw, width, init),
+				aw:   aw,
+			}
+			continue
+		}
+		nn := &net{decl: d, width: width, lsb: lsb}
+		sc.nets[d.Name] = nn
+		if d.Dir == DirInput && prefix == "" {
+			v := e.m.Input(d.Name, width)
+			nn.value = v
+			nn.resolved = true
+			nn.drivers++
+			continue
+		}
+		if d.Dir == DirInput {
+			bind := portBind[d.Name]
+			if bind == nil {
+				// Unconnected child input: free primary input.
+				qual := sc.qualify(d.Name)
+				w := width
+				bind = func() (rtl.Vec, error) { return e.m.Input(qual, w), nil }
+			}
+			w := width
+			nn.resolve = func() (rtl.Vec, error) {
+				v, err := bind()
+				if err != nil {
+					return nil, err
+				}
+				return adaptWidth(e.m, v, w), nil
+			}
+			nn.drivers++
+			continue
+		}
+		if d.IsReg {
+			// Register or comb-driven variable: decided by which kind of
+			// process drives it (pass 1.5 below). Clocked by default.
+			continue
+		}
+		if d.Init != nil {
+			// "wire w = expr;" is an implicit continuous assignment.
+			rhs := d.Init
+			w := width
+			nn.drivers++
+			nn.resolve = func() (rtl.Vec, error) {
+				v, err := e.eval(sc, rhs)
+				if err != nil {
+					return nil, err
+				}
+				return adaptWidth(e.m, v, w), nil
+			}
+		}
+	}
+
+	// Classify reg drivers: regs assigned in AlwaysFF become registers;
+	// regs assigned in AlwaysComb become combinational nets.
+	ffTargets := make(map[string]bool)
+	combOwner := make(map[string]*AlwaysComb)
+	for _, it := range mod.Items {
+		switch blk := it.(type) {
+		case *AlwaysFF:
+			sc.ffs = append(sc.ffs, blk)
+			for _, t := range stmtTargets(blk.Body) {
+				ffTargets[t] = true
+			}
+		case *AlwaysComb:
+			for _, t := range stmtTargets(blk.Body) {
+				if own, ok := combOwner[t]; ok && own != blk {
+					return nil, fmt.Errorf("line %d: %q driven by multiple always@(*) blocks", blk.Line, t)
+				}
+				combOwner[t] = blk
+			}
+		}
+	}
+	for _, d := range declOrder {
+		nn := sc.nets[d.Name]
+		if nn == nil || !d.IsReg || d.AMSB != nil || d.Dir == DirInput {
+			continue
+		}
+		name := d.Name
+		if ffTargets[name] && combOwner[name] != nil {
+			return nil, fmt.Errorf("verilog: %q driven by both clocked and combinational processes", name)
+		}
+		if blk, ok := combOwner[name]; ok {
+			nn.drivers++
+			blkCopy := blk
+			nm := name
+			nn.resolve = func() (rtl.Vec, error) {
+				env, err := e.evalComb(sc, blkCopy)
+				if err != nil {
+					return nil, err
+				}
+				v, ok := env[nm]
+				if !ok {
+					return nil, fmt.Errorf("verilog: %q not assigned on all paths of always@(*)", nm)
+				}
+				return v, nil
+			}
+			continue
+		}
+		// Clocked register (also covers never-assigned regs, which then
+		// just hold their initial value).
+		var init uint64
+		if d.Init != nil {
+			v, err := e.constEval(sc, d.Init)
+			if err != nil {
+				return nil, err
+			}
+			init = v
+		}
+		if d.MemAttr == "arbitrary" {
+			nn.reg = e.m.RegisterX(sc.qualify(name), nn.width)
+		} else {
+			nn.reg = e.m.Register(sc.qualify(name), nn.width, init)
+		}
+		sc.regs = append(sc.regs, nn.reg)
+		nn.value = nn.reg.Q
+		nn.resolved = true
+		nn.drivers++
+	}
+
+	// Continuous assignments drive wires.
+	for _, it := range mod.Items {
+		switch a := it.(type) {
+		case *Assign:
+			nn := sc.nets[a.LHS.Name]
+			if nn == nil {
+				return nil, fmt.Errorf("line %d: assign to undeclared %q", a.Line, a.LHS.Name)
+			}
+			if nn.decl.IsReg {
+				return nil, fmt.Errorf("line %d: assign to reg %q", a.Line, a.LHS.Name)
+			}
+			if a.LHS.Index != nil || a.LHS.MSB != nil {
+				return nil, fmt.Errorf("line %d: partial continuous assignment to %q is not supported", a.Line, a.LHS.Name)
+			}
+			nn.drivers++
+			if nn.drivers > 1 {
+				return nil, fmt.Errorf("line %d: %q has multiple drivers", a.Line, a.LHS.Name)
+			}
+			rhs := a.RHS
+			w := nn.width
+			nn.resolve = func() (rtl.Vec, error) {
+				v, err := e.eval(sc, rhs)
+				if err != nil {
+					return nil, err
+				}
+				return adaptWidth(e.m, v, w), nil
+			}
+		case *AssertItem:
+			sc.asserts = append(sc.asserts, a)
+		case *AssumeItem:
+			sc.assumes = append(sc.assumes, a)
+		}
+	}
+
+	// Instances.
+	for _, it := range mod.Items {
+		inst, ok := it.(*Instance)
+		if !ok {
+			continue
+		}
+		child := e.mods[inst.ModuleName]
+		if child == nil {
+			return nil, fmt.Errorf("line %d: unknown module %q", inst.Line, inst.ModuleName)
+		}
+		// Parameter overrides.
+		over := make(map[string]uint64)
+		for i, c := range inst.ParamOver {
+			name := c.Name
+			if name == "" {
+				if i >= len(child.Params) {
+					return nil, fmt.Errorf("line %d: too many parameter overrides", inst.Line)
+				}
+				name = child.Params[i].Name
+			}
+			v, err := e.constEval(sc, c.Expr)
+			if err != nil {
+				return nil, err
+			}
+			over[name] = v
+		}
+		// Port connections.
+		conns := make(map[string]Expr)
+		for i, c := range inst.Conns {
+			name := c.Name
+			if name == "" {
+				if i >= len(child.Ports) {
+					return nil, fmt.Errorf("line %d: too many port connections", inst.Line)
+				}
+				name = child.Ports[i].Name
+			}
+			if c.Expr != nil {
+				conns[name] = c.Expr
+			}
+		}
+		bind := make(map[string]func() (rtl.Vec, error))
+		for _, port := range child.Ports {
+			if port.Dir != DirInput {
+				continue
+			}
+			expr, ok := conns[port.Name]
+			if !ok {
+				continue
+			}
+			ex := expr
+			bind[port.Name] = func() (rtl.Vec, error) { return e.eval(sc, ex) }
+		}
+		childPrefix := inst.Name
+		if prefix != "" {
+			childPrefix = prefix + "." + inst.Name
+		}
+		csc, err := e.declareScope(child, childPrefix, over, bind, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		sc.children = append(sc.children, csc)
+		// Output ports drive parent wires.
+		for _, port := range child.Ports {
+			if port.Dir != DirOutput {
+				continue
+			}
+			expr, ok := conns[port.Name]
+			if !ok {
+				continue
+			}
+			id, ok := expr.(*Ident)
+			if !ok {
+				return nil, fmt.Errorf("line %d: output port %q must connect to a plain net", inst.Line, port.Name)
+			}
+			pn := sc.nets[id.Name]
+			if pn == nil {
+				return nil, fmt.Errorf("line %d: output connects to undeclared %q", inst.Line, id.Name)
+			}
+			pn.drivers++
+			if pn.drivers > 1 {
+				return nil, fmt.Errorf("line %d: %q has multiple drivers", inst.Line, id.Name)
+			}
+			cn := csc.nets[port.Name]
+			w := pn.width
+			pn.resolve = func() (rtl.Vec, error) {
+				v, err := e.netValue(cn)
+				if err != nil {
+					return nil, err
+				}
+				return adaptWidth(e.m, v, w), nil
+			}
+		}
+	}
+	return sc, nil
+}
+
+// finalize performs pass 2 over a scope tree: clocked processes, asserts,
+// assumptions.
+func (e *elaborator) finalize(sc *scope) error {
+	for _, ff := range sc.ffs {
+		if clk := sc.nets[ff.Clock]; clk == nil {
+			return fmt.Errorf("line %d: undeclared clock %q", ff.Line, ff.Clock)
+		}
+		if err := e.evalFF(sc, ff); err != nil {
+			return err
+		}
+	}
+	for _, a := range sc.asserts {
+		v, err := e.eval(sc, a.Cond)
+		if err != nil {
+			return err
+		}
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("%s_assert_L%d", sc.qualify(sc.mod.Name), a.Line)
+		} else if sc.prefix != "" {
+			name = sc.prefix + "." + name
+		}
+		e.m.AssertAlways(name, e.m.NonZero(v))
+	}
+	for _, a := range sc.assumes {
+		v, err := e.eval(sc, a.Cond)
+		if err != nil {
+			return err
+		}
+		e.m.Assume(e.m.NonZero(v))
+	}
+	for _, c := range sc.children {
+		if err := e.finalize(c); err != nil {
+			return err
+		}
+	}
+	e.m.Done(sc.regs...)
+	return nil
+}
+
+// netValue resolves a net's driven value, detecting combinational loops.
+func (e *elaborator) netValue(n *net) (rtl.Vec, error) {
+	if n.resolved {
+		return n.value, nil
+	}
+	if n.visiting {
+		return nil, fmt.Errorf("verilog: combinational loop through %q", n.decl.Name)
+	}
+	if n.resolve == nil {
+		return nil, fmt.Errorf("verilog: %q is never driven", n.decl.Name)
+	}
+	n.visiting = true
+	v, err := n.resolve()
+	n.visiting = false
+	if err != nil {
+		return nil, err
+	}
+	n.value = v
+	n.resolved = true
+	return v, nil
+}
+
+// declWidth computes a declaration's width and LSB offset.
+func (e *elaborator) declWidth(sc *scope, d *Decl) (int, int, error) {
+	if d.MSB == nil {
+		return 1, 0, nil
+	}
+	msb, err := e.constEval(sc, d.MSB)
+	if err != nil {
+		return 0, 0, err
+	}
+	lsb, err := e.constEval(sc, d.LSB)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lsb > msb || msb-lsb+1 > 64 {
+		return 0, 0, fmt.Errorf("line %d: bad range [%d:%d] on %q", d.Line, msb, lsb, d.Name)
+	}
+	return int(msb-lsb) + 1, int(lsb), nil
+}
+
+// stmtTargets lists the names assigned anywhere in a statement.
+func stmtTargets(s Stmt) []string {
+	var out []string
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *NBAssign:
+			out = append(out, st.LHS.Name)
+		case *BAssign:
+			out = append(out, st.LHS.Name)
+		case *If:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *Case:
+			for _, arm := range st.Arms {
+				walk(arm.Body)
+			}
+			if st.Default != nil {
+				walk(st.Default)
+			}
+		}
+	}
+	walk(s)
+	return out
+}
+
+func adaptWidth(m *rtl.Module, v rtl.Vec, w int) rtl.Vec {
+	if len(v) == w {
+		return v
+	}
+	if len(v) > w {
+		return m.Truncate(v, w)
+	}
+	return m.ZeroExtend(v, w)
+}

@@ -1,0 +1,376 @@
+package verilog
+
+import (
+	"fmt"
+
+	"emmver/internal/aig"
+	"emmver/internal/rtl"
+)
+
+// constEval evaluates a compile-time constant expression (numbers,
+// parameters, arithmetic).
+func (e *elaborator) constEval(sc *scope, x Expr) (uint64, error) {
+	switch v := x.(type) {
+	case *Number:
+		return v.Value, nil
+	case *Ident:
+		if p, ok := sc.params[v.Name]; ok {
+			return p, nil
+		}
+		return 0, fmt.Errorf("line %d: %q is not a constant", v.Line, v.Name)
+	case *Unary:
+		a, err := e.constEval(sc, v.X)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "-":
+			return -a, nil
+		case "~":
+			return ^a, nil
+		case "!":
+			if a == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("line %d: operator %q not allowed in constants", v.Line, v.Op)
+	case *Binary:
+		a, err := e.constEval(sc, v.L)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.constEval(sc, v.R)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("line %d: constant division by zero", v.Line)
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0, fmt.Errorf("line %d: constant modulo by zero", v.Line)
+			}
+			return a % b, nil
+		case "<<":
+			return a << (b & 63), nil
+		case ">>":
+			return a >> (b & 63), nil
+		case "==":
+			return b2u(a == b), nil
+		case "!=":
+			return b2u(a != b), nil
+		case "<":
+			return b2u(a < b), nil
+		case "<=":
+			return b2u(a <= b), nil
+		case ">":
+			return b2u(a > b), nil
+		case ">=":
+			return b2u(a >= b), nil
+		case "&":
+			return a & b, nil
+		case "|":
+			return a | b, nil
+		case "^":
+			return a ^ b, nil
+		case "&&":
+			return b2u(a != 0 && b != 0), nil
+		case "||":
+			return b2u(a != 0 || b != 0), nil
+		}
+		return 0, fmt.Errorf("line %d: operator %q not allowed in constants", v.Line, v.Op)
+	case *Ternary:
+		c, err := e.constEval(sc, v.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.constEval(sc, v.Then)
+		}
+		return e.constEval(sc, v.Else)
+	}
+	return 0, fmt.Errorf("verilog: expression is not constant")
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalEnv carries the blocking-assignment environment of a combinational
+// process (nil outside of one).
+type evalEnv struct {
+	vals    map[string]rtl.Vec
+	targets map[string]bool
+}
+
+// eval evaluates an expression outside any procedural context.
+func (e *elaborator) eval(sc *scope, x Expr) (rtl.Vec, error) {
+	return e.evalCtx(sc, x, nil)
+}
+
+func (e *elaborator) evalCtx(sc *scope, x Expr, env *evalEnv) (rtl.Vec, error) {
+	m := e.m
+	switch v := x.(type) {
+	case *Number:
+		w := v.Width
+		if w == 0 {
+			w = 32
+			// Shrink plain constants minimally if huge; 32 matches the
+			// Verilog default.
+		}
+		return m.Const(w, v.Value), nil
+	case *Ident:
+		if p, ok := sc.params[v.Name]; ok {
+			return m.Const(32, p), nil
+		}
+		if env != nil {
+			if val, ok := env.vals[v.Name]; ok {
+				return val, nil
+			}
+			if env.targets[v.Name] {
+				return nil, fmt.Errorf("line %d: %q read before assignment in always@(*)", v.Line, v.Name)
+			}
+		}
+		nn := sc.nets[v.Name]
+		if nn == nil {
+			if sc.mems[v.Name] != nil {
+				return nil, fmt.Errorf("line %d: memory %q used without an index", v.Line, v.Name)
+			}
+			return nil, fmt.Errorf("line %d: undeclared identifier %q", v.Line, v.Name)
+		}
+		return e.netValue(nn)
+	case *Unary:
+		a, err := e.evalCtx(sc, v.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "~":
+			return m.NotV(a), nil
+		case "!":
+			return rtl.Vec{m.IsZero(a)}, nil
+		case "-":
+			return m.Sub(m.Const(len(a), 0), a), nil
+		case "&":
+			out := aig.True
+			for _, b := range a {
+				out = m.N.And(out, b)
+			}
+			return rtl.Vec{out}, nil
+		case "|":
+			return rtl.Vec{m.NonZero(a)}, nil
+		case "^":
+			out := aig.False
+			for _, b := range a {
+				out = m.N.Xor(out, b)
+			}
+			return rtl.Vec{out}, nil
+		}
+		return nil, fmt.Errorf("line %d: unsupported unary %q", v.Line, v.Op)
+	case *Binary:
+		return e.evalBinary(sc, v, env)
+	case *Ternary:
+		c, err := e.evalCtx(sc, v.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		a, err := e.evalCtx(sc, v.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		b, err := e.evalCtx(sc, v.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		w := maxInt(len(a), len(b))
+		return m.MuxV(m.NonZero(c), adaptWidth(m, a, w), adaptWidth(m, b, w)), nil
+	case *Index:
+		id, ok := v.X.(*Ident)
+		if !ok {
+			return nil, fmt.Errorf("line %d: only plain names can be indexed", v.Line)
+		}
+		if mem := sc.mems[id.Name]; mem != nil {
+			addr, err := e.evalCtx(sc, v.I, env)
+			if err != nil {
+				return nil, err
+			}
+			return mem.mem.Read(adaptWidth(m, addr, mem.aw), aig.True), nil
+		}
+		base, err := e.evalCtx(sc, id, env)
+		if err != nil {
+			return nil, err
+		}
+		nn := sc.nets[id.Name]
+		lsbOff := 0
+		if nn != nil {
+			lsbOff = nn.lsb
+		}
+		if ci, cerr := e.constEval(sc, v.I); cerr == nil {
+			bit := int(ci) - lsbOff
+			if bit < 0 || bit >= len(base) {
+				return nil, fmt.Errorf("line %d: bit index %d out of range for %q", v.Line, ci, id.Name)
+			}
+			return rtl.Vec{base[bit]}, nil
+		}
+		idx, err := e.evalCtx(sc, v.I, env)
+		if err != nil {
+			return nil, err
+		}
+		if lsbOff != 0 {
+			idx = m.Sub(idx, m.Const(len(idx), uint64(lsbOff)))
+		}
+		return rtl.Vec{m.BitSelect(base, idx)}, nil
+	case *Slice:
+		id, ok := v.X.(*Ident)
+		if !ok {
+			return nil, fmt.Errorf("line %d: only plain names can be sliced", v.Line)
+		}
+		base, err := e.evalCtx(sc, id, env)
+		if err != nil {
+			return nil, err
+		}
+		msb, err := e.constEval(sc, v.MSB)
+		if err != nil {
+			return nil, err
+		}
+		lsb, err := e.constEval(sc, v.LSB)
+		if err != nil {
+			return nil, err
+		}
+		nn := sc.nets[id.Name]
+		off := 0
+		if nn != nil {
+			off = nn.lsb
+		}
+		lo, hi := int(lsb)-off, int(msb)-off
+		if lo < 0 || hi >= len(base) || lo > hi {
+			return nil, fmt.Errorf("line %d: slice [%d:%d] out of range for %q", v.Line, msb, lsb, id.Name)
+		}
+		return m.Slice(base, lo, hi+1), nil
+	case *Concat:
+		// Verilog: first part is the most significant.
+		var out rtl.Vec
+		for i := len(v.Parts) - 1; i >= 0; i-- {
+			p, err := e.evalCtx(sc, v.Parts[i], env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p...)
+		}
+		return out, nil
+	case *Repeat:
+		count, err := e.constEval(sc, v.Count)
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 || count > 64 {
+			return nil, fmt.Errorf("line %d: bad replication count %d", v.Line, count)
+		}
+		p, err := e.evalCtx(sc, v.X, env)
+		if err != nil {
+			return nil, err
+		}
+		var out rtl.Vec
+		for i := uint64(0); i < count; i++ {
+			out = append(out, p...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("verilog: unsupported expression")
+}
+
+func (e *elaborator) evalBinary(sc *scope, v *Binary, env *evalEnv) (rtl.Vec, error) {
+	m := e.m
+	a, err := e.evalCtx(sc, v.L, env)
+	if err != nil {
+		return nil, err
+	}
+	// Shifts: constant or variable amount.
+	if v.Op == "<<" || v.Op == ">>" {
+		if k, cerr := e.constEval(sc, v.R); cerr == nil {
+			if v.Op == "<<" {
+				return m.ShlConst(a, int(k)%64), nil
+			}
+			return m.ShrConst(a, int(k)%64), nil
+		}
+		sh, err := e.evalCtx(sc, v.R, env)
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == "<<" {
+			return m.ShlV(a, sh), nil
+		}
+		return m.ShrV(a, sh), nil
+	}
+	b, err := e.evalCtx(sc, v.R, env)
+	if err != nil {
+		return nil, err
+	}
+	w := maxInt(len(a), len(b))
+	aw := adaptWidth(m, a, w)
+	bw := adaptWidth(m, b, w)
+	switch v.Op {
+	case "+":
+		return m.Add(aw, bw), nil
+	case "-":
+		return m.Sub(aw, bw), nil
+	case "*":
+		return m.Mul(aw, bw), nil
+	case "/", "%":
+		la, ea := e.constEval(sc, v.L)
+		lb, eb := e.constEval(sc, v.R)
+		if ea != nil || eb != nil {
+			return nil, fmt.Errorf("line %d: %q requires constant operands", v.Line, v.Op)
+		}
+		if lb == 0 {
+			return nil, fmt.Errorf("line %d: division by zero", v.Line)
+		}
+		if v.Op == "/" {
+			return m.Const(w, la/lb), nil
+		}
+		return m.Const(w, la%lb), nil
+	case "&":
+		return m.AndV(aw, bw), nil
+	case "|":
+		return m.OrV(aw, bw), nil
+	case "^":
+		return m.XorV(aw, bw), nil
+	case "==":
+		return rtl.Vec{m.Eq(aw, bw)}, nil
+	case "!=":
+		return rtl.Vec{m.Ne(aw, bw)}, nil
+	case "<":
+		return rtl.Vec{m.Ult(aw, bw)}, nil
+	case "<=":
+		return rtl.Vec{m.Ule(aw, bw)}, nil
+	case ">":
+		return rtl.Vec{m.Ugt(aw, bw)}, nil
+	case ">=":
+		return rtl.Vec{m.Uge(aw, bw)}, nil
+	case "&&":
+		return rtl.Vec{m.N.And(m.NonZero(a), m.NonZero(b))}, nil
+	case "||":
+		return rtl.Vec{m.N.Or(m.NonZero(a), m.NonZero(b))}, nil
+	}
+	return nil, fmt.Errorf("line %d: unsupported operator %q", v.Line, v.Op)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

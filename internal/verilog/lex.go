@@ -1,0 +1,176 @@
+// Package verilog is a frontend for a synthesizable Verilog subset,
+// elaborating HDL text into the library's word-level netlists — the entry
+// path the paper itself used ("We implemented a quick sort algorithm using
+// Verilog HDL"). Supported constructs:
+//
+//   - module declarations with ANSI port lists, wire/reg declarations with
+//     ranges, parameters and localparams;
+//   - memory arrays ("reg [7:0] mem [0:1023];"), inferred as embedded
+//     memory modules; an optional attribute "(* init = \"zero\" *)" (or
+//     "arbitrary", the default) selects the initial-state model;
+//   - continuous assignments;
+//   - clocked processes "always @(posedge clk)" with non-blocking
+//     assignments, if/else, case/casez with default, and begin/end blocks;
+//   - combinational processes "always @(*)" with blocking assignments
+//     (complete assignment required — inferred latches are an error);
+//   - module instantiation (positional or named connections, parameter
+//     overrides), elaborated by inlining;
+//   - immediate "assert(expr);" / "assume(expr);" module items defining
+//     safety properties and environment constraints;
+//   - expressions: logical/bitwise/arithmetic/comparison operators,
+//     bit and part selects, memory indexing, concatenation, replication,
+//     reduction operators, the conditional operator, sized and unsized
+//     constants.
+//
+// Width semantics are simplified relative to IEEE 1364: operands of binary
+// operators are zero-extended to the wider width, assignments truncate or
+// zero-extend to the target, and shift amounts must be constant.
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // possibly sized: 8'hFF, 4'b1010, 12, 'd9
+	tokPunct  // operators and punctuation
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// punctuation, longest first so maximal munch works.
+var puncts = []string{
+	"<<<", ">>>",
+	"<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "->",
+	"(*", "*)",
+	"(", ")", "[", "]", "{", "}", ";", ",", ":", "?", "=",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "@", "#", ".",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case c == '"':
+			end := l.pos + 1
+			for end < len(l.src) && l.src[end] != '"' {
+				if l.src[end] == '\n' {
+					return nil, fmt.Errorf("line %d: unterminated string", l.line)
+				}
+				end++
+			}
+			if end >= len(l.src) {
+				return nil, fmt.Errorf("line %d: unterminated string", l.line)
+			}
+			l.emit(tokString, l.src[l.pos+1:end])
+			l.pos = end + 1
+		case isIdentStart(rune(c)):
+			end := l.pos
+			for end < len(l.src) && isIdentChar(rune(l.src[end])) {
+				end++
+			}
+			l.emit(tokIdent, l.src[l.pos:end])
+			l.pos = end
+		case unicode.IsDigit(rune(c)) || c == '\'':
+			tok, err := l.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokNumber, tok)
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(l.src[l.pos:], p) {
+					l.emit(tokPunct, p)
+					l.pos += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+			}
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+// lexNumber consumes [size]'[base]digits or a plain decimal, including
+// digits separated by underscores.
+func (l *lexer) lexNumber() (string, error) {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+		l.pos++
+		if l.pos >= len(l.src) {
+			return "", fmt.Errorf("line %d: truncated based literal", l.line)
+		}
+		base := l.src[l.pos]
+		switch base {
+		case 'b', 'B', 'o', 'O', 'd', 'D', 'h', 'H':
+			l.pos++
+		default:
+			return "", fmt.Errorf("line %d: bad number base %q", l.line, base)
+		}
+		for l.pos < len(l.src) && (isHexDigit(l.src[l.pos]) || l.src[l.pos] == '_' ||
+			l.src[l.pos] == 'x' || l.src[l.pos] == 'X' || l.src[l.pos] == 'z' || l.src[l.pos] == 'Z') {
+			l.pos++
+		}
+	}
+	return l.src[start:l.pos], nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$' || r == '\\'
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}

@@ -1,0 +1,820 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a source file containing one or more modules.
+func Parse(src string) (*SourceFile, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	file := &SourceFile{}
+	for !p.at(tokEOF, "") {
+		m, err := p.module()
+		if err != nil {
+			return nil, err
+		}
+		file.Modules = append(file.Modules, m)
+	}
+	if len(file.Modules) == 0 {
+		return nil, fmt.Errorf("verilog: no modules found")
+	}
+	return file, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.cur(); p.pos++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("<%d>", k)
+	}
+	return t, fmt.Errorf("line %d: expected %q, found %q", t.line, want, t.text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: "+format, append([]interface{}{p.cur().line}, args...)...)
+}
+
+// module parses one module declaration.
+func (p *parser) module() (*Module, error) {
+	t, err := p.expect(tokIdent, "module")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.text, Line: t.line}
+
+	// Optional parameter port list: #(parameter N = 3, ...)
+	if p.accept(tokPunct, "#") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		for {
+			p.accept(tokIdent, "parameter")
+			pn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, &Param{Name: pn.text, Value: val, Line: pn.line})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Port list.
+	if p.accept(tokPunct, "(") {
+		if !p.accept(tokPunct, ")") {
+			lastDir, lastReg := DirNone, false
+			for {
+				d, err := p.portDecl(&lastDir, &lastReg)
+				if err != nil {
+					return nil, err
+				}
+				m.Ports = append(m.Ports, d)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+
+	// Body items until endmodule.
+	for !p.accept(tokIdent, "endmodule") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("missing endmodule for %q", m.Name)
+		}
+		items, err := p.item()
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, items...)
+	}
+	return m, nil
+}
+
+// portDecl parses one ANSI port entry; bare identifiers inherit the
+// previous direction/reg-ness (Verilog list semantics).
+func (p *parser) portDecl(lastDir *PortDir, lastReg *bool) (*Decl, error) {
+	d := &Decl{Line: p.cur().line}
+	switch {
+	case p.accept(tokIdent, "input"):
+		d.Dir = DirInput
+		*lastReg = false
+	case p.accept(tokIdent, "output"):
+		d.Dir = DirOutput
+		*lastReg = false
+	default:
+		d.Dir = *lastDir
+		d.IsReg = *lastReg
+		// Bare identifier (non-ANSI or inherited).
+		nm, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d.Name = nm.text
+		return d, nil
+	}
+	*lastDir = d.Dir
+	if p.accept(tokIdent, "reg") || p.accept(tokIdent, "wire") {
+		d.IsReg = p.toks[p.pos-1].text == "reg"
+		*lastReg = d.IsReg
+	}
+	if err := p.optRange(&d.MSB, &d.LSB); err != nil {
+		return nil, err
+	}
+	nm, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d.Name = nm.text
+	return d, nil
+}
+
+// optRange parses an optional [msb:lsb].
+func (p *parser) optRange(msb, lsb *Expr) error {
+	if !p.accept(tokPunct, "[") {
+		return nil
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return err
+	}
+	*msb, *lsb = hi, lo
+	return nil
+}
+
+// item parses one module body item (declarations may declare several
+// names, hence the slice).
+func (p *parser) item() ([]Item, error) {
+	// Attribute instance (only "init" is interpreted).
+	attr := ""
+	if p.accept(tokPunct, "(*") {
+		an, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		av, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "*)"); err != nil {
+			return nil, err
+		}
+		if an.text == "init" {
+			attr = av.text
+		}
+	}
+
+	t := p.cur()
+	switch {
+	case p.at(tokIdent, "input") || p.at(tokIdent, "output") ||
+		p.at(tokIdent, "wire") || p.at(tokIdent, "reg"):
+		return p.declItem(attr)
+	case p.accept(tokIdent, "parameter") || p.accept(tokIdent, "localparam"):
+		local := p.toks[p.pos-1].text == "localparam"
+		var out []Item
+		for {
+			nm, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &Param{Name: nm.text, Value: val, Local: local, Line: nm.line})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case p.accept(tokIdent, "assign"):
+		lhs, err := p.lvalue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return []Item{&Assign{LHS: lhs, RHS: rhs, Line: t.line}}, nil
+	case p.accept(tokIdent, "always"):
+		return p.alwaysItem(t.line)
+	case p.accept(tokIdent, "assert"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		name := ""
+		if p.accept(tokPunct, ",") {
+			s, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			name = s.text
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return []Item{&AssertItem{Cond: cond, Name: name, Line: t.line}}, nil
+	case p.accept(tokIdent, "assume"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return []Item{&AssumeItem{Cond: cond, Line: t.line}}, nil
+	case t.kind == tokIdent:
+		// Module instantiation: modname [#(...)] instname ( ... );
+		return p.instanceItem()
+	}
+	return nil, p.errf("unexpected token %q in module body", t.text)
+}
+
+func (p *parser) declItem(attr string) ([]Item, error) {
+	proto := &Decl{Line: p.cur().line, MemAttr: attr}
+	if p.accept(tokIdent, "input") {
+		proto.Dir = DirInput
+	} else if p.accept(tokIdent, "output") {
+		proto.Dir = DirOutput
+	}
+	if p.accept(tokIdent, "reg") {
+		proto.IsReg = true
+	} else {
+		p.accept(tokIdent, "wire")
+	}
+	if err := p.optRange(&proto.MSB, &proto.LSB); err != nil {
+		return nil, err
+	}
+	var out []Item
+	for {
+		nm, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := *proto
+		d.Name = nm.text
+		d.Line = nm.line
+		// Optional memory dimension.
+		if err := p.optRange(&d.AMSB, &d.ALSB); err != nil {
+			return nil, err
+		}
+		// Optional initializer.
+		if p.accept(tokPunct, "=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		out = append(out, &d)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) alwaysItem(line int) ([]Item, error) {
+	if _, err := p.expect(tokPunct, "@"); err != nil {
+		return nil, err
+	}
+	// "@(*)" lexes as "(*" ")" — the attribute-open token — while
+	// "@( * )" lexes as "(" "*" ")"; accept both spellings.
+	star := p.accept(tokPunct, "(*")
+	if !star {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		star = p.accept(tokPunct, "*")
+	}
+	if star {
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{&AlwaysComb{Body: body, Line: line}}, nil
+	}
+	if _, err := p.expect(tokIdent, "posedge"); err != nil {
+		return nil, err
+	}
+	clk, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Item{&AlwaysFF{Clock: clk.text, Body: body, Line: line}}, nil
+}
+
+func (p *parser) instanceItem() ([]Item, error) {
+	mod, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{ModuleName: mod.text, Line: mod.line}
+	if p.accept(tokPunct, "#") {
+		conns, err := p.connList()
+		if err != nil {
+			return nil, err
+		}
+		inst.ParamOver = conns
+	}
+	nm, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = nm.text
+	conns, err := p.connList()
+	if err != nil {
+		return nil, err
+	}
+	inst.Conns = conns
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return []Item{inst}, nil
+}
+
+func (p *parser) connList() ([]Connection, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var out []Connection
+	if p.accept(tokPunct, ")") {
+		return out, nil
+	}
+	for {
+		var c Connection
+		if p.accept(tokPunct, ".") {
+			nm, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			c.Name = nm.text
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			if !p.at(tokPunct, ")") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Expr = e
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Expr = e
+		}
+		out = append(out, c)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stmt parses a procedural statement.
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.accept(tokIdent, "begin"):
+		b := &Block{}
+		for !p.accept(tokIdent, "end") {
+			if p.at(tokEOF, "") {
+				return nil, p.errf("missing end")
+			}
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			b.Stmts = append(b.Stmts, s)
+		}
+		return b, nil
+	case p.accept(tokIdent, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		node := &If{Cond: cond, Then: then, Line: t.line}
+		if p.accept(tokIdent, "else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+		return node, nil
+	case p.accept(tokIdent, "case") || p.accept(tokIdent, "casez"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		subj, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		node := &Case{Subject: subj, Line: t.line}
+		for !p.accept(tokIdent, "endcase") {
+			if p.at(tokEOF, "") {
+				return nil, p.errf("missing endcase")
+			}
+			if p.accept(tokIdent, "default") {
+				p.accept(tokPunct, ":")
+				body, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				node.Default = body
+				continue
+			}
+			var labels []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				labels = append(labels, e)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Arms = append(node.Arms, CaseArm{Labels: labels, Body: body})
+		}
+		return node, nil
+	case p.accept(tokPunct, ";"):
+		return &NullStmt{}, nil
+	default:
+		lhs, err := p.lvalue()
+		if err != nil {
+			return nil, err
+		}
+		nonBlocking := false
+		if p.accept(tokPunct, "<=") {
+			nonBlocking = true
+		} else if !p.accept(tokPunct, "=") {
+			return nil, p.errf("expected assignment operator")
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if nonBlocking {
+			return &NBAssign{LHS: lhs, RHS: rhs, Line: t.line}, nil
+		}
+		return &BAssign{LHS: lhs, RHS: rhs, Line: t.line}, nil
+	}
+}
+
+// lvalue parses an assignment target.
+func (p *parser) lvalue() (*LValue, error) {
+	nm, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	lv := &LValue{Name: nm.text, Line: nm.line}
+	if p.accept(tokPunct, "[") {
+		first, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, ":") {
+			lo, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lv.MSB, lv.LSB = first, lo
+		} else {
+			lv.Index = first
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	return lv, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) {
+	e, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "?") {
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{Cond: e, Then: then, Else: els}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "~", "!", "-", "&", "|", "^":
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.text, X: x, Line: t.line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return parseNumber(t)
+	case t.kind == tokIdent:
+		p.next()
+		var e Expr = &Ident{Name: t.text, Line: t.line}
+		for p.accept(tokPunct, "[") {
+			first, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(tokPunct, ":") {
+				lo, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				e = &Slice{X: e, MSB: first, LSB: lo, Line: t.line}
+			} else {
+				e = &Index{X: e, I: first, Line: t.line}
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.accept(tokPunct, "{"):
+		// Concatenation or replication.
+		first, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, "{") {
+			inner, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "}"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "}"); err != nil {
+				return nil, err
+			}
+			return &Repeat{Count: first, X: inner, Line: t.line}, nil
+		}
+		c := &Concat{Parts: []Expr{first}, Line: t.line}
+		for p.accept(tokPunct, ",") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, e)
+		}
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+// parseNumber decodes Verilog literals: 12, 8'hFF, 4'b10_10, 'd9.
+func parseNumber(t token) (Expr, error) {
+	text := strings.ReplaceAll(t.text, "_", "")
+	quote := strings.IndexByte(text, '\'')
+	if quote < 0 {
+		v, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", t.line, t.text)
+		}
+		return &Number{Value: v, Width: 0, Line: t.line}, nil
+	}
+	width := 0
+	if quote > 0 {
+		w, err := strconv.Atoi(text[:quote])
+		if err != nil || w <= 0 || w > 64 {
+			return nil, fmt.Errorf("line %d: bad width in %q", t.line, t.text)
+		}
+		width = w
+	}
+	if quote+1 >= len(text) {
+		return nil, fmt.Errorf("line %d: truncated literal %q", t.line, t.text)
+	}
+	base := 10
+	switch text[quote+1] {
+	case 'b', 'B':
+		base = 2
+	case 'o', 'O':
+		base = 8
+	case 'd', 'D':
+		base = 10
+	case 'h', 'H':
+		base = 16
+	}
+	digits := text[quote+2:]
+	if strings.ContainsAny(digits, "xXzZ") {
+		return nil, fmt.Errorf("line %d: x/z literals are not supported (%q)", t.line, t.text)
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: bad literal %q", t.line, t.text)
+	}
+	if width > 0 && width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	return &Number{Value: v, Width: width, Line: t.line}, nil
+}

@@ -1,0 +1,138 @@
+// Iterative quicksort machine, as in the DATE'05 EMM paper's case study
+// ("We implemented a quick sort algorithm using Verilog HDL. ... We
+// implemented the array as a memory module ... the stack (for recursive
+// function calls) also as a memory module").
+//
+// Lomuto partitioning; the left partition is processed immediately and the
+// right partition is pushed onto the recursion stack. The array has
+// arbitrary initial contents. After sorting, a checker reads back elements
+// 0 and 1.
+//
+// Properties:
+//   P1 "sorted01":   at CHECKED, arr[0] <= arr[1].
+//   P2 "stack-disc": right after a pop, control is back at PCHECK with a
+//                    well-formed range (lo <= hi <= N-1).
+module quicksort #(parameter N = 3, parameter AW = 3, parameter DW = 4, parameter SW = 3)
+                  (input clk);
+
+  localparam S_INIT     = 0;
+  localparam S_PCHECK   = 1;
+  localparam S_PINIT    = 2;
+  localparam S_PLOOP    = 3;
+  localparam S_SWAPRD   = 4;
+  localparam S_SWAPWR   = 5;
+  localparam S_FINRD    = 6;
+  localparam S_FINWR    = 7;
+  localparam S_RECURSE  = 8;
+  localparam S_POPCHECK = 9;
+  localparam S_POP      = 10;
+  localparam S_CHECK0   = 11;
+  localparam S_CHECK1   = 12;
+  localparam S_CHECKED  = 13;
+
+  // The array under sort: arbitrary initial contents (the default).
+  reg [DW-1:0] arr [(1<<AW)-1:0];
+  // The recursion stack: {hi, lo} pairs.
+  reg [2*AW-1:0] stk [(1<<SW)-1:0];
+
+  reg [3:0]    state;
+  reg [3:0]    prev;
+  reg [AW-1:0] lo, hi, i, j, p;
+  reg [DW-1:0] pivot, tmp, chkA, chkB;
+  reg [SW:0]   sp;
+
+  // Single shared read port for the array, addressed by state.
+  reg [AW-1:0] raddr;
+  always @(*) begin
+    case (state)
+      S_PINIT:  raddr = hi;
+      S_PLOOP:  raddr = j;
+      S_SWAPRD: raddr = i;
+      S_FINRD:  raddr = i;
+      S_CHECK1: raddr = 1'b1;
+      default:  raddr = {AW{1'b0}};
+    endcase
+  end
+  wire [DW-1:0] rdata = arr[raddr];
+
+  // Stack read port (top of stack).
+  wire [SW-1:0]   spTop = sp[SW-1:0] - 1'b1;
+  wire [2*AW-1:0] srd   = stk[spTop];
+
+  always @(posedge clk) begin
+    prev <= state;
+    case (state)
+      S_INIT: begin
+        lo    <= {AW{1'b0}};
+        hi    <= N - 1;
+        state <= S_PCHECK;
+      end
+      S_PCHECK: state <= (lo < hi) ? S_PINIT : S_POPCHECK;
+      S_PINIT: begin
+        pivot <= rdata;
+        i     <= lo;
+        j     <= lo;
+        state <= S_PLOOP;
+      end
+      S_PLOOP: begin
+        if (j == hi)
+          state <= S_FINRD;
+        else if (rdata <= pivot) begin
+          tmp   <= rdata;
+          state <= S_SWAPRD;
+        end else
+          j <= j + 1'b1;
+      end
+      S_SWAPRD: begin
+        arr[j] <= rdata;          // arr[j] <- arr[i]
+        state  <= S_SWAPWR;
+      end
+      S_SWAPWR: begin
+        arr[i] <= tmp;            // arr[i] <- old arr[j]
+        i      <= i + 1'b1;
+        j      <= j + 1'b1;
+        state  <= S_PLOOP;
+      end
+      S_FINRD: begin
+        arr[hi] <= rdata;         // arr[hi] <- arr[i]
+        state   <= S_FINWR;
+      end
+      S_FINWR: begin
+        arr[i] <= pivot;          // arr[i] <- pivot
+        p      <= i;
+        state  <= S_RECURSE;
+      end
+      S_RECURSE: begin
+        if (p < hi) begin         // push the right partition
+          stk[sp[SW-1:0]] <= {hi, p + 1'b1};
+          sp              <= sp + 1'b1;
+        end
+        if (lo < p) begin         // descend into the left partition
+          hi    <= p - 1'b1;
+          state <= S_PCHECK;
+        end else
+          state <= S_POPCHECK;
+      end
+      S_POPCHECK: state <= (sp == 0) ? S_CHECK0 : S_POP;
+      S_POP: begin
+        lo    <= srd[AW-1:0];
+        hi    <= srd[2*AW-1:AW];
+        sp    <= sp - 1'b1;
+        state <= S_PCHECK;
+      end
+      S_CHECK0: begin
+        chkA  <= rdata;           // arr[0]
+        state <= S_CHECK1;
+      end
+      S_CHECK1: begin
+        chkB  <= rdata;           // arr[1]
+        state <= S_CHECKED;
+      end
+      default: state <= state;    // CHECKED: terminal
+    endcase
+  end
+
+  assert(state != S_CHECKED || chkA <= chkB, "P1-sorted01");
+  assert(prev != S_POP || (state == S_PCHECK && lo <= hi && hi <= N - 1),
+         "P2-stack-discipline");
+endmodule
