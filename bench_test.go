@@ -119,6 +119,36 @@ func BenchmarkConstraintGrowth(b *testing.B) {
 	b.Logf("\n%s", exp.RenderGrowth(pts))
 }
 
+// BenchmarkParallelSpeedup measures the property-level worker pool on the
+// Industry I property set: the same CheckManyParallel run at 1/2/4/8
+// workers, reporting each configuration's speedup over the 1-worker
+// baseline as x_speedup. On a single-core host the sub-benchmarks time-share
+// one CPU and x_speedup stays near 1; the metric shows real scaling only
+// when GOMAXPROCS cores are available (see EXPERIMENTS.md).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	f := designs.NewImageFilter(designs.ImageFilterConfig{LineWidth: 4, AW: 4, DW: 4, NumProps: 16})
+	opt := bmc.Options{MaxDepth: 3*4 + 10, UseEMM: true, Proofs: true}
+	var baseline float64
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				mr := bmc.CheckManyParallel(f.Netlist(), f.PropIndices(), opt, jobs)
+				if c := mr.Counts(); c[bmc.KindTimeout] > 0 {
+					b.Fatalf("unexpected timeouts: %v", c)
+				}
+			}
+			perOp := time.Since(start).Seconds() / float64(b.N)
+			if jobs == 1 {
+				baseline = perOp
+			}
+			if baseline > 0 {
+				b.ReportMetric(baseline/perOp, "x_speedup")
+			}
+		})
+	}
+}
+
 // --- engine micro-benchmarks ---
 
 // BenchmarkSATSolverPigeonhole measures raw CDCL throughput on a hard

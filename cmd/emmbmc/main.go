@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -38,6 +39,7 @@ func main() {
 	engine := flag.String("engine", "bmc3", "bmc1, bmc2, bmc3, pba, or bdd")
 	depth := flag.Int("depth", 200, "maximum analysis depth")
 	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "solver parallelism; >1 races the per-depth proof checks (bmc1/bmc3)")
 	explicit := flag.Bool("explicit", false, "expand memories into latches first")
 	bddNodes := flag.Int("bddnodes", 500000, "BDD node budget for -engine bdd")
 	vcdOut := flag.String("vcd", "", "write a counter-example waveform to this file")
@@ -67,6 +69,9 @@ func main() {
 	}
 
 	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	// With more than one job the engine races forward/backward termination
+	// on separate goroutines at each depth (only meaningful with proofs).
+	opt.Portfolio = *jobs > 1
 	if *verbose {
 		opt.Log = os.Stderr
 	}

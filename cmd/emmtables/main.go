@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -29,10 +30,11 @@ func main() {
 	scale := flag.String("scale", "reduced", "design sizing: reduced or paper")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-run timeout (the paper used 3h)")
 	sizes := flag.String("n", "3,4,5", "quicksort array sizes for t1/t2")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "how many verification runs execute concurrently per experiment")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	flag.Parse()
 
-	cfg := exp.Config{Timeout: *timeout}
+	cfg := exp.Config{Timeout: *timeout, Jobs: *jobs}
 	switch *scale {
 	case "reduced":
 		cfg.Scale = exp.ScaleReduced

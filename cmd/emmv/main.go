@@ -12,15 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"emmver/internal/bmc"
 	"emmver/internal/expmem"
+	"emmver/internal/par"
 	"emmver/internal/vcd"
 	"emmver/internal/verilog"
 )
@@ -46,6 +49,7 @@ func main() {
 	engine := flag.String("engine", "bmc3", "bmc1, bmc2, bmc3, or pba")
 	depth := flag.Int("depth", 100, "maximum analysis depth")
 	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "how many assertions are checked concurrently")
 	explicit := flag.Bool("explicit", false, "expand memories into latches first")
 	vcdOut := flag.String("vcd", "", "write the first counter-example waveform here")
 	verbose := flag.Bool("v", false, "log per-depth progress")
@@ -104,21 +108,36 @@ func main() {
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 
-	fails := 0
-	for pi, p := range n.Props {
-		var r *bmc.Result
-		if *engine == "pba" {
+	// Check every assertion concurrently, then render in declaration
+	// order (the first CE in that order gets the waveform dump).
+	results := make([]*bmc.Result, len(n.Props))
+	abstractions := make([]string, len(n.Props))
+	if *engine == "pba" {
+		par.ForEach(context.Background(), *jobs, len(n.Props), func(_ context.Context, _, pi int) {
 			res := bmc.ProveWithPBA(n, pi, opt)
 			if res.Proof != nil {
-				r = res.Proof
+				results[pi] = res.Proof
 			} else {
-				r = res.Phase1
+				results[pi] = res.Phase1
 			}
 			if res.Abs != nil {
-				fmt.Printf("  [%s] abstraction: %s\n", p.Name, res.Abs)
+				abstractions[pi] = res.Abs.String()
 			}
-		} else {
-			r = bmc.Check(n, pi, opt)
+		})
+	} else {
+		props := make([]int, len(n.Props))
+		for pi := range props {
+			props[pi] = pi
+		}
+		mr := bmc.CheckManyParallel(n, props, opt, *jobs)
+		copy(results, mr.Results)
+	}
+
+	fails := 0
+	for pi, p := range n.Props {
+		r := results[pi]
+		if abstractions[pi] != "" {
+			fmt.Printf("  [%s] abstraction: %s\n", p.Name, abstractions[pi])
 		}
 		fmt.Printf("  [%s] %s\n", p.Name, r)
 		if r.Kind == bmc.KindCE {

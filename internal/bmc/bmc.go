@@ -14,9 +14,11 @@
 package bmc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"emmver/internal/aig"
@@ -65,6 +67,14 @@ type Options struct {
 	// without the exclusive valid-read chains — the ablation for the
 	// paper's claim that the chains speed up the SAT solver.
 	DisableExclusivity bool
+	// Portfolio runs the depth-level checks as a two-lane race when Proofs
+	// is on: one goroutine owns the forward solver (forward termination,
+	// then the counter-example check), the other owns the backward solver
+	// (backward termination). The first decisive answer interrupts the
+	// other lane. Verdicts are unchanged, but when forward and backward
+	// termination both prove at the same depth the reported ProofSide may
+	// differ from the sequential run's.
+	Portfolio bool
 	// PureLatchLFP uses the paper's literal loop-free-path constraint
 	// (latch states pairwise distinct). The default strengthens state
 	// equality with "and no write fired in between", which keeps the
@@ -123,6 +133,23 @@ type Stats struct {
 	EMM        core.Sizes
 }
 
+// Add accumulates o into s. The parallel engines use it to merge
+// per-worker statistics after the workers have joined: counters sum, while
+// the heap high-water mark and the EMM constraint tally (which every
+// worker re-generates identically) take the maximum.
+func (s *Stats) Add(o Stats) {
+	s.SolveCalls += o.SolveCalls
+	s.Clauses += o.Clauses
+	s.Vars += o.Vars
+	s.Conflicts += o.Conflicts
+	if o.PeakHeapMB > s.PeakHeapMB {
+		s.PeakHeapMB = o.PeakHeapMB
+	}
+	if o.EMM.Clauses() > s.EMM.Clauses() {
+		s.EMM = o.EMM
+	}
+}
+
 // Result is the outcome of a Check run.
 type Result struct {
 	Kind  Kind
@@ -164,6 +191,7 @@ type engine struct {
 	n    *aig.Netlist
 	opt  Options
 	prop int
+	ctx  context.Context
 
 	fs *sat.Solver
 	fu *unroll.Unroller
@@ -177,10 +205,17 @@ type engine struct {
 	start    time.Time
 	deadline time.Time
 	stats    Stats
+	// fwdSatDepth memoizes the deepest depth whose (property-independent)
+	// forward termination check is known SAT, so an engine reused across
+	// properties never repeats it.
+	fwdSatDepth int
+	// solveCalls is kept apart from stats so that the two portfolio lanes
+	// can bump it concurrently without a data race.
+	solveCalls atomic.Int64
 }
 
-func newEngine(n *aig.Netlist, prop int, opt Options) *engine {
-	e := &engine{n: n, opt: opt, prop: prop, start: time.Now()}
+func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engine {
+	e := &engine{n: n, opt: opt, prop: prop, ctx: ctx, start: time.Now(), fwdSatDepth: -1}
 	if opt.Timeout > 0 {
 		e.deadline = e.start.Add(opt.Timeout)
 	}
@@ -250,15 +285,29 @@ func (e *engine) applyMemAbstraction(g *core.Generator) {
 	}
 }
 
+// installInterrupt points s's interrupt hook at the engine-level budget:
+// the wall-clock deadline and the run context.
 func (e *engine) installInterrupt(s *sat.Solver) {
-	if e.deadline.IsZero() {
+	if e.deadline.IsZero() && e.ctx.Done() == nil {
+		s.Interrupt = nil
 		return
 	}
-	s.Interrupt = func() bool { return time.Now().After(e.deadline) }
+	s.Interrupt = e.timedOut
+}
+
+// armSolver retargets s's interrupt hook at a portfolio-lane context for
+// the duration of one lane, returning the restore function.
+func (e *engine) armSolver(s *sat.Solver, ctx context.Context) func() {
+	s.Interrupt = func() bool { return ctx.Err() != nil || e.deadlinePassed() }
+	return func() { e.installInterrupt(s) }
+}
+
+func (e *engine) deadlinePassed() bool {
+	return !e.deadline.IsZero() && time.Now().After(e.deadline)
 }
 
 func (e *engine) timedOut() bool {
-	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+	return e.ctx.Err() != nil || e.deadlinePassed()
 }
 
 func (e *engine) logf(format string, args ...interface{}) {
@@ -267,24 +316,31 @@ func (e *engine) logf(format string, args ...interface{}) {
 	}
 }
 
-func (e *engine) finish(r *Result) *Result {
-	r.Prop = e.prop
-	r.Stats = e.stats
-	r.Stats.Elapsed = time.Since(e.start)
-	r.Stats.Clauses = e.fs.NumClauses()
-	r.Stats.Vars = e.fs.NumVars()
-	r.Stats.Conflicts = e.fs.Stats().Conflicts
+// snapshotStats materializes the engine's cumulative statistics.
+func (e *engine) snapshotStats() Stats {
+	s := e.stats
+	s.SolveCalls = int(e.solveCalls.Load())
+	s.Elapsed = time.Since(e.start)
+	s.Clauses = e.fs.NumClauses()
+	s.Vars = e.fs.NumVars()
+	s.Conflicts = e.fs.Stats().Conflicts
 	if e.bs != nil {
-		r.Stats.Clauses += e.bs.NumClauses()
-		r.Stats.Vars += e.bs.NumVars()
-		r.Stats.Conflicts += e.bs.Stats().Conflicts
+		s.Clauses += e.bs.NumClauses()
+		s.Vars += e.bs.NumVars()
+		s.Conflicts += e.bs.Stats().Conflicts
 	}
 	if e.fg != nil {
-		r.Stats.EMM = e.fg.Sizes()
+		s.EMM = e.fg.Sizes()
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	r.Stats.PeakHeapMB = float64(ms.HeapAlloc) / (1 << 20)
+	s.PeakHeapMB = float64(ms.HeapAlloc) / (1 << 20)
+	return s
+}
+
+func (e *engine) finish(r *Result) *Result {
+	r.Prop = e.prop
+	r.Stats = e.snapshotStats()
 	r.Tracker = e.tracker
 	return r
 }
@@ -305,68 +361,109 @@ func (e *engine) prepareDepth(i int) {
 
 // solve wraps a SAT call with accounting.
 func (e *engine) solve(s *sat.Solver, assumps ...sat.Lit) sat.Status {
-	e.stats.SolveCalls++
+	e.solveCalls.Add(1)
 	return s.Solve(assumps...)
+}
+
+// forwardCheck runs the property-independent forward termination check at
+// depth i: SAT(I ∧ LFP_i ∧ C_i).
+func (e *engine) forwardCheck(i int) sat.Status {
+	return e.solve(e.fs, e.fu.LoopFreeLit(i))
+}
+
+// backwardCheck runs the backward termination (induction step) check for
+// prop at depth i: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
+func (e *engine) backwardCheck(prop, i int) sat.Status {
+	assumps := []sat.Lit{e.bu.LoopFreeLit(i), e.bu.PropertyLit(prop, i).Not()}
+	for j := 0; j < i; j++ {
+		assumps = append(assumps, e.bu.PropertyLit(prop, j))
+	}
+	return e.solve(e.bs, assumps...)
+}
+
+// ceCheck runs the counter-example check for prop at depth i:
+// SAT(I ∧ ¬P_i ∧ C_i).
+func (e *engine) ceCheck(prop, i int) sat.Status {
+	return e.solve(e.fs, e.fu.PropertyLit(prop, i).Not())
+}
+
+// validateWitness replays w on the concrete-memory simulator when the run
+// is configured to and fails loudly on divergence.
+func (e *engine) validateWitness(w *Witness, prop int) {
+	if e.opt.ValidateWitness && e.opt.Abs == nil {
+		if err := w.Replay(e.n, prop); err != nil {
+			panic(fmt.Sprintf("bmc: witness replay failed: %v", err))
+		}
+	}
 }
 
 // Check runs the configured algorithm for property prop of n.
 func Check(n *aig.Netlist, prop int, opt Options) *Result {
-	e := newEngine(n, prop, opt)
+	return CheckCtx(context.Background(), n, prop, opt)
+}
+
+// CheckCtx is Check under a cancellation context: when ctx is cancelled the
+// run stops at the next solver poll and reports KindTimeout. The parallel
+// engines use it to tear a whole fleet down as soon as its outcome is
+// decided.
+func CheckCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Result {
+	e := newEngine(ctx, n, prop, opt)
 	for i := 0; i <= opt.MaxDepth; i++ {
 		if e.timedOut() {
-			return e.finish(&Result{Kind: KindTimeout, Depth: i - 1})
+			return e.finish(&Result{Kind: KindTimeout, Depth: max(i-1, 0)})
 		}
 		e.prepareDepth(i)
-
-		if opt.Proofs {
-			// Forward termination: SAT(I ∧ LFP_i ∧ C_i).
-			switch e.solve(e.fs, e.fu.LoopFreeLit(i)) {
-			case sat.Unsat:
-				e.logf("depth %d: forward termination", i)
-				return e.finish(&Result{Kind: KindProof, Depth: i, ProofSide: "forward"})
-			case sat.Unknown:
-				return e.finish(&Result{Kind: KindTimeout, Depth: i})
-			}
-			// Backward termination: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
-			assumps := []sat.Lit{e.bu.LoopFreeLit(i), e.bu.PropertyLit(prop, i).Not()}
-			for j := 0; j < i; j++ {
-				assumps = append(assumps, e.bu.PropertyLit(prop, j))
-			}
-			switch e.solve(e.bs, assumps...) {
-			case sat.Unsat:
-				e.logf("depth %d: backward termination", i)
-				return e.finish(&Result{Kind: KindProof, Depth: i, ProofSide: "backward"})
-			case sat.Unknown:
-				return e.finish(&Result{Kind: KindTimeout, Depth: i})
-			}
-		}
-
-		// Counter-example check: SAT(I ∧ ¬P_i ∧ C_i).
-		switch e.solve(e.fs, e.fu.PropertyLit(prop, i).Not()) {
-		case sat.Sat:
-			w := e.extractWitness(i)
-			e.logf("depth %d: counter-example", i)
-			if opt.ValidateWitness && opt.Abs == nil {
-				if err := w.Replay(n, prop); err != nil {
-					panic(fmt.Sprintf("bmc: witness replay failed: %v", err))
-				}
-			}
-			return e.finish(&Result{Kind: KindCE, Depth: i, Witness: w})
-		case sat.Unknown:
-			return e.finish(&Result{Kind: KindTimeout, Depth: i})
-		}
-
-		if opt.PBA {
-			e.tracker.Update(i, e.fs.Core())
-			e.logf("depth %d: no CE, |LR|=%d (stable %d)", i, e.tracker.Size(), e.tracker.StableFor(i))
-			if opt.StopAtStable && e.tracker.StableFor(i) >= opt.StabilityDepth {
-				return e.finish(&Result{Kind: KindStable, Depth: i})
-			}
-		} else {
-			e.logf("depth %d: no CE", i)
+		if r := e.depthStep(i); r != nil {
+			return e.finish(r)
 		}
 	}
 	return e.finish(&Result{Kind: KindNoCE, Depth: opt.MaxDepth})
+}
+
+// depthStep runs the depth-i checks in the paper's order — forward
+// termination, backward termination, counter-example — and returns a
+// decisive Result, or nil to continue with the next depth. With
+// Options.Portfolio the termination lanes race instead (portfolio.go).
+func (e *engine) depthStep(i int) *Result {
+	if e.opt.Proofs && e.opt.Portfolio {
+		return e.depthStepPortfolio(i)
+	}
+	prop := e.prop
+	if e.opt.Proofs {
+		switch e.forwardCheck(i) {
+		case sat.Unsat:
+			e.logf("depth %d: forward termination", i)
+			return &Result{Kind: KindProof, Depth: i, ProofSide: "forward"}
+		case sat.Unknown:
+			return &Result{Kind: KindTimeout, Depth: i}
+		}
+		switch e.backwardCheck(prop, i) {
+		case sat.Unsat:
+			e.logf("depth %d: backward termination", i)
+			return &Result{Kind: KindProof, Depth: i, ProofSide: "backward"}
+		case sat.Unknown:
+			return &Result{Kind: KindTimeout, Depth: i}
+		}
+	}
+	switch e.ceCheck(prop, i) {
+	case sat.Sat:
+		w := e.extractWitness(i)
+		e.logf("depth %d: counter-example", i)
+		e.validateWitness(w, prop)
+		return &Result{Kind: KindCE, Depth: i, Witness: w}
+	case sat.Unknown:
+		return &Result{Kind: KindTimeout, Depth: i}
+	}
+	if e.opt.PBA {
+		e.tracker.Update(i, e.fs.Core())
+		e.logf("depth %d: no CE, |LR|=%d (stable %d)", i, e.tracker.Size(), e.tracker.StableFor(i))
+		if e.opt.StopAtStable && e.tracker.StableFor(i) >= e.opt.StabilityDepth {
+			return &Result{Kind: KindStable, Depth: i}
+		}
+	} else {
+		e.logf("depth %d: no CE", i)
+	}
+	return nil
 }
 
 // extractWitness decodes the satisfying model into a replayable trace.
@@ -394,6 +491,11 @@ func (e *engine) extractWitness(depth int) *Witness {
 			words := make(map[int]uint64)
 			for r := range m.Reads {
 				for _, ev := range e.fg.ReadEvents(mi, r) {
+					// A reused engine may have frames beyond this CE's depth
+					// built; their read events are unconstrained here.
+					if ev.Frame > depth {
+						continue
+					}
 					if e.fs.LitValue(ev.Re) != sat.True || e.fs.LitValue(ev.N) != sat.True {
 						continue
 					}

@@ -1,6 +1,7 @@
 package bmc
 
 import (
+	"context"
 	"time"
 
 	"emmver/internal/aig"
@@ -34,7 +35,12 @@ func (m *ManyResult) Counts() map[Kind]int {
 // when UNSAT, proves every remaining property at once) and a per-property
 // backward induction check.
 func CheckMany(n *aig.Netlist, props []int, opt Options) *ManyResult {
-	e := newEngine(n, props[0], opt)
+	return CheckManyCtx(context.Background(), n, props, opt)
+}
+
+// CheckManyCtx is CheckMany under a cancellation context; see CheckCtx.
+func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options) *ManyResult {
+	e := newEngine(ctx, n, props[0], opt)
 	out := &ManyResult{Results: make([]*Result, len(props))}
 	unresolved := len(props)
 	finishAll := func(kind Kind, depth int, side string) {
@@ -49,14 +55,14 @@ func CheckMany(n *aig.Netlist, props []int, opt Options) *ManyResult {
 	start := time.Now()
 	for i := 0; i <= opt.MaxDepth && unresolved > 0; i++ {
 		if e.timedOut() {
-			finishAll(KindTimeout, i-1, "")
+			finishAll(KindTimeout, max(i-1, 0), "")
 			break
 		}
 		e.prepareDepth(i)
 
 		if opt.Proofs {
 			// Forward termination is property-independent.
-			switch e.solve(e.fs, e.fu.LoopFreeLit(i)) {
+			switch e.forwardCheck(i) {
 			case sat.Unsat:
 				finishAll(KindProof, i, "forward")
 			case sat.Unknown:
@@ -76,26 +82,18 @@ func CheckMany(n *aig.Netlist, props []int, opt Options) *ManyResult {
 				continue
 			}
 			if opt.Proofs {
-				assumps := []sat.Lit{e.bu.LoopFreeLit(i), e.bu.PropertyLit(p, i).Not()}
-				for j := 0; j < i; j++ {
-					assumps = append(assumps, e.bu.PropertyLit(p, j))
-				}
-				if e.solve(e.bs, assumps...) == sat.Unsat {
+				if e.backwardCheck(p, i) == sat.Unsat {
 					out.Results[pi] = &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "backward"}
 					unresolved--
 					e.logf("prop %d: backward proof at depth %d", p, i)
 					continue
 				}
 			}
-			switch e.solve(e.fs, e.fu.PropertyLit(p, i).Not()) {
+			switch e.ceCheck(p, i) {
 			case sat.Sat:
 				e.prop = p
 				w := e.extractWitness(i)
-				if opt.ValidateWitness && opt.Abs == nil {
-					if err := w.Replay(n, p); err != nil {
-						panic("bmc: witness replay failed: " + err.Error())
-					}
-				}
+				e.validateWitness(w, p)
 				out.Results[pi] = &Result{Kind: KindCE, Prop: p, Depth: i, Witness: w}
 				unresolved--
 				if i > out.MaxWitnessDepth {

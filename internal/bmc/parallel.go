@@ -1,0 +1,183 @@
+package bmc
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/par"
+	"emmver/internal/sat"
+)
+
+// CheckManyParallel verifies many reachability properties of one design
+// concurrently: a pool of jobs workers (jobs <= 0 selects NumCPU) pulls
+// properties off a shared queue, and each worker owns a private
+// unrolling/solver engine against the shared read-only netlist. Workers
+// cooperate through the forward-termination oracle: the forward check is
+// property-independent and its UNSAT answer is upward-closed in depth, so
+// the first worker to hit UNSAT publishes that depth and every other worker
+// reaching it resolves its property instantly as a forward proof — the
+// paper's "10 induction proofs in < 1 s" effect, now paid for once.
+//
+// Outcomes are deterministic: every per-property verdict (Kind, Depth,
+// ProofSide) equals what the sequential CheckMany computes, because SAT
+// answers are semantic and at most one verdict class can fire per depth.
+// Only timeout placement and witness input values (which always replay) may
+// vary between runs.
+func CheckManyParallel(n *aig.Netlist, props []int, opt Options, jobs int) *ManyResult {
+	return CheckManyParallelCtx(context.Background(), n, props, opt, jobs)
+}
+
+// CheckManyParallelCtx is CheckManyParallel under a cancellation context.
+// Options.Timeout is converted into a deadline on the shared context so the
+// whole fleet stops at the same wall-clock instant.
+func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options, jobs int) *ManyResult {
+	start := time.Now()
+	out := &ManyResult{Results: make([]*Result, len(props))}
+	if len(props) == 0 {
+		return out
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+		opt.Timeout = 0
+	}
+	jobs = par.Jobs(jobs)
+	if jobs > len(props) {
+		jobs = len(props)
+	}
+	if jobs > 1 {
+		opt.Log = par.SyncWriter(opt.Log)
+	}
+
+	// Reusing one engine per worker across properties is a conservative
+	// extension only when the design asserts no environment constraints:
+	// everything else the engine adds (Tseitin definitions, EMM clauses,
+	// loop-free-path structure) is total and property-independent, whereas
+	// asserted constraint units would leak between properties if the
+	// per-property runs were meant to differ. No design in this repo hits
+	// the fallback, but correctness must not depend on that.
+	reuse := len(n.Constraints) == 0
+
+	engines := make([]*engine, jobs)
+	workerStats := make([]Stats, jobs)
+	var fwdUnsat atomic.Int64
+	fwdUnsat.Store(math.MaxInt64)
+
+	par.ForEach(ctx, jobs, len(props), func(ctx context.Context, w, pi int) {
+		e := engines[w]
+		if e == nil || !reuse {
+			if e != nil {
+				workerStats[w].Add(e.snapshotStats())
+			}
+			e = newEngine(ctx, n, props[pi], opt)
+			engines[w] = e
+		}
+		out.Results[pi] = e.runProp(props[pi], &fwdUnsat)
+	})
+
+	for w, e := range engines {
+		if e != nil {
+			workerStats[w].Add(e.snapshotStats())
+		}
+		out.Stats.Add(workerStats[w])
+	}
+	out.Stats.Elapsed = time.Since(start)
+	for pi, p := range props {
+		r := out.Results[pi]
+		if r == nil {
+			// The run was cancelled before this property was dispensed.
+			r = &Result{Kind: KindTimeout, Prop: p, Depth: 0}
+			out.Results[pi] = r
+		}
+		if r.Kind == KindCE && r.Depth > out.MaxWitnessDepth {
+			out.MaxWitnessDepth = r.Depth
+		}
+	}
+	return out
+}
+
+// runProp runs the sequential per-depth check order for property p on e,
+// consulting the fleet-shared forward-termination oracle. The result
+// carries this property's wall time; the solver-level counters are
+// aggregated per worker instead (ManyResult.Stats).
+func (e *engine) runProp(p int, fwdUnsat *atomic.Int64) *Result {
+	t0 := time.Now()
+	r := e.runPropLoop(p, fwdUnsat)
+	r.Stats.Elapsed = time.Since(t0)
+	return r
+}
+
+func (e *engine) runPropLoop(p int, fwdUnsat *atomic.Int64) *Result {
+	e.prop = p
+	for i := 0; i <= e.opt.MaxDepth; i++ {
+		if e.timedOut() {
+			return &Result{Kind: KindTimeout, Prop: p, Depth: max(i-1, 0)}
+		}
+		e.prepareDepth(i)
+		if e.opt.Proofs {
+			switch e.oracleForwardCheck(i, fwdUnsat) {
+			case sat.Unsat:
+				e.logf("prop %d: forward proof at depth %d", p, i)
+				return &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "forward"}
+			case sat.Unknown:
+				return &Result{Kind: KindTimeout, Prop: p, Depth: i}
+			}
+			switch e.backwardCheck(p, i) {
+			case sat.Unsat:
+				e.logf("prop %d: backward proof at depth %d", p, i)
+				return &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "backward"}
+			case sat.Unknown:
+				return &Result{Kind: KindTimeout, Prop: p, Depth: i}
+			}
+		}
+		switch e.ceCheck(p, i) {
+		case sat.Sat:
+			w := e.extractWitness(i)
+			e.validateWitness(w, p)
+			e.logf("prop %d: counter-example at depth %d", p, i)
+			return &Result{Kind: KindCE, Prop: p, Depth: i, Witness: w}
+		case sat.Unknown:
+			return &Result{Kind: KindTimeout, Prop: p, Depth: i}
+		}
+	}
+	return &Result{Kind: KindNoCE, Prop: p, Depth: e.opt.MaxDepth}
+}
+
+// oracleForwardCheck answers the forward termination check at depth i,
+// short-circuiting through the shared oracle and the per-engine SAT memo.
+// A worker can only still be running at depth i if its depths < i were all
+// SAT, so the first published UNSAT depth is the true first-UNSAT depth and
+// any worker reaching it may resolve without a solver call; conversely
+// depths below it are known SAT.
+func (e *engine) oracleForwardCheck(i int, fwdUnsat *atomic.Int64) sat.Status {
+	if fwdUnsat != nil && int64(i) >= fwdUnsat.Load() {
+		return sat.Unsat
+	}
+	if i <= e.fwdSatDepth {
+		return sat.Sat
+	}
+	st := e.forwardCheck(i)
+	switch st {
+	case sat.Sat:
+		e.fwdSatDepth = i
+	case sat.Unsat:
+		if fwdUnsat != nil {
+			casMin(fwdUnsat, int64(i))
+		}
+	}
+	return st
+}
+
+// casMin lowers a to v unless a already holds something smaller.
+func casMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package bmc
+
+import (
+	"testing"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/designs"
+	"emmver/internal/rtl"
+)
+
+// manyCounter builds the counter mod 8 with properties "cnt != k" for
+// k = 0..9: CEs at depth k for k <= 7, forward proofs for 8 and 9.
+func manyCounter() (*rtl.Module, []int) {
+	m := rtl.NewModule("many")
+	c := m.Register("cnt", 4, 0)
+	wrap := m.EqConst(c.Q, 7)
+	c.SetNext(m.MuxV(wrap, m.Const(4, 0), m.Inc(c.Q)))
+	m.Done(c)
+	var props []int
+	for k := 0; k <= 9; k++ {
+		m.AssertAlways("ne", m.EqConst(c.Q, uint64(k)).Not())
+		props = append(props, k)
+	}
+	return m, props
+}
+
+// assertSameVerdicts checks that two runs agree on every deterministic
+// field. Witness input values may legitimately differ between runs (any
+// satisfying assignment is a valid counter-example), but the kind, depth,
+// proof side, and witness length may not.
+func assertSameVerdicts(t *testing.T, seq, par *ManyResult) {
+	t.Helper()
+	if len(seq.Results) != len(par.Results) {
+		t.Fatalf("result count: %d vs %d", len(seq.Results), len(par.Results))
+	}
+	for i, s := range seq.Results {
+		p := par.Results[i]
+		if s.Kind != p.Kind || s.Prop != p.Prop || s.Depth != p.Depth || s.ProofSide != p.ProofSide {
+			t.Fatalf("prop %d: sequential %v (%s) vs parallel %v (%s)", i, s, s.ProofSide, p, p.ProofSide)
+		}
+		if s.Kind == KindCE {
+			if p.Witness == nil || p.Witness.Length != s.Witness.Length {
+				t.Fatalf("prop %d: parallel witness missing or wrong length", i)
+			}
+		}
+	}
+	if seq.MaxWitnessDepth != par.MaxWitnessDepth {
+		t.Fatalf("max witness depth: %d vs %d", seq.MaxWitnessDepth, par.MaxWitnessDepth)
+	}
+}
+
+func TestCheckManyParallelMatchesSequential(t *testing.T) {
+	m, props := manyCounter()
+	opt := Options{MaxDepth: 30, Proofs: true, ValidateWitness: true}
+	seq := CheckMany(m.N, props, opt)
+	for _, jobs := range []int{1, 2, 4} {
+		par := CheckManyParallel(m.N, props, opt, jobs)
+		assertSameVerdicts(t, seq, par)
+		if par.Stats.SolveCalls == 0 {
+			t.Fatalf("jobs=%d: per-worker stats were not merged", jobs)
+		}
+	}
+}
+
+func TestCheckManyParallelDeterministicOnIndustryI(t *testing.T) {
+	// The Industry I reduced design: 16 reachability properties, most with
+	// witnesses, over a real memory (EMM constraints). The parallel engine
+	// must produce the sequential verdicts, and two parallel runs must
+	// agree with each other.
+	f := designs.NewImageFilter(designs.ImageFilterConfig{LineWidth: 4, AW: 4, DW: 4, NumProps: 16})
+	opt := Options{MaxDepth: 3*4 + 10, UseEMM: true, Proofs: true, ValidateWitness: true}
+	seq := CheckMany(f.Netlist(), f.PropIndices(), opt)
+	first := CheckManyParallel(f.Netlist(), f.PropIndices(), opt, 4)
+	assertSameVerdicts(t, seq, first)
+	second := CheckManyParallel(f.Netlist(), f.PropIndices(), opt, 4)
+	assertSameVerdicts(t, first, second)
+}
+
+func TestCheckManyParallelCounts(t *testing.T) {
+	m, props := manyCounter()
+	// Proofs on, generous bound: 8 CEs (max depth 7) + 2 forward proofs.
+	res := CheckManyParallel(m.N, props, Options{MaxDepth: 30, Proofs: true}, 3)
+	counts := res.Counts()
+	if counts[KindCE] != 8 || counts[KindProof] != 2 {
+		t.Fatalf("counts wrong: %v", counts)
+	}
+	if res.MaxWitnessDepth != 7 {
+		t.Fatalf("max witness depth %d want 7", res.MaxWitnessDepth)
+	}
+	// No proofs, tight bound: CEs for k <= 5, bound exhaustion above.
+	res = CheckManyParallel(m.N, props, Options{MaxDepth: 5}, 3)
+	counts = res.Counts()
+	if counts[KindCE] != 6 || counts[KindNoCE] != 4 {
+		t.Fatalf("bounded counts wrong: %v", counts)
+	}
+	if res.MaxWitnessDepth != 5 {
+		t.Fatalf("bounded max witness depth %d want 5", res.MaxWitnessDepth)
+	}
+}
+
+// slowDesign is large enough that no depth completes within a nanosecond
+// budget.
+func slowDesign() *rtl.Module {
+	m := rtl.NewModule("slow")
+	mem := m.Memory("mem", 6, 16, aig.MemZero)
+	mem.Write(m.Input("wa", 6), m.Input("wd", 16), m.InputBit("we"))
+	rd := mem.Read(m.Input("ra", 6), m.InputBit("re"))
+	acc := m.Register("acc", 16, 0)
+	acc.SetNext(m.Add(acc.Q, rd))
+	m.Done(acc)
+	m.AssertAlways("p", m.EqConst(acc.Q, 0xBEEF).Not())
+	return m
+}
+
+func TestTimeoutBeforeDepthZeroClampsDepth(t *testing.T) {
+	// A timeout that fires before depth 0 completes must not report the
+	// nonsensical depth -1.
+	m := slowDesign()
+	opt := Options{MaxDepth: 60, UseEMM: true, Timeout: time.Nanosecond}
+	r := Check(m.N, 0, opt)
+	if r.Kind != KindTimeout {
+		t.Fatalf("expected timeout, got %v", r)
+	}
+	if r.Depth < 0 {
+		t.Fatalf("Check reported negative depth %d", r.Depth)
+	}
+	mr := CheckMany(m.N, []int{0}, opt)
+	for _, rr := range mr.Results {
+		if rr.Kind != KindTimeout || rr.Depth < 0 {
+			t.Fatalf("CheckMany reported %v depth=%d", rr, rr.Depth)
+		}
+	}
+	pr := CheckManyParallel(m.N, []int{0}, opt, 2)
+	for _, rr := range pr.Results {
+		if rr.Kind != KindTimeout || rr.Depth < 0 {
+			t.Fatalf("CheckManyParallel reported %v depth=%d", rr, rr.Depth)
+		}
+	}
+}
+
+func TestPortfolioMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *rtl.Module
+		prop  int
+		opt   Options
+	}{
+		{"backward-proof", func() *rtl.Module { return mod5Counter(2) }, 0, BMC1(20)},
+		{"ce", func() *rtl.Module { return mod5Counter(3) }, 1, BMC1(20)},
+		{"emm-proof", memEcho, 0, BMC3(20)},
+		{"forward-proof", func() *rtl.Module {
+			m := rtl.NewModule("plus2")
+			c := m.Register("cnt", 3, 0)
+			c.SetNext(m.Add(c.Q, m.Const(3, 2)))
+			m.Done(c)
+			m.AssertAlways("ne5", m.EqConst(c.Q, 5).Not())
+			return m
+		}, 0, BMC1(20)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := Check(tc.build().N, tc.prop, tc.opt)
+			popt := tc.opt
+			popt.Portfolio = true
+			popt.ValidateWitness = true
+			por := Check(tc.build().N, tc.prop, popt)
+			// ProofSide may legitimately differ when both termination
+			// checks prove at the same depth; Kind and Depth may not.
+			if por.Kind != seq.Kind || por.Depth != seq.Depth {
+				t.Fatalf("sequential %v vs portfolio %v", seq, por)
+			}
+			if seq.Kind == KindCE && por.Witness == nil {
+				t.Fatalf("portfolio CE lost its witness")
+			}
+		})
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{SolveCalls: 2, Clauses: 10, Vars: 5, Conflicts: 3, PeakHeapMB: 7}
+	b := Stats{SolveCalls: 1, Clauses: 4, Vars: 2, Conflicts: 1, PeakHeapMB: 9}
+	a.Add(b)
+	if a.SolveCalls != 3 || a.Clauses != 14 || a.Vars != 7 || a.Conflicts != 4 {
+		t.Fatalf("counters wrong after Add: %+v", a)
+	}
+	if a.PeakHeapMB != 9 {
+		t.Fatalf("peak heap should take the max, got %v", a.PeakHeapMB)
+	}
+}

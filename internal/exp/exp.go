@@ -45,6 +45,11 @@ type Config struct {
 	// Timeout bounds each individual verification run (the paper used 3
 	// hours). Runs that exceed it are reported as ">TO", as in Table 1.
 	Timeout time.Duration
+	// Jobs bounds how many verification runs execute concurrently within
+	// each experiment (<= 0 selects runtime.NumCPU). Note that concurrent
+	// rows share the machine, so per-row times at Jobs > 1 measure
+	// throughput, not isolated latency.
+	Jobs int
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
 }

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"emmver/internal/aig"
@@ -10,6 +12,7 @@ import (
 	"emmver/internal/bmc"
 	"emmver/internal/designs"
 	"emmver/internal/expmem"
+	"emmver/internal/par"
 )
 
 // I1Result captures the Industry I (image filter) narrative: how many of
@@ -50,15 +53,19 @@ func Industry1(cfg Config) *I1Result {
 	// Two phases, as in the paper: hunt witnesses with plain (EMM) BMC
 	// first, then prove the leftovers by induction — this avoids paying
 	// per-property induction checks at every depth for properties that
-	// are about to produce witnesses anyway.
+	// are about to produce witnesses anyway. Both phases fan out over the
+	// worker pool: the witness hunt runs per-property engines, and the
+	// induction follow-ups are independent bmc.Check runs.
 	runBoth := func(n *aig.Netlist, useEMM bool) (wit, proofs, other, maxDepth int, sec, mb float64, timedOut bool) {
 		t0 := time.Now()
-		mr := bmc.CheckMany(n, f.PropIndices(), bmc.Options{
+		props := f.PropIndices()
+		mr := bmc.CheckManyParallel(n, props, bmc.Options{
 			MaxDepth: 3*fcfg.LineWidth + 10,
 			UseEMM:   useEMM,
 			Timeout:  cfg.Timeout,
-		})
+		}, cfg.Jobs)
 		mb = mr.Stats.PeakHeapMB
+		var leftovers []int
 		for pi, r := range mr.Results {
 			switch r.Kind {
 			case bmc.KindCE:
@@ -71,16 +78,23 @@ func Industry1(cfg Config) *I1Result {
 				timedOut = true
 			default:
 				// No witness within the bound: try induction.
-				pr := bmc.Check(n, pi, bmc.Options{
-					MaxDepth: 10, UseEMM: useEMM, Proofs: true, Timeout: cfg.Timeout,
-				})
-				if pr.Kind == bmc.KindProof {
-					proofs++
-				} else {
-					other++
-					if pr.Kind == bmc.KindTimeout {
-						timedOut = true
-					}
+				leftovers = append(leftovers, props[pi])
+			}
+		}
+		kinds := make([]bmc.Kind, len(leftovers))
+		par.ForEach(context.Background(), cfg.Jobs, len(leftovers), func(_ context.Context, _, li int) {
+			pr := bmc.Check(n, leftovers[li], bmc.Options{
+				MaxDepth: 10, UseEMM: useEMM, Proofs: true, Timeout: cfg.Timeout,
+			})
+			kinds[li] = pr.Kind
+		})
+		for _, k := range kinds {
+			if k == bmc.KindProof {
+				proofs++
+			} else {
+				other++
+				if k == bmc.KindTimeout {
+					timedOut = true
 				}
 			}
 		}
@@ -158,21 +172,29 @@ func Industry2(cfg Config) *I2Result {
 		res.SpuriousDepth = r.Depth
 	}
 
-	// (b) EMM: no witnesses up to a deep bound.
+	// (b) EMM: no witnesses up to a deep bound. The per-property searches
+	// are independent; a found witness cancels the rest of the sweep.
 	depth := 200
 	if cfg.Scale == ScaleReduced {
 		depth = 50
 	}
 	cfg.logf("industry2: EMM search to depth %d ...", depth)
 	t0 := time.Now()
-	for _, p := range l.ReachIndices {
-		rr := bmc.Check(l.Netlist(), p, bmc.Options{MaxDepth: depth, UseEMM: true, Timeout: cfg.Timeout})
+	var foundCE atomic.Bool
+	sweepCtx, cancelSweep := context.WithCancel(context.Background())
+	par.ForEach(sweepCtx, cfg.Jobs, len(l.ReachIndices), func(ctx context.Context, _, i int) {
+		rr := bmc.CheckCtx(ctx, l.Netlist(), l.ReachIndices[i], bmc.Options{
+			MaxDepth: depth, UseEMM: true, Timeout: cfg.Timeout,
+		})
 		if rr.Kind == bmc.KindCE {
-			res.EMMNoCEDepth = -1
-			break
+			foundCE.Store(true)
+			cancelSweep()
 		}
-	}
-	if res.EMMNoCEDepth != -1 {
+	})
+	cancelSweep()
+	if foundCE.Load() {
+		res.EMMNoCEDepth = -1
+	} else {
 		res.EMMNoCEDepth = depth
 	}
 	res.EMMNoCESec = time.Since(t0).Seconds()
@@ -191,18 +213,22 @@ func Industry2(cfg Config) *I2Result {
 	res.InvExplSec = ier.Stats.Elapsed.Seconds()
 	res.InvExplTO = ier.Kind == bmc.KindTimeout
 
-	// (d) RD=0 abstraction + PBA: prove every reachability property.
+	// (d) RD=0 abstraction + PBA: prove every reachability property. The
+	// per-property PBA pipelines are independent runs over the shared
+	// read-only constrained netlist.
 	cfg.logf("industry2: RD=0 abstraction proofs ...")
 	constrained := l.WithRDZeroConstraint()
 	t0 = time.Now()
-	for _, p := range l.ReachIndices {
-		pr := bmc.ProveWithPBA(constrained, p, bmc.Options{
+	var rdProofs atomic.Int64
+	par.ForEach(context.Background(), cfg.Jobs, len(l.ReachIndices), func(_ context.Context, _, i int) {
+		pr := bmc.ProveWithPBA(constrained, l.ReachIndices[i], bmc.Options{
 			MaxDepth: 30, StabilityDepth: 5, Timeout: cfg.Timeout,
 		})
 		if pr.Kind() == bmc.KindProof {
-			res.RDZeroProofs++
+			rdProofs.Add(1)
 		}
-	}
+	})
+	res.RDZeroProofs = int(rdProofs.Load())
 	res.RDZeroSec = time.Since(t0).Seconds()
 
 	// (e) The BDD model checker on the explicit model.

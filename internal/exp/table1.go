@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"emmver/internal/bmc"
 	"emmver/internal/designs"
 	"emmver/internal/expmem"
+	"emmver/internal/par"
 )
 
 // T1Row is one row of Table 1: quicksort forward-induction proofs, EMM
@@ -37,39 +39,52 @@ func (c Config) quickSortConfig(n int) designs.QuickSortConfig {
 // prove by forward induction with EMM (BMC-3) and with Explicit Modeling
 // (BMC-1), reporting time and memory.
 func Table1(cfg Config, sizes []int) []T1Row {
-	var rows []T1Row
+	cfg.Log = par.SyncWriter(cfg.Log)
+	type task struct {
+		n    int
+		prop string
+	}
+	var tasks []task
 	for _, n := range sizes {
-		qcfg := cfg.quickSortConfig(n)
 		for _, prop := range []string{"P1", "P2"} {
-			q := designs.NewQuickSort(qcfg)
-			pi := q.P1Index
-			if prop == "P2" {
-				pi = q.P2Index
-			}
-			row := T1Row{N: n, Prop: prop}
-
-			cfg.logf("table1: N=%d %s EMM ...", n, prop)
-			opt := bmc.Options{MaxDepth: 400, UseEMM: true, Proofs: true, Timeout: cfg.Timeout}
-			r := bmc.Check(q.Netlist(), pi, opt)
-			row.EMMKind = r.Kind
-			row.EMMSec = r.Stats.Elapsed.Seconds()
-			row.EMMMB = r.Stats.PeakHeapMB
-			row.EMMTO = r.Kind == bmc.KindTimeout
-			if r.Kind == bmc.KindProof {
-				row.D = r.Depth
-			}
-
-			cfg.logf("table1: N=%d %s Explicit ...", n, prop)
-			exp, _ := expmem.Expand(q.Netlist())
-			re := bmc.Check(exp, pi, bmc.Options{MaxDepth: 400, Proofs: true, Timeout: cfg.Timeout})
-			row.ExplKind = re.Kind
-			row.ExplSec = re.Stats.Elapsed.Seconds()
-			row.ExplMB = re.Stats.PeakHeapMB
-			row.ExplTO = re.Kind == bmc.KindTimeout
-
-			rows = append(rows, row)
+			tasks = append(tasks, task{n, prop})
 		}
 	}
+	// Each (N, property) pair is an independent verification run: fan the
+	// flattened task list over the worker pool, keeping the row order of
+	// the sequential driver.
+	rows := make([]T1Row, len(tasks))
+	par.ForEach(context.Background(), cfg.Jobs, len(tasks), func(_ context.Context, _, ti int) {
+		n, prop := tasks[ti].n, tasks[ti].prop
+		qcfg := cfg.quickSortConfig(n)
+		q := designs.NewQuickSort(qcfg)
+		pi := q.P1Index
+		if prop == "P2" {
+			pi = q.P2Index
+		}
+		row := T1Row{N: n, Prop: prop}
+
+		cfg.logf("table1: N=%d %s EMM ...", n, prop)
+		opt := bmc.Options{MaxDepth: 400, UseEMM: true, Proofs: true, Timeout: cfg.Timeout}
+		r := bmc.Check(q.Netlist(), pi, opt)
+		row.EMMKind = r.Kind
+		row.EMMSec = r.Stats.Elapsed.Seconds()
+		row.EMMMB = r.Stats.PeakHeapMB
+		row.EMMTO = r.Kind == bmc.KindTimeout
+		if r.Kind == bmc.KindProof {
+			row.D = r.Depth
+		}
+
+		cfg.logf("table1: N=%d %s Explicit ...", n, prop)
+		exp, _ := expmem.Expand(q.Netlist())
+		re := bmc.Check(exp, pi, bmc.Options{MaxDepth: 400, Proofs: true, Timeout: cfg.Timeout})
+		row.ExplKind = re.Kind
+		row.ExplSec = re.Stats.Elapsed.Seconds()
+		row.ExplMB = re.Stats.PeakHeapMB
+		row.ExplTO = re.Kind == bmc.KindTimeout
+
+		rows[ti] = row
+	})
 	return rows
 }
 

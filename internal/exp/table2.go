@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"emmver/internal/bmc"
 	"emmver/internal/designs"
 	"emmver/internal/expmem"
+	"emmver/internal/par"
 )
 
 // T2Row is one row of Table 2: quicksort P2 through proof-based
@@ -38,8 +40,12 @@ type T2Row struct {
 // abstraction time, and proof time/memory. The paper's stability depth of
 // 10 is used.
 func Table2(cfg Config, sizes []int) []T2Row {
-	var rows []T2Row
-	for _, n := range sizes {
+	cfg.Log = par.SyncWriter(cfg.Log)
+	// Each array size is an independent pair of PBA runs: one worker per
+	// row, row order preserved.
+	rows := make([]T2Row, len(sizes))
+	par.ForEach(context.Background(), cfg.Jobs, len(sizes), func(_ context.Context, _, si int) {
+		n := sizes[si]
 		qcfg := cfg.quickSortConfig(n)
 		row := T2Row{N: n}
 
@@ -80,8 +86,8 @@ func Table2(cfg Config, sizes []int) []T2Row {
 			row.ExplTO = eres.Phase1.Kind == bmc.KindTimeout
 		}
 
-		rows = append(rows, row)
-	}
+		rows[si] = row
+	})
 	return rows
 }
 

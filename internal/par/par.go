@@ -1,0 +1,108 @@
+// Package par is the concurrency toolkit of the parallel verification
+// layer: a bounded worker pool over an index space (property fleets,
+// experiment rows) and a first-decisive-answer portfolio combinator (the
+// depth-level forward/backward/counter-example race inside bmc.Check). All
+// helpers are context-aware so that a decisive answer or an expired budget
+// cancels outstanding work instead of letting it run to completion.
+package par
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs normalizes a -jobs flag value: n <= 0 selects runtime.NumCPU().
+func Jobs(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach invokes fn(ctx, worker, i) for every i in [0, n), running at most
+// jobs invocations concurrently. Indices are handed out in order. The
+// worker argument is stable per goroutine (in [0, jobs)), so callers can
+// keep per-worker state — a solver, an unrolling — without locking. When
+// ctx is cancelled, workers stop picking up new indices; in-flight calls
+// run to completion and are expected to poll ctx themselves when
+// long-running. ForEach returns ctx.Err().
+func ForEach(ctx context.Context, jobs, n int, fn func(ctx context.Context, worker, i int)) error {
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				fn(ctx, worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// SyncWriter wraps w with a mutex so concurrent workers can share one log
+// sink without interleaving partial lines. A nil w stays nil.
+func SyncWriter(w io.Writer) io.Writer {
+	if w == nil {
+		return nil
+	}
+	return &syncWriter{w: w}
+}
+
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (sw *syncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
+}
+
+// First runs every fn concurrently, cancelling the context shared by all of
+// them as soon as any fn reports decisive=true, and then waits for every fn
+// to return (so the caller may immediately reuse whatever state the fns
+// were working on). It returns the index of the lowest-numbered decisive fn
+// — ties between simultaneously decisive fns resolve in slice order, which
+// callers use to encode a deterministic priority — or -1 when none was
+// decisive, plus every fn's value.
+func First[T any](ctx context.Context, fns ...func(ctx context.Context) (T, bool)) (int, []T) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	vals := make([]T, len(fns))
+	decisive := make([]bool, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func(context.Context) (T, bool)) {
+			defer wg.Done()
+			v, ok := fn(ctx)
+			vals[i] = v
+			decisive[i] = ok
+			if ok {
+				cancel()
+			}
+		}(i, fn)
+	}
+	wg.Wait()
+	for i, ok := range decisive {
+		if ok {
+			return i, vals
+		}
+	}
+	return -1, vals
+}

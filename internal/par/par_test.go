@@ -1,0 +1,132 @@
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(0); got != runtime.NumCPU() {
+		t.Fatalf("Jobs(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Jobs(-3); got != runtime.NumCPU() {
+		t.Fatalf("Jobs(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Jobs(7); got != 7 {
+		t.Fatalf("Jobs(7) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	hits := make([]atomic.Int32, n)
+	err := ForEach(context.Background(), 8, n, func(_ context.Context, _, i int) {
+		hits[i].Add(1)
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i := range hits {
+		if c := hits[i].Load(); c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrencyAndWorkerIDs(t *testing.T) {
+	const jobs, n = 4, 200
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	ForEach(context.Background(), jobs, n, func(_ context.Context, w, i int) {
+		if w < 0 || w >= jobs {
+			t.Errorf("worker id %d out of range", w)
+		}
+		mu.Lock()
+		seen[w] = true
+		mu.Unlock()
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > jobs {
+		t.Fatalf("concurrency peak %d exceeds jobs %d", p, jobs)
+	}
+	if len(seen) == 0 || len(seen) > jobs {
+		t.Fatalf("worker id set wrong: %v", seen)
+	}
+}
+
+func TestForEachStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	err := ForEach(ctx, 2, 10000, func(_ context.Context, _, i int) {
+		if done.Add(1) == 10 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+	})
+	if err == nil {
+		t.Fatalf("expected context error")
+	}
+	if d := done.Load(); d >= 10000 {
+		t.Fatalf("cancellation did not stop the pool (ran %d)", d)
+	}
+}
+
+func TestFirstReturnsDecisiveAndCancelsRest(t *testing.T) {
+	slowCancelled := make(chan struct{})
+	win, vals := First(context.Background(),
+		func(ctx context.Context) (string, bool) {
+			// Loses: blocks until cancelled by the decisive lane.
+			<-ctx.Done()
+			close(slowCancelled)
+			return "slow", false
+		},
+		func(ctx context.Context) (string, bool) {
+			return "fast", true
+		},
+	)
+	if win != 1 || vals[1] != "fast" {
+		t.Fatalf("got win=%d vals=%v", win, vals)
+	}
+	select {
+	case <-slowCancelled:
+	default:
+		t.Fatalf("losing lane was not cancelled before First returned")
+	}
+}
+
+func TestFirstNoDecisive(t *testing.T) {
+	win, vals := First(context.Background(),
+		func(context.Context) (int, bool) { return 1, false },
+		func(context.Context) (int, bool) { return 2, false },
+	)
+	if win != -1 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("got win=%d vals=%v", win, vals)
+	}
+}
+
+func TestFirstPrefersLowestIndexOnTie(t *testing.T) {
+	// Both lanes decisive with no blocking: the lowest index must win
+	// regardless of which goroutine finishes first.
+	for i := 0; i < 50; i++ {
+		win, _ := First(context.Background(),
+			func(context.Context) (int, bool) { return 0, true },
+			func(context.Context) (int, bool) { return 1, true },
+		)
+		if win != 0 {
+			t.Fatalf("tie broke to %d, want 0", win)
+		}
+	}
+}

@@ -51,7 +51,10 @@ type Solver struct {
 
 	// Budgets.
 	ConflictBudget int64       // ≤0 means unlimited
-	Interrupt      func() bool // polled; returning true aborts Solve with Unknown
+	Interrupt      func() bool // polled at a bounded stride; returning true aborts Solve with Unknown
+
+	interrupted bool   // propagate observed Interrupt firing mid-queue
+	pollTick    uint32 // search-loop iterations since the last Interrupt poll
 
 	stats Stats
 }
@@ -262,12 +265,19 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 }
 
 // propagate performs unit propagation over the watch lists and returns a
-// conflicting clause, or nil if no conflict was found.
+// conflicting clause, or nil if no conflict was found. Interrupt is polled
+// every 2048 propagations so that portfolio cancellation and timeouts land
+// within milliseconds even inside one long propagation pass; an early stop
+// sets s.interrupted and leaves the remaining queue for the next call.
 func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.stats.Propagations++
+		if s.Interrupt != nil && s.stats.Propagations&2047 == 0 && s.Interrupt() {
+			s.interrupted = true
+			return nil
+		}
 		ws := s.watches[p]
 		kept := ws[:0]
 		n := len(ws)
@@ -580,6 +590,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		return Unsat
 	}
 	s.cancelUntil(0)
+	s.interrupted = false
 	if confl := s.propagate(); confl != nil {
 		s.ok = false
 		if s.trace {
@@ -587,6 +598,10 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 			s.finalChain = s.rootCause
 		}
 		return Unsat
+	}
+	if s.interrupted {
+		s.interrupted = false
+		return Unknown
 	}
 
 	var conflicts int64
@@ -596,11 +611,21 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	maxLearnts := int64(len(s.clauses)/3 + 1000)
 
 	for {
-		if s.Interrupt != nil && conflicts%64 == 0 && s.Interrupt() {
+		// Poll the interrupt hook on a bounded stride of search-loop
+		// iterations (decisions and conflicts alike), not only once per 64
+		// conflicts: a solver stuck in a long decision streak must still
+		// notice cancellation promptly.
+		s.pollTick++
+		if s.Interrupt != nil && s.pollTick&127 == 0 && s.Interrupt() {
 			s.cancelUntil(0)
 			return Unknown
 		}
 		confl := s.propagate()
+		if s.interrupted {
+			s.interrupted = false
+			s.cancelUntil(0)
+			return Unknown
+		}
 		if confl != nil {
 			conflicts++
 			sinceRestart++

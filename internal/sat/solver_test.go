@@ -2,7 +2,9 @@ package sat
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func lits(xs ...int) []Lit {
@@ -524,6 +526,39 @@ func TestInterrupt(t *testing.T) {
 	}
 	if got := s.Solve(); got != Unknown {
 		t.Fatalf("expected Unknown on interrupt, got %v", got)
+	}
+}
+
+func TestInterruptPrompt(t *testing.T) {
+	// An asynchronous interrupt must abort Solve within milliseconds, not
+	// after a restart's worth of conflicts: the hook is polled on a bounded
+	// stride in both the search loop and the propagation loop.
+	s := New()
+	pigeonhole(s, 12, 11) // hard enough to run for many seconds unaided
+	var stop atomic.Bool
+	s.Interrupt = stop.Load
+	const armAfter = 30 * time.Millisecond
+	go func() {
+		time.Sleep(armAfter)
+		stop.Store(true)
+	}()
+	t0 := time.Now()
+	got := s.Solve()
+	elapsed := time.Since(t0)
+	if got == Unsat && elapsed < armAfter {
+		t.Skip("instance solved before the interrupt armed")
+	}
+	if got != Unknown {
+		t.Fatalf("expected Unknown on interrupt, got %v after %s", got, elapsed)
+	}
+	if latency := elapsed - armAfter; latency > time.Second {
+		t.Fatalf("interrupt latency %s, want milliseconds", latency)
+	}
+	// The solver must remain usable after an interrupted run.
+	stop.Store(false)
+	s.ConflictBudget = 50
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("post-interrupt solve under budget: got %v", got)
 	}
 }
 
