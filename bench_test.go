@@ -29,6 +29,7 @@ import (
 	"emmver/internal/ltl"
 	"emmver/internal/rtl"
 	"emmver/internal/sat"
+	"emmver/internal/unroll"
 	"emmver/internal/verilog"
 )
 
@@ -150,6 +151,110 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 }
 
 // --- engine micro-benchmarks ---
+
+// BenchmarkPropagate measures raw unit-propagation throughput through the
+// arena-based clause store: long implication chains of alternating binary
+// and ternary clauses, solved under an assumption that forces the whole
+// chain. Reports propagations per second.
+func BenchmarkPropagate(b *testing.B) {
+	const n = 20000
+	s := sat.New()
+	vars := make([]sat.Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+2 < n; i++ {
+		// Binary link: v_i -> v_{i+1} (served by the implication lists).
+		s.AddClause(sat.NegLit(vars[i]), sat.PosLit(vars[i+1]))
+		// Ternary link: v_i ∧ v_{i+1} -> v_{i+2} (served by watch lists).
+		s.AddClause(sat.NegLit(vars[i]), sat.NegLit(vars[i+1]), sat.PosLit(vars[i+2]))
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if s.Solve(sat.PosLit(vars[0])) != sat.Sat {
+			b.Fatal("chain must be satisfiable")
+		}
+	}
+	props := s.Stats().Propagations
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(props)/sec, "props/s")
+	}
+	b.ReportMetric(float64(s.Stats().BinPropagations), "bin_props")
+}
+
+// BenchmarkUnrollStrash measures the structural-hashing cache on the
+// auxiliary gate builders (the path EMM and the loop-free-path constraints
+// go through): ten rounds of all pairwise ANDs over 64 literals. With
+// hashing on, rounds two through ten are pure cache hits; off, every gate
+// is re-encoded. Netlist nodes themselves are deduplicated by the per-frame
+// value cache, so this — repeated client-built gates — is where strash
+// earns its keep.
+func BenchmarkUnrollStrash(b *testing.B) {
+	const width, rounds = 64, 10
+	m := rtl.NewModule("strash")
+	bus := m.Input("x", width)
+	m.Done()
+	for _, variant := range []struct {
+		name string
+		off  bool
+	}{{"On", false}, {"Off", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var clauses, hits int
+			for i := 0; i < b.N; i++ {
+				s := sat.New()
+				u := unroll.New(m.N, s, unroll.Initialized)
+				u.NoStrash = variant.off
+				xs := u.VecLits(bus, 0)
+				tag := unroll.MkTag(unroll.TagAux, 0, 0)
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < width; i++ {
+						for j := i + 1; j < width; j++ {
+							u.MkAndAux(xs[i], xs[j], tag)
+						}
+					}
+				}
+				clauses, hits = u.ClausesAdded, u.StrashHits
+			}
+			b.ReportMetric(float64(clauses), "clauses")
+			b.ReportMetric(float64(hits), "strash_hits")
+		})
+	}
+}
+
+// BenchmarkEMMDepthGrowth measures EMM constraint generation to depth 24
+// for the shared-address-bus memory (AW=10, DW=32, one write, two reads)
+// with the optimizations on and off. The reduction_pct metric is the PR's
+// acceptance number: >= 25% fewer CNF clauses at depth >= 20 (also pinned
+// by exp.TestGrowthSharedAddrReduction).
+func BenchmarkEMMDepthGrowth(b *testing.B) {
+	cfg := exp.GrowthConfig{AW: 10, DW: 32, Writes: 1, Reads: 2, MaxK: 24, Step: 24, SharedAddr: true}
+	var on, off exp.GrowthPoint
+	b.Run("On", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pts := exp.Growth(cfg)
+			on = pts[len(pts)-1]
+		}
+		b.ReportMetric(float64(on.CNFClauses), "clauses")
+		b.ReportMetric(float64(on.MemoHits), "memo_hits")
+	})
+	b.Run("Off", func(b *testing.B) {
+		c := cfg
+		c.NoOpt = true
+		for i := 0; i < b.N; i++ {
+			pts := exp.Growth(c)
+			off = pts[len(pts)-1]
+		}
+		b.ReportMetric(float64(off.CNFClauses), "clauses")
+	})
+	if on.CNFClauses > 0 && off.CNFClauses > 0 {
+		red := 100 * (1 - float64(on.CNFClauses)/float64(off.CNFClauses))
+		b.ReportMetric(red, "reduction_pct")
+		if red < 25 {
+			b.Fatalf("CNF reduction %.1f%% below the required 25%%", red)
+		}
+	}
+}
 
 // BenchmarkSATSolverPigeonhole measures raw CDCL throughput on a hard
 // structured UNSAT family.

@@ -1,0 +1,199 @@
+// Command emmbench runs the solver and CNF-generation micro-benchmarks
+// (the same workloads as BenchmarkPropagate, BenchmarkUnrollStrash, and
+// BenchmarkEMMDepthGrowth in bench_test.go) outside `go test` and records
+// the results as JSON, seeding the repository's benchmark trajectory:
+//
+//	emmbench                      # writes BENCH_solver.json
+//	emmbench -o results.json      # alternate output path
+//	emmbench -benchtime 5         # minimum seconds per benchmark
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"emmver/internal/exp"
+	"emmver/internal/rtl"
+	"emmver/internal/sat"
+	"emmver/internal/unroll"
+)
+
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_solver.json", "output file")
+	benchSecs := flag.Float64("benchtime", 1, "minimum seconds per benchmark")
+	flag.Parse()
+	testing.Init()
+	if err := flag.Set("test.benchtime", fmt.Sprintf("%gs", *benchSecs)); err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, b := range []struct {
+		name string
+		run  func() entry
+	}{
+		{"Propagate", benchPropagate},
+		{"UnrollStrash/On", func() entry { return benchStrash(false) }},
+		{"UnrollStrash/Off", func() entry { return benchStrash(true) }},
+		{"EMMDepthGrowth/On", func() entry { return benchGrowth(false) }},
+		{"EMMDepthGrowth/Off", func() entry { return benchGrowth(true) }},
+	} {
+		e := b.run()
+		e.Name = b.name
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Printf("%-22s %12.0f ns/op  %v\n", e.Name, e.NsPerOp, e.Metrics)
+	}
+
+	// The headline number: CNF reduction from strash + comparator
+	// memoization on the shared-address growth design.
+	var on, off float64
+	for _, e := range rep.Benchmarks {
+		switch e.Name {
+		case "EMMDepthGrowth/On":
+			on = e.Metrics["clauses"]
+		case "EMMDepthGrowth/Off":
+			off = e.Metrics["clauses"]
+		}
+	}
+	if on > 0 && off > 0 {
+		red := 100 * (1 - on/off)
+		rep.Benchmarks = append(rep.Benchmarks, entry{
+			Name:    "EMMDepthGrowth/Reduction",
+			Metrics: map[string]float64{"reduction_pct": red},
+		})
+		fmt.Printf("CNF reduction at depth 24: %.1f%%\n", red)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchPropagate: long implication chains of alternating binary and ternary
+// clauses, solved under an assumption that forces the whole chain.
+func benchPropagate() entry {
+	const n = 20000
+	s := sat.New()
+	vars := make([]sat.Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+2 < n; i++ {
+		s.AddClause(sat.NegLit(vars[i]), sat.PosLit(vars[i+1]))
+		s.AddClause(sat.NegLit(vars[i]), sat.NegLit(vars[i+1]), sat.PosLit(vars[i+2]))
+	}
+	var props, bins int64
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s.Solve(sat.PosLit(vars[0])) != sat.Sat {
+				b.Fatal("chain must be satisfiable")
+			}
+		}
+		props = s.Stats().Propagations
+		bins = s.Stats().BinPropagations
+	})
+	perOp := float64(r.NsPerOp())
+	return entry{
+		Iterations: r.N,
+		NsPerOp:    perOp,
+		Metrics: map[string]float64{
+			"props/s":   float64(props) / r.T.Seconds(),
+			"bin_props": float64(bins),
+		},
+	}
+}
+
+// benchStrash: ten rounds of all pairwise ANDs over 64 literals through the
+// auxiliary gate builders.
+func benchStrash(off bool) entry {
+	const width, rounds = 64, 10
+	m := rtl.NewModule("strash")
+	bus := m.Input("x", width)
+	m.Done()
+	var clauses, hits int
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.New()
+			u := unroll.New(m.N, s, unroll.Initialized)
+			u.NoStrash = off
+			xs := u.VecLits(bus, 0)
+			tag := unroll.MkTag(unroll.TagAux, 0, 0)
+			for round := 0; round < rounds; round++ {
+				for i := 0; i < width; i++ {
+					for j := i + 1; j < width; j++ {
+						u.MkAndAux(xs[i], xs[j], tag)
+					}
+				}
+			}
+			clauses, hits = u.ClausesAdded, u.StrashHits
+		}
+	})
+	return entry{
+		Iterations: r.N,
+		NsPerOp:    float64(r.NsPerOp()),
+		Metrics: map[string]float64{
+			"clauses":     float64(clauses),
+			"strash_hits": float64(hits),
+		},
+	}
+}
+
+// benchGrowth: EMM constraint generation to depth 24 for the shared-address
+// memory (AW=10, DW=32, one write, two reads).
+func benchGrowth(noOpt bool) entry {
+	cfg := exp.GrowthConfig{AW: 10, DW: 32, Writes: 1, Reads: 2, MaxK: 24, Step: 24,
+		SharedAddr: true, NoOpt: noOpt}
+	var last exp.GrowthPoint
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pts := exp.Growth(cfg)
+			last = pts[len(pts)-1]
+		}
+	})
+	return entry{
+		Iterations: r.N,
+		NsPerOp:    float64(r.NsPerOp()),
+		Metrics: map[string]float64{
+			"clauses":     float64(last.CNFClauses),
+			"memo_hits":   float64(last.MemoHits),
+			"strash_hits": float64(last.StrashHits),
+		},
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -44,6 +44,7 @@ func main() {
 	bddNodes := flag.Int("bddnodes", 500000, "BDD node budget for -engine bdd")
 	vcdOut := flag.String("vcd", "", "write a counter-example waveform to this file")
 	aigerOut := flag.String("aiger", "", "write the (memory-free) model as AIGER to this file and exit")
+	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes")
 	verbose := flag.Bool("v", false, "log per-depth progress")
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 	}
 
 	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	opt.CollectDepthStats = *stats
 	// With more than one job the engine races forward/backward termination
 	// on separate goroutines at each depth (only meaningful with proofs).
 	opt.Portfolio = *jobs > 1
@@ -142,6 +144,9 @@ func main() {
 		r.Stats.SolveCalls, r.Stats.Clauses, r.Stats.Vars, r.Stats.Conflicts, r.Stats.PeakHeapMB)
 	if r.Stats.EMM.Clauses() > 0 {
 		fmt.Printf("emm constraints: %s\n", r.Stats.EMM)
+	}
+	for _, d := range r.DepthStats {
+		fmt.Println(d)
 	}
 }
 

@@ -52,6 +52,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "how many assertions are checked concurrently")
 	explicit := flag.Bool("explicit", false, "expand memories into latches first")
 	vcdOut := flag.String("vcd", "", "write the first counter-example waveform here")
+	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes (forces a sequential run)")
 	verbose := flag.Bool("v", false, "log per-depth progress")
 	params := paramFlags{}
 	flag.Var(params, "param", "parameter override NAME=VALUE (repeatable)")
@@ -89,6 +90,7 @@ func main() {
 	}
 
 	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	opt.CollectDepthStats = *stats
 	if *verbose {
 		opt.Log = os.Stderr
 	}
@@ -112,6 +114,7 @@ func main() {
 	// order (the first CE in that order gets the waveform dump).
 	results := make([]*bmc.Result, len(n.Props))
 	abstractions := make([]string, len(n.Props))
+	var depthStats []bmc.DepthStat
 	if *engine == "pba" {
 		par.ForEach(context.Background(), *jobs, len(n.Props), func(_ context.Context, _, pi int) {
 			res := bmc.ProveWithPBA(n, pi, opt)
@@ -129,8 +132,16 @@ func main() {
 		for pi := range props {
 			props[pi] = pi
 		}
-		mr := bmc.CheckManyParallel(n, props, opt, *jobs)
+		var mr *bmc.ManyResult
+		if *stats {
+			// Per-depth stats need one shared engine processing depths in
+			// order, so the run is sequential.
+			mr = bmc.CheckMany(n, props, opt)
+		} else {
+			mr = bmc.CheckManyParallel(n, props, opt, *jobs)
+		}
 		copy(results, mr.Results)
+		depthStats = mr.DepthStats
 	}
 
 	fails := 0
@@ -157,6 +168,11 @@ func main() {
 				fmt.Printf("  [%s] waveform written to %s\n", p.Name, *vcdOut)
 				*vcdOut = "" // only the first CE
 			}
+		}
+	}
+	if *stats {
+		for _, d := range depthStats {
+			fmt.Println(d)
 		}
 	}
 	_ = orig

@@ -75,6 +75,15 @@ type Options struct {
 	// termination both prove at the same depth the reported ProofSide may
 	// differ from the sequential run's.
 	Portfolio bool
+	// CollectDepthStats records a DepthStat delta for every processed
+	// depth in Result.DepthStats (the -stats CLI flag).
+	CollectDepthStats bool
+	// DisableStrash turns off structural hashing in the unrollers, and
+	// DisableEMMMemo turns off EMM comparator memoization. Both exist for
+	// A/B measurement and the equivalence tests; the optimizations are on
+	// by default.
+	DisableStrash  bool
+	DisableEMMMemo bool
 	// PureLatchLFP uses the paper's literal loop-free-path constraint
 	// (latch states pairwise distinct). The default strengthens state
 	// equality with "and no write fired in between", which keeps the
@@ -150,6 +159,30 @@ func (s *Stats) Add(o Stats) {
 	}
 }
 
+// DepthStat is the per-depth delta of formula growth and solver work,
+// recorded when Options.CollectDepthStats is on. Each field is the increase
+// over the previous depth (so summing a column gives the run total).
+type DepthStat struct {
+	Depth        int
+	Clauses      int   // solver clauses added this depth (both solvers)
+	Vars         int   // solver variables added this depth
+	EMMClauses   int   // EMM constraint clauses (incl. eq. 6) this depth
+	StrashHits   int   // AND gates answered from the strash cache
+	CompMemoHits int   // address comparators answered from the memo cache
+	Propagations int64 // solver propagations spent on this depth's checks
+	Conflicts    int64
+	Decisions    int64
+	Solves       int // SAT calls issued at this depth
+	Elapsed      time.Duration
+}
+
+// String renders one table line.
+func (d DepthStat) String() string {
+	return fmt.Sprintf("depth %3d: +%d clauses +%d vars (emm +%d, strash %d, memo %d) | %d solves %d props %d confl %s",
+		d.Depth, d.Clauses, d.Vars, d.EMMClauses, d.StrashHits, d.CompMemoHits,
+		d.Solves, d.Propagations, d.Conflicts, d.Elapsed.Round(time.Millisecond))
+}
+
 // Result is the outcome of a Check run.
 type Result struct {
 	Kind  Kind
@@ -161,6 +194,8 @@ type Result struct {
 	// Tracker carries the accumulated latch reasons when PBA was on.
 	Tracker *pba.Tracker
 	Stats   Stats
+	// DepthStats holds per-depth deltas (Options.CollectDepthStats only).
+	DepthStats []DepthStat
 }
 
 // String renders a one-line summary.
@@ -212,6 +247,17 @@ type engine struct {
 	// solveCalls is kept apart from stats so that the two portfolio lanes
 	// can bump it concurrently without a data race.
 	solveCalls atomic.Int64
+
+	depthStats []DepthStat
+	mark       depthMark
+}
+
+// depthMark snapshots the cumulative counters at the end of a depth, so the
+// next depth's DepthStat can be computed as a delta.
+type depthMark struct {
+	clauses, vars, emmClauses, strashHits, memoHits, solves int
+	props, confl, decs                                      int64
+	at                                                      time.Time
 }
 
 func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engine {
@@ -224,13 +270,25 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 		e.fs.EnableProofTracing()
 		e.tracker = pba.NewTracker()
 	}
+	// Cross-tag sharing (strash, comparator memoization) reuses clauses
+	// emitted under the first requester's tag. That is sound for verdicts,
+	// but PBA harvests clause tags from UNSAT cores to decide relevance —
+	// a shared clause would implicate only its first creator, so the
+	// abstraction could silently drop latches or EMM events the proof
+	// needs. Like init folding, both caches are therefore off while cores
+	// are being tracked (phase 2 of the PBA flow runs without opt.PBA and
+	// keeps full sharing).
 	e.fu = unroll.New(n, e.fs, unroll.Initialized)
+	e.fu.NoStrash = opt.DisableStrash || opt.PBA
 	e.fu.FoldInits = !opt.PBA
 	e.fu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
 	e.applyAbstraction(e.fu)
 	e.installInterrupt(e.fs)
 	if opt.UseEMM && len(n.Memories) > 0 {
 		e.fg = core.NewGenerator(e.fu, false)
+		if opt.DisableEMMMemo || opt.PBA {
+			e.fg.DisableComparatorMemo()
+		}
 		if opt.DisableEq6 {
 			e.fg.DisableInitConsistency()
 		}
@@ -242,6 +300,7 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 	if opt.Proofs {
 		e.bs = sat.New()
 		e.bu = unroll.New(n, e.bs, unroll.Free)
+		e.bu.NoStrash = opt.DisableStrash || opt.PBA
 		e.bu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
 		e.applyAbstraction(e.bu)
 		e.installInterrupt(e.bs)
@@ -249,6 +308,9 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 			// The backward window starts in an arbitrary state, so every
 			// memory must be treated as arbitrary-initialized (§4.2).
 			e.bg = core.NewGenerator(e.bu, true)
+			if opt.DisableEMMMemo || opt.PBA {
+				e.bg.DisableComparatorMemo()
+			}
 			if opt.DisableEq6 {
 				e.bg.DisableInitConsistency()
 			}
@@ -342,7 +404,59 @@ func (e *engine) finish(r *Result) *Result {
 	r.Prop = e.prop
 	r.Stats = e.snapshotStats()
 	r.Tracker = e.tracker
+	r.DepthStats = e.depthStats
 	return r
+}
+
+// depthCumulative reads the counters DepthStat deltas are computed from.
+func (e *engine) depthCumulative() depthMark {
+	m := depthMark{at: time.Now()}
+	m.clauses = e.fs.NumClauses()
+	m.vars = e.fs.NumVars()
+	m.strashHits = e.fu.StrashHits
+	fst := e.fs.Stats()
+	m.props, m.confl, m.decs = fst.Propagations, fst.Conflicts, fst.Decisions
+	if e.bs != nil {
+		m.clauses += e.bs.NumClauses()
+		m.vars += e.bs.NumVars()
+		m.strashHits += e.bu.StrashHits
+		bst := e.bs.Stats()
+		m.props += bst.Propagations
+		m.confl += bst.Conflicts
+		m.decs += bst.Decisions
+	}
+	for _, g := range []*core.Generator{e.fg, e.bg} {
+		if g != nil {
+			sz := g.Sizes()
+			m.emmClauses += sz.Clauses() + sz.InitClauses
+			m.memoHits += sz.CompMemoHits
+		}
+	}
+	m.solves = int(e.solveCalls.Load())
+	return m
+}
+
+// collectDepthStat appends the delta since the previous depth.
+func (e *engine) collectDepthStat(i int) {
+	cur := e.depthCumulative()
+	prev := e.mark
+	if prev.at.IsZero() {
+		prev.at = e.start
+	}
+	e.depthStats = append(e.depthStats, DepthStat{
+		Depth:        i,
+		Clauses:      cur.clauses - prev.clauses,
+		Vars:         cur.vars - prev.vars,
+		EMMClauses:   cur.emmClauses - prev.emmClauses,
+		StrashHits:   cur.strashHits - prev.strashHits,
+		CompMemoHits: cur.memoHits - prev.memoHits,
+		Propagations: cur.props - prev.props,
+		Conflicts:    cur.confl - prev.confl,
+		Decisions:    cur.decs - prev.decs,
+		Solves:       cur.solves - prev.solves,
+		Elapsed:      cur.at.Sub(prev.at),
+	})
+	e.mark = cur
 }
 
 // prepareDepth extends both unrollings and EMM constraints to depth i.
@@ -413,7 +527,11 @@ func CheckCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Resul
 			return e.finish(&Result{Kind: KindTimeout, Depth: max(i-1, 0)})
 		}
 		e.prepareDepth(i)
-		if r := e.depthStep(i); r != nil {
+		r := e.depthStep(i)
+		if opt.CollectDepthStats {
+			e.collectDepthStat(i)
+		}
+		if r != nil {
 			return e.finish(r)
 		}
 	}

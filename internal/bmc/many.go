@@ -16,6 +16,11 @@ type ManyResult struct {
 	Stats   Stats
 	// MaxWitnessDepth is the deepest counter-example found.
 	MaxWitnessDepth int
+	// DepthStats holds the shared engine's per-depth deltas
+	// (Options.CollectDepthStats, sequential CheckMany only — the parallel
+	// engines interleave depths across workers, so there is no single
+	// meaningful per-depth table for them).
+	DepthStats []DepthStat
 }
 
 // Counts tallies outcomes by kind.
@@ -105,6 +110,9 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 				unresolved--
 			}
 		}
+		if opt.CollectDepthStats {
+			e.collectDepthStat(i)
+		}
 	}
 	for pi, p := range props {
 		if out.Results[pi] == nil {
@@ -114,5 +122,6 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 	r := e.finish(&Result{})
 	out.Stats = r.Stats
 	out.Stats.Elapsed = time.Since(start)
+	out.DepthStats = r.DepthStats
 	return out
 }

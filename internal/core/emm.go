@@ -36,6 +36,11 @@ type Sizes struct {
 	InitPairs       int // eq. 6 pair constraints
 	InitClauses     int // clauses emitted for eq. 6 pairs
 	AuxVars         int
+	// CompMemoHits counts address comparators answered from the
+	// memoization cache instead of being re-encoded. A hit emits no
+	// clauses and bumps no per-kind counter, so the other fields keep
+	// matching the paper's formulas for the comparators actually built.
+	CompMemoHits int
 }
 
 // Clauses returns the paper's headline clause count (address comparison +
@@ -80,6 +85,18 @@ type Generator struct {
 	// immediate exclusivity propagation the paper highlights — the
 	// ablation BenchmarkAblationExclusivity measures the difference.
 	noExclusivity bool
+
+	// noCompMemo disables comparator memoization (A/B measurement and
+	// equivalence tests only).
+	noCompMemo bool
+
+	// compMemo maps a normalized pair of address literal vectors to the E
+	// literal of the comparator already encoded for it. The same physical
+	// address buses recur across depths and read ports (every eq. 6 pair
+	// re-compares read addresses, and a shared address bus makes the
+	// forwarding comparators of later reads identical to earlier ones), so
+	// depth k+1 only pays for its genuinely new frontier pairs.
+	compMemo map[string]sat.Lit
 
 	mems   []*memGen
 	frames int // next depth to process
@@ -191,6 +208,18 @@ func (g *Generator) DisableInitConsistency() {
 func (g *Generator) DisableExclusivity() {
 	g.mustBeFresh()
 	g.noExclusivity = true
+}
+
+// DisableComparatorMemo turns off address-comparator memoization, so every
+// comparator is re-encoded even for a previously seen pair of address
+// vectors. The encoding is then exactly the paper's per-depth formula count;
+// used by the equivalence tests and before/after measurements, and by the
+// BMC engine whenever proof-based abstraction is tracking cores — a
+// memoized comparator keeps its first creator's TagEMM tag, which would
+// misattribute core membership across read events.
+func (g *Generator) DisableComparatorMemo() {
+	g.mustBeFresh()
+	g.noCompMemo = true
 }
 
 func (g *Generator) mustBeFresh() {
@@ -405,6 +434,64 @@ func (g *Generator) addrEqual(a, b []sat.Lit, tag unroll.Tag) sat.Lit {
 }
 
 func (g *Generator) addrEqualCounted(a, b []sat.Lit, tag unroll.Tag, counter *int) sat.Lit {
+	var key string
+	if !g.noCompMemo {
+		key = compKey(a, b)
+		if e, ok := g.compMemo[key]; ok {
+			// The comparator for this pair of address vectors already
+			// exists: reuse its E literal. Nothing is emitted, so the
+			// per-kind counters keep tracking clauses actually added.
+			g.sizes.CompMemoHits++
+			return e
+		}
+	}
+	e := g.buildAddrEqual(a, b, tag, counter)
+	if !g.noCompMemo {
+		if g.compMemo == nil {
+			g.compMemo = make(map[string]sat.Lit)
+		}
+		g.compMemo[key] = e
+	}
+	return e
+}
+
+// compKey encodes a normalized (order-independent: equality is symmetric)
+// pair of literal vectors as a map key.
+func compKey(a, b []sat.Lit) string {
+	// Order the two vectors lexicographically so (a,b) and (b,a) collide.
+	if litVecLess(b, a) {
+		a, b = b, a
+	}
+	buf := make([]byte, 0, 8*(len(a)+len(b))+1)
+	for _, l := range a {
+		buf = appendLit(buf, l)
+	}
+	buf = append(buf, '|')
+	for _, l := range b {
+		buf = appendLit(buf, l)
+	}
+	return string(buf)
+}
+
+func litVecLess(a, b []sat.Lit) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func appendLit(buf []byte, l sat.Lit) []byte {
+	x := uint32(l)
+	return append(buf, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+}
+
+// buildAddrEqual emits a fresh comparator (see addrEqual for the encoding).
+func (g *Generator) buildAddrEqual(a, b []sat.Lit, tag unroll.Tag, counter *int) sat.Lit {
 	u := g.u
 	e := u.FreshVar()
 	g.sizes.AuxVars++

@@ -20,6 +20,9 @@ type GrowthPoint struct {
 	PredGates    int
 	Match        bool
 	ExplicitAnds int // gates of the equivalent explicit memory model
+	CNFClauses   int // total CNF clauses emitted (unroller + EMM, incl. eq. 6)
+	MemoHits     int // comparators answered from the memo cache
+	StrashHits   int // AND gates answered from the strash cache
 }
 
 // GrowthConfig selects the memory shape swept by the growth experiment.
@@ -29,6 +32,14 @@ type GrowthConfig struct {
 	Reads  int
 	MaxK   int
 	Step   int
+	// SharedAddr drives every write AND read port from one shared address
+	// bus (a common RTL shape: one AGU feeding all ports). The EMM
+	// comparators then repeat across ports and depths — the configuration
+	// where comparator memoization and strash pay off most.
+	SharedAddr bool
+	// NoOpt disables structural hashing and comparator memoization, for
+	// before/after measurements.
+	NoOpt bool
 }
 
 // DefaultGrowth matches the single-port configuration discussed in §3.
@@ -42,26 +53,41 @@ func DefaultGrowth() GrowthConfig {
 // "figure-equivalent"). The explicit-model gate count is included for
 // comparison: constant per frame but enormous.
 func Growth(cfg GrowthConfig) []GrowthPoint {
-	build := func() (*rtl.Module, *core.Generator) {
+	build := func() (*rtl.Module, *unroll.Unroller, *core.Generator) {
 		m := rtl.NewModule("growth")
 		mem := m.Memory("mem", cfg.AW, cfg.DW, aig.MemArbitrary)
+		var sharedAddr rtl.Vec
+		if cfg.SharedAddr {
+			sharedAddr = m.Input("a", cfg.AW)
+		}
+		addr := func(name string) rtl.Vec {
+			if cfg.SharedAddr {
+				return sharedAddr
+			}
+			return m.Input(name, cfg.AW)
+		}
 		for w := 0; w < cfg.Writes; w++ {
-			mem.Write(m.Input("wa", cfg.AW), m.Input("wd", cfg.DW), m.InputBit("we"))
+			mem.Write(addr("wa"), m.Input("wd", cfg.DW), m.InputBit("we"))
 		}
 		for r := 0; r < cfg.Reads; r++ {
-			mem.Read(m.Input("ra", cfg.AW), m.InputBit("re"))
+			mem.Read(addr("ra"), m.InputBit("re"))
 		}
 		s := sat.New()
 		u := unroll.New(m.N, s, unroll.Initialized)
-		return m, core.NewGenerator(u, false)
+		u.NoStrash = cfg.NoOpt
+		g := core.NewGenerator(u, false)
+		if cfg.NoOpt {
+			g.DisableComparatorMemo()
+		}
+		return m, u, g
 	}
 
 	// Explicit-model cost: count AND gates of one expanded copy.
-	m, _ := build()
+	m, _, _ := build()
 	explicitAnds := explicitGateCount(m)
 
 	var pts []GrowthPoint
-	_, g := build()
+	_, u, g := build()
 	for k := 0; k <= cfg.MaxK; k += cfg.Step {
 		g.AddUpTo(k)
 		sz := g.Sizes()
@@ -79,6 +105,9 @@ func Growth(cfg GrowthConfig) []GrowthPoint {
 			PredGates:    predGates,
 			Match:        sz.Clauses() == predClauses && sz.Gates == predGates,
 			ExplicitAnds: explicitAnds,
+			CNFClauses:   u.ClausesAdded,
+			MemoHits:     sz.CompMemoHits,
+			StrashHits:   u.StrashHits,
 		})
 	}
 	return pts

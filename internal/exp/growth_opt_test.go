@@ -1,0 +1,41 @@
+package exp
+
+import "testing"
+
+// TestGrowthSharedAddrReduction pins the PR's headline acceptance number:
+// with one address bus feeding the write port and both read ports (the
+// SharedAddr configuration), structural hashing plus comparator memoization
+// must cut the CNF emitted at depth >= 20 by at least 25%. The savings are
+// deterministic — every eq. 6 consistency comparator coincides with an
+// already-built forwarding comparator, and the second read port's
+// comparators and match gates coincide with the first's.
+func TestGrowthSharedAddrReduction(t *testing.T) {
+	cfg := GrowthConfig{AW: 10, DW: 32, Writes: 1, Reads: 2, MaxK: 24, Step: 24, SharedAddr: true}
+	on := Growth(cfg)
+	cfg.NoOpt = true
+	off := Growth(cfg)
+	a, b := on[len(on)-1], off[len(off)-1]
+	if a.Depth < 20 {
+		t.Fatalf("sample depth %d below the acceptance threshold of 20", a.Depth)
+	}
+	red := 1 - float64(a.CNFClauses)/float64(b.CNFClauses)
+	t.Logf("depth %d: optimized %d clauses, unoptimized %d (%.1f%% reduction, %d memo hits, %d strash hits)",
+		a.Depth, a.CNFClauses, b.CNFClauses, 100*red, a.MemoHits, a.StrashHits)
+	if red < 0.25 {
+		t.Fatalf("reduction %.1f%% below the required 25%%", 100*red)
+	}
+	if a.MemoHits == 0 || a.StrashHits == 0 {
+		t.Fatalf("expected both caches to land hits (memo=%d strash=%d)", a.MemoHits, a.StrashHits)
+	}
+	// Without the shared bus every comparator pair is unique: the caches
+	// must stay cold and the closed-form predictions must keep holding.
+	base := Growth(GrowthConfig{AW: 6, DW: 8, Writes: 1, Reads: 1, MaxK: 10, Step: 5})
+	for _, p := range base {
+		if p.MemoHits != 0 {
+			t.Fatalf("depth %d: unexpected memo hits %d on distinct-bus config", p.Depth, p.MemoHits)
+		}
+		if !p.Match {
+			t.Fatalf("depth %d: closed-form mismatch on distinct-bus config", p.Depth)
+		}
+	}
+}

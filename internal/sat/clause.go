@@ -1,25 +1,22 @@
 package sat
 
-// clause is the internal clause representation. The first two literals are
-// the watched literals. Learnt clauses carry an activity for clause-database
-// reduction and, when proof tracing is enabled, the list of clause IDs that
-// were resolved together to derive them.
-type clause struct {
-	lits   []Lit
-	id     int32   // unique id for proof tracing; -1 when tracing is off
-	act    float32 // activity (learnt clauses only)
-	lbd    int32   // literal block distance at learning time
-	learnt bool
-	del    bool // marked for deletion (kept until watch lists are rebuilt)
+// watcher is an entry in a literal's watch list for clauses of three or
+// more literals. blocker is a literal of the clause that, when already
+// true, lets propagation skip visiting the clause entirely. The entry is 8
+// bytes (cref + Lit), so a watch list is a dense, pointer-free array.
+type watcher struct {
+	c       cref
+	blocker Lit
 }
 
-func (c *clause) size() int { return len(c.lits) }
-
-// watcher is an entry in a literal's watch list. blocker is a literal of the
-// clause that, when already true, lets propagation skip visiting the clause.
-type watcher struct {
-	c       *clause
-	blocker Lit
+// binWatcher is an entry in a literal's binary implication list: when the
+// watched literal becomes true, imp must be true (the clause is ¬watched ∨
+// imp). Binary clauses never need watch repair, so propagation over them is
+// a straight scan of this list with no clause visit at all; c is kept only
+// as the reason/proof reference.
+type binWatcher struct {
+	imp Lit
+	c   cref
 }
 
 // varOrder is a max-heap over variable activities used for VSIDS decisions.

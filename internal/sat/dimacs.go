@@ -80,7 +80,7 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses))
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.db.lits(c) {
 			n := int(l.Var()) + 1
 			if l.Sign() {
 				n = -n

@@ -92,11 +92,11 @@ func (s *Solver) Core() []int64 {
 			}
 			seenVar[v] = true
 			r := s.reasons[v]
-			if r == nil {
+			if r == crefUndef {
 				continue // defensive: level-0 decision cannot happen
 			}
-			stack = append(stack, r.id)
-			for _, q := range r.lits {
+			stack = append(stack, s.db.id(r))
+			for _, q := range s.db.lits(r) {
 				if q.Var() != v && s.levels[q.Var()] == 0 {
 					stack = append(stack, markLevelZero(q.Var()))
 				}

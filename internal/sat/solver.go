@@ -1,5 +1,7 @@
 package sat
 
+import "sort"
+
 // Solver is an incremental CDCL SAT solver. The zero value is not usable;
 // construct with New.
 //
@@ -15,18 +17,25 @@ package sat
 // reports a subset of assumptions sufficient for unsatisfiability, and (when
 // proof tracing is enabled) Core reports provenance tags of a sufficient
 // subset of original clauses.
+//
+// Internally the solver is built for cache locality: clause literals live in
+// one flat arena addressed by 4-byte crefs (see arena.go), watchers carry
+// blocking literals, and binary clauses propagate through dedicated
+// implication lists that never touch the clause store.
 type Solver struct {
 	ok bool // false once the clause database is UNSAT at level 0
 
-	clauses []*clause // original problem clauses
-	learnts []*clause
+	db      clauseDB
+	clauses []cref // original problem clauses
+	learnts []cref
 
-	watches  [][]watcher // literal -> watch list
-	assigns  []LBool     // variable assignment
-	levels   []int32     // decision level of each assigned variable
-	reasons  []*clause   // antecedent clause of each implied variable
-	polarity []bool      // saved phase per variable
-	decider  []bool      // whether the variable may be picked as a decision
+	watches    [][]watcher    // literal -> watch list (clauses of size >= 3)
+	binWatches [][]binWatcher // literal -> binary implication list
+	assigns    []LBool        // variable assignment
+	levels     []int32        // decision level of each assigned variable
+	reasons    []cref         // antecedent clause of each implied variable
+	polarity   []bool         // saved phase per variable
+	decider    []bool         // whether the variable may be picked as a decision
 
 	trail    []Lit
 	trailLim []int
@@ -39,6 +48,7 @@ type Solver struct {
 
 	seen           []byte
 	analyzeScratch []Lit
+	addTmp         []Lit // scratch for AddClause normalization
 
 	model         []LBool
 	conflictAssum []Lit // failed assumptions from the last Unsat answer
@@ -63,10 +73,15 @@ type Solver struct {
 type Stats struct {
 	Decisions    int64
 	Propagations int64
-	Conflicts    int64
-	Restarts     int64
-	LearntsAdded int64
-	MaxVar       int
+	// BinPropagations counts propagations served by the binary implication
+	// lists (a subset of Propagations' enqueue sources, reported separately
+	// because they bypass the clause store entirely).
+	BinPropagations int64
+	Conflicts       int64
+	Restarts        int64
+	LearntsAdded    int64
+	LearntsDeleted  int64
+	MaxVar          int
 }
 
 // New constructs an empty solver.
@@ -99,7 +114,7 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // ClauseAt returns a copy of the i-th stored original clause (literal
 // order is internal and may differ from the order given to AddClause).
 func (s *Solver) ClauseAt(i int) []Lit {
-	return append([]Lit(nil), s.clauses[i].lits...)
+	return append([]Lit(nil), s.db.lits(s.clauses[i])...)
 }
 
 // NumLearnts returns the number of learnt clauses currently attached.
@@ -113,11 +128,12 @@ func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, Undef)
 	s.levels = append(s.levels, 0)
-	s.reasons = append(s.reasons, nil)
+	s.reasons = append(s.reasons, crefUndef)
 	s.polarity = append(s.polarity, true) // default phase: false
 	s.decider = append(s.decider, true)
 	s.activity = append(s.activity, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.seen = append(s.seen, 0)
 	if s.order == nil {
 		s.order = newVarOrder(&s.activity)
@@ -164,8 +180,10 @@ func (s *Solver) AddClauseTagged(tag int64, lits []Lit) bool {
 	if s.decisionLevel() != 0 {
 		s.cancelUntil(0)
 	}
-	// Normalize: sort, drop duplicates, detect tautologies.
-	tmp := append([]Lit(nil), lits...)
+	// Normalize: sort, drop duplicates, detect tautologies. The scratch
+	// buffer keeps clause addition allocation-free (the literals are copied
+	// into the arena on alloc).
+	tmp := append(s.addTmp[:0], lits...)
 	sortLits(tmp)
 	out := tmp[:0]
 	var prev Lit = LitUndef
@@ -177,36 +195,42 @@ func (s *Solver) AddClauseTagged(tag int64, lits []Lit) bool {
 			continue
 		}
 		if prev != LitUndef && l == prev.Not() {
+			s.addTmp = tmp
 			return true // tautology
 		}
 		if !s.trace {
 			// Without tracing we may freely strengthen at level 0.
 			if s.value(l) == True {
+				s.addTmp = tmp
 				return true
 			}
 			if s.value(l) == False {
 				continue
 			}
 		} else if s.value(l) == True && s.levels[l.Var()] == 0 {
+			s.addTmp = tmp
 			return true // satisfied at level 0: redundant, safe to drop
 		}
 		out = append(out, l)
 		prev = l
 	}
 
-	c := &clause{lits: append([]Lit(nil), out...), id: -1}
-	if s.trace {
-		c.id = s.proof.addOriginal(tag)
-	}
-
 	// Count non-false literals and move them to the front for watching.
 	nonFalse := 0
-	for i, l := range c.lits {
+	for i, l := range out {
 		if s.value(l) != False {
-			c.lits[i], c.lits[nonFalse] = c.lits[nonFalse], c.lits[i]
+			out[i], out[nonFalse] = out[nonFalse], out[i]
 			nonFalse++
 		}
 	}
+
+	id := int32(-1)
+	if s.trace {
+		id = s.proof.addOriginal(tag)
+	}
+	c := s.db.alloc(out, false, id)
+	s.addTmp = tmp
+
 	switch {
 	case nonFalse == 0:
 		// Conflict at level 0: the database is UNSAT.
@@ -214,15 +238,15 @@ func (s *Solver) AddClauseTagged(tag int64, lits []Lit) bool {
 		if s.trace {
 			s.rootCause = s.levelZeroChain(c)
 		}
-		if len(c.lits) > 0 {
+		if s.db.size(c) > 0 {
 			s.clauses = append(s.clauses, c)
 		}
 		return false
 	case nonFalse == 1:
 		// Effectively a unit clause.
 		s.clauses = append(s.clauses, c)
-		s.uncheckedEnqueue(c.lits[0], c)
-		if confl := s.propagate(); confl != nil {
+		s.uncheckedEnqueue(s.db.lits(c)[0], c)
+		if confl := s.propagate(); confl != crefUndef {
 			s.ok = false
 			if s.trace {
 				s.rootCause = s.levelZeroChain(confl)
@@ -250,13 +274,21 @@ func sortLits(lits []Lit) {
 	}
 }
 
-func (s *Solver) attach(c *clause) {
-	w0, w1 := c.lits[0].Not(), c.lits[1].Not()
-	s.watches[w0] = append(s.watches[w0], watcher{c: c, blocker: c.lits[1]})
-	s.watches[w1] = append(s.watches[w1], watcher{c: c, blocker: c.lits[0]})
+// attach hooks a clause into propagation: binary clauses go to the
+// implication lists, longer clauses to the two-watched-literal scheme.
+func (s *Solver) attach(c cref) {
+	ls := s.db.lits(c)
+	if len(ls) == 2 {
+		s.binWatches[ls[0].Not()] = append(s.binWatches[ls[0].Not()], binWatcher{imp: ls[1], c: c})
+		s.binWatches[ls[1].Not()] = append(s.binWatches[ls[1].Not()], binWatcher{imp: ls[0], c: c})
+		return
+	}
+	w0, w1 := ls[0].Not(), ls[1].Not()
+	s.watches[w0] = append(s.watches[w0], watcher{c: c, blocker: ls[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{c: c, blocker: ls[0]})
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from cref) {
 	v := l.Var()
 	s.assigns[v] = True.XorSign(l.Sign())
 	s.levels[v] = int32(s.decisionLevel())
@@ -264,19 +296,33 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation over the watch lists and returns a
-// conflicting clause, or nil if no conflict was found. Interrupt is polled
-// every 2048 propagations so that portfolio cancellation and timeouts land
-// within milliseconds even inside one long propagation pass; an early stop
-// sets s.interrupted and leaves the remaining queue for the next call.
-func (s *Solver) propagate() *clause {
+// propagate performs unit propagation and returns a conflicting clause, or
+// crefUndef if no conflict was found. For each trail literal the binary
+// implication list is scanned first (no clause-store access at all), then
+// the watch lists of longer clauses with blocking-literal skips. Interrupt
+// is polled every 2048 propagations so that portfolio cancellation and
+// timeouts land within milliseconds even inside one long propagation pass;
+// an early stop sets s.interrupted and leaves the remaining queue for the
+// next call.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.stats.Propagations++
 		if s.Interrupt != nil && s.stats.Propagations&2047 == 0 && s.Interrupt() {
 			s.interrupted = true
-			return nil
+			return crefUndef
+		}
+		// Binary implications: p became true, so each imp is forced.
+		for _, bw := range s.binWatches[p] {
+			switch s.value(bw.imp) {
+			case False:
+				s.qhead = len(s.trail)
+				return bw.c
+			case Undef:
+				s.stats.BinPropagations++
+				s.uncheckedEnqueue(bw.imp, bw.c)
+			}
 		}
 		ws := s.watches[p]
 		kept := ws[:0]
@@ -289,24 +335,25 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			c := w.c
-			if c.del {
+			if s.db.isDeleted(c) {
 				continue // dropped clause: let the watcher disappear
 			}
+			lits := s.db.lits(c)
 			// Ensure the false literal is at position 1.
 			notP := p.Not()
-			if c.lits[0] == notP {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if lits[0] == notP {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			first := c.lits[0]
+			first := lits[0]
 			if first != w.blocker && s.value(first) == True {
 				kept = append(kept, watcher{c: c, blocker: first})
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != False {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					wl := c.lits[1].Not()
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != False {
+					lits[1], lits[k] = lits[k], lits[1]
+					wl := lits[1].Not()
 					s.watches[wl] = append(s.watches[wl], watcher{c: c, blocker: first})
 					continue nextWatcher
 				}
@@ -324,7 +371,7 @@ func (s *Solver) propagate() *clause {
 		}
 		s.watches[p] = kept
 	}
-	return nil
+	return crefUndef
 }
 
 func (s *Solver) cancelUntil(level int) {
@@ -336,7 +383,7 @@ func (s *Solver) cancelUntil(level int) {
 		v := s.trail[i].Var()
 		s.assigns[v] = Undef
 		s.polarity[v] = s.trail[i].Sign()
-		s.reasons[v] = nil
+		s.reasons[v] = crefUndef
 		if !s.order.contains(v) {
 			s.order.insert(v)
 		}
@@ -359,11 +406,12 @@ func (s *Solver) bumpVar(v Var) {
 
 func (s *Solver) decayVar() { s.varInc /= 0.95 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.act += s.claInc
-	if c.act > 1e30 {
+func (s *Solver) bumpClause(c cref) {
+	h := &s.db.hdr[c]
+	h.act += s.claInc
+	if h.act > 1e30 {
 		for _, lc := range s.learnts {
-			lc.act *= 1e-30
+			s.db.hdr[lc].act *= 1e-30
 		}
 		s.claInc *= 1e-30
 	}
@@ -374,7 +422,7 @@ func (s *Solver) decayClause() { s.claInc /= 0.999 }
 // analyze performs first-UIP conflict analysis. It returns the learnt clause
 // literals (asserting literal first), the backtrack level, and — when
 // tracing — the resolution chain of clause IDs.
-func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int, chain []int32) {
+func (s *Solver) analyze(confl cref) (learnt []Lit, btLevel int, chain []int32) {
 	learnt = append(s.analyzeScratch[:0], LitUndef) // reserve slot 0
 	seen := s.seen
 	counter := 0
@@ -383,17 +431,17 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int, chain []int3
 
 	for {
 		if s.trace {
-			chain = append(chain, confl.id)
+			chain = append(chain, s.db.id(confl))
 		}
-		if confl.learnt {
+		if s.db.isLearnt(confl) {
 			s.bumpClause(confl)
 		}
-		start := 0
-		if p != LitUndef {
-			start = 1 // skip the resolved literal confl.lits[0]
-		}
-		for _, q := range confl.lits[start:] {
-			if p != LitUndef && q == p {
+		// Skip the resolved literal by identity: binary reasons come from
+		// the implication lists, where the implied literal is not
+		// necessarily stored at position 0.
+		cl := s.db.lits(confl)
+		for _, q := range cl {
+			if q == p {
 				continue
 			}
 			v := q.Var()
@@ -452,7 +500,7 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int, chain []int3
 		seen[l.Var()] = 0
 	}
 	s.analyzeScratch = learnt[:0]
-	return append([]Lit(nil), learnt...), btLevel, chain
+	return learnt, btLevel, chain
 }
 
 // minimize removes literals from the learnt clause that are implied by the
@@ -465,12 +513,13 @@ func (s *Solver) minimize(learnt []Lit, chain []int32) ([]Lit, []int32) {
 	out := learnt[:1]
 	for _, l := range learnt[1:] {
 		r := s.reasons[l.Var()]
-		if r == nil {
+		if r == crefUndef {
 			out = append(out, l)
 			continue
 		}
 		redundant := true
-		for _, q := range r.lits {
+		rl := s.db.lits(r)
+		for _, q := range rl {
 			if q == l.Not() {
 				continue
 			}
@@ -485,8 +534,8 @@ func (s *Solver) minimize(learnt []Lit, chain []int32) ([]Lit, []int32) {
 		}
 		if redundant {
 			if s.trace {
-				chain = append(chain, r.id)
-				for _, q := range r.lits {
+				chain = append(chain, s.db.id(r))
+				for _, q := range rl {
 					if q != l.Not() && seen[q.Var()] == 0 && s.levels[q.Var()] == 0 {
 						chain = append(chain, markLevelZero(q.Var()))
 					}
@@ -505,19 +554,20 @@ func (s *Solver) minimize(learnt []Lit, chain []int32) ([]Lit, []int32) {
 
 // levelZeroChain records the derivation of a conflict at level 0: the
 // conflicting clause plus deferred markers for its (level-0) literals.
-func (s *Solver) levelZeroChain(confl *clause) []int32 {
-	chain := []int32{confl.id}
-	for _, q := range confl.lits {
+func (s *Solver) levelZeroChain(confl cref) []int32 {
+	chain := []int32{s.db.id(confl)}
+	for _, q := range s.db.lits(confl) {
 		chain = append(chain, markLevelZero(q.Var()))
 	}
 	return chain
 }
 
-func (s *Solver) recordLearnt(lits []Lit, chain []int32) *clause {
-	c := &clause{lits: lits, learnt: true, id: -1}
+func (s *Solver) recordLearnt(lits []Lit, chain []int32) cref {
+	id := int32(-1)
 	if s.trace {
-		c.id = s.proof.addLearnt(chain)
+		id = s.proof.addLearnt(chain)
 	}
+	c := s.db.alloc(lits, true, id)
 	s.stats.LearntsAdded++
 	if len(lits) >= 2 {
 		s.learnts = append(s.learnts, c)
@@ -527,44 +577,38 @@ func (s *Solver) recordLearnt(lits []Lit, chain []int32) *clause {
 	return c
 }
 
+// locked reports whether c is the reason of its first (implied) literal and
+// therefore must not be deleted while that assignment stands.
+func (s *Solver) locked(c cref) bool {
+	l := s.db.lits(c)[0]
+	return s.value(l) == True && s.reasons[l.Var()] == c
+}
+
 // reduceDB removes roughly half of the learnt clauses, preferring clauses
-// with low activity, while keeping clauses that are reasons on the trail.
+// with low activity. Binary learnts (which carry high propagation value at
+// 8 bytes of watch cost) and clauses that are the reason of a standing
+// assignment are never deleted. When enough of the arena is garbage, the
+// literal blocks are compacted in place.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) < 2 {
 		return
 	}
-	// Partial sort by activity: simple threshold at median via nth element
-	// approximation (full sort is fine at our scale).
 	ls := s.learnts
-	sortClausesByAct(ls)
+	db := &s.db
+	sort.Slice(ls, func(i, j int) bool { return db.hdr[ls[i]].act < db.hdr[ls[j]].act })
 	keep := ls[:0]
-	locked := func(c *clause) bool {
-		l := c.lits[0]
-		return s.value(l) == True && s.reasons[l.Var()] == c
-	}
 	half := len(ls) / 2
 	for i, c := range ls {
-		if i < half && len(c.lits) > 2 && !locked(c) {
-			c.del = true // watchers lazily dropped in propagate
+		if i < half && db.size(c) > 2 && !s.locked(c) {
+			db.markDeleted(c) // watchers lazily dropped in propagate
+			s.stats.LearntsDeleted++
 			continue
 		}
 		keep = append(keep, c)
 	}
 	s.learnts = keep
-}
-
-func sortClausesByAct(cs []*clause) {
-	// Ascending activity; shell sort to avoid importing sort for a hot path.
-	n := len(cs)
-	for gap := n / 2; gap > 0; gap /= 2 {
-		for i := gap; i < n; i++ {
-			c := cs[i]
-			j := i
-			for ; j >= gap && cs[j-gap].act > c.act; j -= gap {
-				cs[j] = cs[j-gap]
-			}
-			cs[j] = c
-		}
+	if db.shouldCompact() {
+		db.compact()
 	}
 }
 
@@ -591,7 +635,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	}
 	s.cancelUntil(0)
 	s.interrupted = false
-	if confl := s.propagate(); confl != nil {
+	if confl := s.propagate(); confl != crefUndef {
 		s.ok = false
 		if s.trace {
 			s.rootCause = s.levelZeroChain(confl)
@@ -626,7 +670,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if confl != nil {
+		if confl != crefUndef {
 			conflicts++
 			sinceRestart++
 			s.stats.Conflicts++
@@ -682,7 +726,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 			default:
 				s.stats.Decisions++
 				s.trailLim = append(s.trailLim, len(s.trail))
-				s.uncheckedEnqueue(a, nil)
+				s.uncheckedEnqueue(a, crefUndef)
 			}
 			continue
 		}
@@ -696,7 +740,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(MkLit(v, s.polarity[v]), nil)
+		s.uncheckedEnqueue(MkLit(v, s.polarity[v]), crefUndef)
 	}
 }
 
@@ -705,7 +749,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 // assignment.
 func (s *Solver) analyzeFinal(a Lit) {
 	s.conflictAssum = []Lit{a}
-	if r := s.reasons[a.Var()]; r != nil {
+	if r := s.reasons[a.Var()]; r != crefUndef {
 		s.analyzeFinalLit(a, r)
 		return
 	}
@@ -717,21 +761,21 @@ func (s *Solver) analyzeFinal(a Lit) {
 // analyzeFinalLit walks implications backward from a conflicting implied
 // literal, separating assumption decisions (reported in conflictAssum) from
 // clauses (reported, when tracing, in finalChain).
-func (s *Solver) analyzeFinalLit(a Lit, r *clause) {
+func (s *Solver) analyzeFinalLit(a Lit, r cref) {
 	s.conflictAssum = []Lit{a}
 	var chain []int32
 	seen := s.seen
 	seen[a.Var()] = 1
-	stack := []*clause{r}
+	stack := []cref{r}
 	var vars []Var
 	vars = append(vars, a.Var())
 	for len(stack) > 0 {
 		c := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if s.trace {
-			chain = append(chain, c.id)
+			chain = append(chain, s.db.id(c))
 		}
-		for _, q := range c.lits {
+		for _, q := range s.db.lits(c) {
 			v := q.Var()
 			if seen[v] != 0 {
 				continue
@@ -741,7 +785,7 @@ func (s *Solver) analyzeFinalLit(a Lit, r *clause) {
 			}
 			seen[v] = 1
 			vars = append(vars, v)
-			if rr := s.reasons[v]; rr != nil {
+			if rr := s.reasons[v]; rr != crefUndef {
 				stack = append(stack, rr)
 			} else if s.levels[v] > 0 {
 				// Assumption decision.

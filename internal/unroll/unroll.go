@@ -71,6 +71,20 @@ type Unroller struct {
 	lfp      []sat.Lit // lfp[i] = loop-free-path literal for window [0, i]
 	writeAny []sat.Lit // per frame: some write port enabled
 
+	// NoStrash disables the structural-hashing cache on AND gates. Only
+	// used for A/B measurements and equivalence tests; hashing is sound
+	// (gates are pure combinational definitions) and on by default.
+	NoStrash bool
+
+	// strash maps a normalized (a, b) input pair to the literal of the AND
+	// gate already built for it, so repeated gates cost a map hit instead
+	// of a fresh variable plus three clauses. Keys are normalized with
+	// a ≤ b; constant and complement cases fold before the lookup.
+	strash map[[2]sat.Lit]sat.Lit
+
+	// StrashHits counts gate requests answered from the strash cache.
+	StrashHits int
+
 	// Clause/variable accounting.
 	ClausesAdded int
 	AuxVars      int
@@ -210,7 +224,14 @@ func (u *Unroller) latchLit(id aig.NodeID, t int) sat.Lit {
 }
 
 // mkAnd builds (and Tseitin-encodes) the conjunction of two CNF literals,
-// with constant and structural folding.
+// with constant and structural folding. Repeated (a, b) pairs are answered
+// from the strash cache: the same gate is never encoded twice, which keeps
+// the CNF linear where the EMM constraints request structurally identical
+// comparators at successive depths. The cached gate keeps its first
+// creator's tag. That is sound for verdicts, but the EMM generator routes
+// TagEMM-tagged gates through here, and proof-based abstraction decides
+// relevance from the tags in UNSAT cores — so the BMC engine sets NoStrash
+// whenever cores are being tracked (see newEngine).
 func (u *Unroller) mkAnd(a, b sat.Lit, tag Tag) sat.Lit {
 	cf, ct := u.constFalse, u.constFalse.Not()
 	switch {
@@ -224,6 +245,25 @@ func (u *Unroller) mkAnd(a, b sat.Lit, tag Tag) sat.Lit {
 		return a
 	case a == b.Not():
 		return cf
+	}
+	if !u.NoStrash {
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]sat.Lit{a, b}
+		if v, ok := u.strash[key]; ok {
+			u.StrashHits++
+			return v
+		}
+		v := u.FreshVar()
+		u.addClause(tag, v.Not(), a)
+		u.addClause(tag, v.Not(), b)
+		u.addClause(tag, v, a.Not(), b.Not())
+		if u.strash == nil {
+			u.strash = make(map[[2]sat.Lit]sat.Lit)
+		}
+		u.strash[key] = v
+		return v
 	}
 	v := u.FreshVar()
 	u.addClause(tag, v.Not(), a)
