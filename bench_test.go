@@ -16,6 +16,7 @@ package emmver
 // quantify the substrate.
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"testing"
@@ -303,7 +304,9 @@ func BenchmarkExplicitExpansion(b *testing.B) {
 	q := designs.NewQuickSort(designs.QuickSortConfig{N: 4, ArrayAW: 8, DataW: 16, StackAW: 8})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		expmem.Expand(q.Netlist())
+		if _, _, err := expmem.Expand(q.Netlist()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -432,4 +435,34 @@ func BenchmarkEMMFalsification(b *testing.B) {
 			b.Fatalf("expected CE, got %v", r)
 		}
 	}
+}
+
+// BenchmarkObsOverhead quantifies the observability tax on a full BMC-3
+// proof run. The "off" case is the default (Options.Obs nil: every obs
+// call site is a nil-receiver no-op); "metrics" attaches a registry but no
+// trace sink — the configuration the <2% overhead requirement is about,
+// since counters are published as deltas at solve-call/depth granularity
+// rather than per solver operation; "traced" adds a JSONL journal to
+// an in-memory buffer for comparison.
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := designs.QuickSortConfig{N: 3, ArrayAW: 4, DataW: 8, StackAW: 4}
+	base := bmc.Options{MaxDepth: 200, UseEMM: true, Proofs: true}
+	run := func(name string, mkOpt func() bmc.Options) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := designs.NewQuickSort(cfg)
+				r := bmc.Check(q.Netlist(), q.P1Index, mkOpt())
+				if r.Kind != bmc.KindProof {
+					b.Fatalf("expected proof, got %v", r)
+				}
+			}
+		})
+	}
+	run("off", func() bmc.Options { return base })
+	run("metrics", func() bmc.Options {
+		return base.WithObserver(NewObserver(NewRegistry(), nil))
+	})
+	run("traced", func() bmc.Options {
+		return base.WithTrace(NewJSONLTrace(&bytes.Buffer{}))
+	})
 }

@@ -26,6 +26,7 @@ import (
 	"emmver/internal/aiger"
 	"emmver/internal/bdd"
 	"emmver/internal/bmc"
+	"emmver/internal/cliobs"
 	"emmver/internal/designs"
 	"emmver/internal/expmem"
 	"emmver/internal/vcd"
@@ -46,11 +47,16 @@ func main() {
 	aigerOut := flag.String("aiger", "", "write the (memory-free) model as AIGER to this file and exit")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes")
 	verbose := flag.Bool("v", false, "log per-depth progress")
+	obsFlags := cliobs.Register()
 	flag.Parse()
 
 	netlist, pi := buildDesign(*design, *n, *reduced, *prop)
 	if *explicit {
-		netlist, _ = expmem.Expand(netlist)
+		var err error
+		netlist, _, err = expmem.Expand(netlist)
+		if err != nil {
+			fail(err.Error())
+		}
 		fmt.Printf("explicit model: %s\n", netlist.Stats())
 	} else {
 		fmt.Printf("model: %s\n", netlist.Stats())
@@ -77,6 +83,10 @@ func main() {
 	if *verbose {
 		opt.Log = os.Stderr
 	}
+	observer, obsStop := obsFlags.Setup()
+	defer obsStop()
+	opt.Obs = observer
+	opt.Jobs = *jobs
 	switch *engine {
 	case "bmc1":
 		opt.Proofs = true

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"emmver/internal/cliobs"
 	"emmver/internal/exp"
 )
 
@@ -32,9 +33,12 @@ func main() {
 	sizes := flag.String("n", "3,4,5", "quicksort array sizes for t1/t2")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "how many verification runs execute concurrently per experiment")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
+	obsFlags := cliobs.Register()
 	flag.Parse()
 
-	cfg := exp.Config{Timeout: *timeout, Jobs: *jobs}
+	observer, obsStop := obsFlags.Setup()
+	defer obsStop()
+	cfg := exp.Config{Timeout: *timeout, Jobs: *jobs, Obs: observer}
 	switch *scale {
 	case "reduced":
 		cfg.Scale = exp.ScaleReduced

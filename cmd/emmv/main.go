@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"emmver/internal/bmc"
+	"emmver/internal/cliobs"
 	"emmver/internal/expmem"
 	"emmver/internal/par"
 	"emmver/internal/vcd"
@@ -54,6 +55,7 @@ func main() {
 	vcdOut := flag.String("vcd", "", "write the first counter-example waveform here")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes (forces a sequential run)")
 	verbose := flag.Bool("v", false, "log per-depth progress")
+	obsFlags := cliobs.Register()
 	params := paramFlags{}
 	flag.Var(params, "param", "parameter override NAME=VALUE (repeatable)")
 	flag.Parse()
@@ -85,7 +87,11 @@ func main() {
 		return
 	}
 	if *explicit {
-		n, _ = expmem.Expand(n)
+		var err error
+		n, _, err = expmem.Expand(n)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("explicit model: %s\n", n.Stats())
 	}
 
@@ -94,6 +100,9 @@ func main() {
 	if *verbose {
 		opt.Log = os.Stderr
 	}
+	observer, obsStop := obsFlags.Setup()
+	opt.Obs = observer
+	opt.Jobs = *jobs
 	useEMM := !*explicit && len(n.Memories) > 0
 	switch *engine {
 	case "bmc1":
@@ -176,6 +185,7 @@ func main() {
 		}
 	}
 	_ = orig
+	obsStop()
 	if fails > 0 {
 		os.Exit(1)
 	}

@@ -40,6 +40,7 @@
 package emmver
 
 import (
+	"context"
 	"io"
 
 	"emmver/internal/aig"
@@ -47,6 +48,7 @@ import (
 	"emmver/internal/btor2"
 	"emmver/internal/expmem"
 	"emmver/internal/ltl"
+	"emmver/internal/obs"
 	"emmver/internal/rtl"
 	"emmver/internal/sim"
 	"emmver/internal/verilog"
@@ -100,15 +102,55 @@ func MkBit(n aig.NodeID) Bit { return aig.MkLit(n, false) }
 // Verification aliases.
 type (
 	// Options configures a verification run; see BMC1/BMC2/BMC3 for the
-	// paper's algorithm presets.
+	// paper's algorithm presets. Every field has an equivalent With*
+	// builder (WithTimeout, WithJobs, WithTrace, ...) for incremental
+	// composition.
 	Options = bmc.Options
 	// Result is a verification outcome.
 	Result = bmc.Result
+	// ManyResult is the outcome of a VerifyAll run.
+	ManyResult = bmc.ManyResult
 	// Witness is a counter-example trace.
 	Witness = bmc.Witness
 	// PBAResult is the outcome of the prove-with-abstraction flow.
 	PBAResult = bmc.PBAResult
 )
+
+// Observability aliases: an Observer couples a metrics Registry (atomic
+// counters/gauges every engine layer publishes into) with an optional
+// TraceSink receiving structured span events. See Observe and NewJSONLTrace.
+type (
+	// Observer attaches metrics and tracing to a run (Options.Obs).
+	Observer = obs.Observer
+	// Registry accumulates named counters and gauges.
+	Registry = obs.Registry
+	// TraceSink consumes structured trace events.
+	TraceSink = obs.Sink
+	// TraceEvent is one span start/end or point event.
+	TraceEvent = obs.Event
+	// JSONLTrace is the journaling TraceSink included with the package.
+	JSONLTrace = obs.JSONL
+)
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewObserver couples a registry (nil: tracing only) with a trace sink
+// (nil: metrics only).
+func NewObserver(reg *Registry, sink TraceSink) *Observer { return obs.New(reg, sink) }
+
+// NewJSONLTrace builds a buffered JSON-lines trace journal over w (one
+// flat object per event, jq-friendly). Call Close (or Flush) when the run
+// is done.
+func NewJSONLTrace(w io.Writer) *JSONLTrace { return obs.NewJSONL(w) }
+
+// Observe returns a copy of opt instrumented with a fresh metrics registry
+// and the given trace sink (nil sink: metrics only). Read the totals
+// afterwards via opt.Obs.Registry().Snapshot(). Equivalent to
+// opt.WithTrace(sink).
+func Observe(opt Options, sink TraceSink) Options {
+	return opt.WithTrace(sink)
+}
 
 // Result kinds.
 const (
@@ -135,13 +177,32 @@ func BMC3(maxDepth int) Options { return bmc.BMC3(maxDepth) }
 
 // Verify model-checks one safety property of a design.
 func Verify(n *Netlist, prop int, opt Options) *Result {
-	return bmc.Check(n, prop, opt)
+	return VerifyCtx(context.Background(), n, prop, opt)
 }
 
-// VerifyAll model-checks many properties sharing one incremental
-// unrolling.
-func VerifyAll(n *Netlist, props []int, opt Options) *bmc.ManyResult {
-	return bmc.CheckMany(n, props, opt)
+// VerifyCtx is Verify under a cancellation context: when ctx is cancelled
+// (or its deadline passes) the run stops at the next solver poll and
+// reports TimedOut. An already-cancelled ctx returns immediately.
+func VerifyCtx(ctx context.Context, n *Netlist, prop int, opt Options) *Result {
+	return bmc.CheckCtx(ctx, n, prop, opt)
+}
+
+// VerifyAll model-checks many properties of one design. With Options.Jobs
+// != 1 the properties are distributed over a worker pool (0 selects
+// NumCPU) whose engines share a forward-termination oracle; Jobs == 1 — or
+// Options.CollectDepthStats, which only the sequential engine can
+// attribute to depths — runs all properties over a single shared
+// incremental unrolling. Verdicts are identical either way.
+func VerifyAll(n *Netlist, props []int, opt Options) *ManyResult {
+	return VerifyAllCtx(context.Background(), n, props, opt)
+}
+
+// VerifyAllCtx is VerifyAll under a cancellation context; see VerifyCtx.
+func VerifyAllCtx(ctx context.Context, n *Netlist, props []int, opt Options) *ManyResult {
+	if opt.Jobs == 1 || opt.CollectDepthStats {
+		return bmc.CheckManyCtx(ctx, n, props, opt)
+	}
+	return bmc.CheckManyParallelCtx(ctx, n, props, opt, opt.Jobs)
 }
 
 // ProveWithAbstraction runs the §4.3 flow: collect a stable latch-reason
@@ -149,6 +210,12 @@ func VerifyAll(n *Netlist, props []int, opt Options) *bmc.ManyResult {
 // and prove on the reduced model.
 func ProveWithAbstraction(n *Netlist, prop int, opt Options) *PBAResult {
 	return bmc.ProveWithPBA(n, prop, opt)
+}
+
+// ProveWithAbstractionCtx is ProveWithAbstraction under a cancellation
+// context spanning both phases; see VerifyCtx.
+func ProveWithAbstractionCtx(ctx context.Context, n *Netlist, prop int, opt Options) *PBAResult {
+	return bmc.ProveWithPBACtx(ctx, n, prop, opt)
 }
 
 // ProveWithInvariant first proves a helper invariant property, then
@@ -160,10 +227,13 @@ func ProveWithInvariant(n *Netlist, mainProp, invariantProp int, opt Options) (*
 }
 
 // ExpandMemories builds the Explicit Modeling baseline: every memory
-// becomes 2^AW × DW latches.
-func ExpandMemories(n *Netlist) *Netlist {
-	out, _ := expmem.Expand(n)
-	return out
+// becomes 2^AW × DW latches. It reports an error for inputs explicit
+// modeling cannot represent — combinational cycles through memory ports,
+// or expansions past expmem.MaxExpandedBits (the blowup EMM exists to
+// avoid).
+func ExpandMemories(n *Netlist) (*Netlist, error) {
+	out, _, err := expmem.Expand(n)
+	return out, err
 }
 
 // NewSimulator builds a cycle-accurate concrete-memory simulator for a

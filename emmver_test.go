@@ -52,7 +52,10 @@ func TestFacadeExpandAndSimulate(t *testing.T) {
 	d := NewDesign("demo")
 	mem := d.Memory("ram", 2, 4, MemZero)
 	mem.Read(d.Input("ra", 2), True)
-	exp := ExpandMemories(d.N)
+	exp, err := ExpandMemories(d.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(exp.Memories) != 0 {
 		t.Fatalf("expansion left memories behind")
 	}

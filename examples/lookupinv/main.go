@@ -57,7 +57,10 @@ func main() {
 	fmt.Printf("4. RD=0 + PBA:        %d/%d properties proved\n", proved, cfg.NumProps)
 
 	// 5. The BDD engine on the explicit model.
-	exp := emmver.ExpandMemories(l.Netlist())
+	exp, err := emmver.ExpandMemories(l.Netlist())
+	if err != nil {
+		panic(err)
+	}
 	mc, err := bdd.CheckSafety(exp, p0, 200000)
 	if err != nil {
 		panic(err)

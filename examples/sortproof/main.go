@@ -37,7 +37,10 @@ func main() {
 		r := emmver.Verify(q.Netlist(), pc.prop, emmver.BMC3(200))
 		fmt.Printf("EMM      %-22s %s\n", pc.name, r)
 
-		exp := emmver.ExpandMemories(q.Netlist())
+		exp, err := emmver.ExpandMemories(q.Netlist())
+		if err != nil {
+			panic(err)
+		}
 		opt := emmver.BMC1(200)
 		opt.Timeout = 2 * time.Minute
 		re := emmver.Verify(exp, pc.prop, opt)

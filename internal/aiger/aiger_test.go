@@ -161,7 +161,10 @@ func TestWriteRejectsMemories(t *testing.T) {
 		t.Fatalf("memories must be rejected")
 	}
 	// After expansion it must serialize.
-	exp, _ := expmem.Expand(m.N)
+	exp, _, err := expmem.Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := Write(&buf, exp, false); err != nil {
 		t.Fatal(err)
 	}

@@ -100,7 +100,10 @@ func TestMCBlowupOnExplicitMemory(t *testing.T) {
 	mem.Write(m.Input("wa", 5), m.Input("wd", 8), m.InputBit("we"))
 	rd := mem.Read(m.Input("ra", 5), aig.True)
 	m.AssertAlways("p", m.IsZero(rd))
-	exp, _ := expmem.Expand(m.N)
+	exp, _, err := expmem.Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := CheckSafety(exp, 0, 20000)
 	if err != nil {
 		t.Fatal(err)

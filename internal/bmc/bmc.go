@@ -23,6 +23,7 @@ import (
 
 	"emmver/internal/aig"
 	"emmver/internal/core"
+	"emmver/internal/obs"
 	"emmver/internal/pba"
 	"emmver/internal/sat"
 	"emmver/internal/sim"
@@ -93,6 +94,20 @@ type Options struct {
 	PureLatchLFP bool
 	// Log, when non-nil, receives per-depth progress lines.
 	Log io.Writer
+	// Obs attaches the observability layer: every engine the run creates
+	// publishes metrics into Obs's registry (solver conflicts, EMM clause
+	// families, strash hits, ...) and — when a trace sink is attached —
+	// emits typed start/end span events for each depth step, each
+	// forward/backward/counter-example solver call, each EMM generation
+	// step, and each portfolio lane. Nil (the default) costs nothing.
+	// Equivalent builder: WithTrace / WithObserver.
+	Obs *obs.Observer
+	// Jobs is the worker count used by entry points that fan out across
+	// properties or lanes (the facade's VerifyAll and the CLIs): 0 picks
+	// runtime.NumCPU, 1 forces the sequential shared-unrolling engine, and
+	// n > 1 bounds the fleet. Check itself ignores it — per-depth lane
+	// racing stays opt-in via Portfolio. Equivalent builder: WithJobs.
+	Jobs int
 }
 
 // Kind classifies a Result.
@@ -250,6 +265,14 @@ type engine struct {
 
 	depthStats []DepthStat
 	mark       depthMark
+
+	// Observability handle plus the gauges/counters the engine itself
+	// maintains (the solvers/unrollers/generators publish their own).
+	obs         *obs.Observer
+	obsDepth    *obs.Gauge
+	obsProps    *obs.Counter
+	obsCoreSize *obs.Gauge
+	obsLR       *obs.Gauge
 }
 
 // depthMark snapshots the cumulative counters at the end of a depth, so the
@@ -265,6 +288,13 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 	if opt.Timeout > 0 {
 		e.deadline = e.start.Add(opt.Timeout)
 	}
+	e.obs = opt.Obs
+	if reg := opt.Obs.Registry(); reg != nil {
+		e.obsDepth = reg.Gauge(obs.MDepth)
+		e.obsProps = reg.Counter(obs.MPropsResolved)
+		e.obsCoreSize = reg.Gauge(obs.MPBACoreSize)
+		e.obsLR = reg.Gauge(obs.MPBALatchReasons)
+	}
 	e.fs = sat.New()
 	if opt.PBA {
 		e.fs.EnableProofTracing()
@@ -278,14 +308,17 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 	// needs. Like init folding, both caches are therefore off while cores
 	// are being tracked (phase 2 of the PBA flow runs without opt.PBA and
 	// keeps full sharing).
+	e.fs.AttachObs(opt.Obs)
 	e.fu = unroll.New(n, e.fs, unroll.Initialized)
 	e.fu.NoStrash = opt.DisableStrash || opt.PBA
 	e.fu.FoldInits = !opt.PBA
 	e.fu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
+	e.fu.AttachObs(opt.Obs)
 	e.applyAbstraction(e.fu)
 	e.installInterrupt(e.fs)
 	if opt.UseEMM && len(n.Memories) > 0 {
 		e.fg = core.NewGenerator(e.fu, false)
+		e.fg.AttachObs(opt.Obs)
 		if opt.DisableEMMMemo || opt.PBA {
 			e.fg.DisableComparatorMemo()
 		}
@@ -299,15 +332,18 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 	}
 	if opt.Proofs {
 		e.bs = sat.New()
+		e.bs.AttachObs(opt.Obs)
 		e.bu = unroll.New(n, e.bs, unroll.Free)
 		e.bu.NoStrash = opt.DisableStrash || opt.PBA
 		e.bu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
+		e.bu.AttachObs(opt.Obs)
 		e.applyAbstraction(e.bu)
 		e.installInterrupt(e.bs)
 		if opt.UseEMM && len(n.Memories) > 0 {
 			// The backward window starts in an arbitrary state, so every
 			// memory must be treated as arbitrary-initialized (§4.2).
 			e.bg = core.NewGenerator(e.bu, true)
+			e.bg.AttachObs(opt.Obs)
 			if opt.DisableEMMMemo || opt.PBA {
 				e.bg.DisableComparatorMemo()
 			}
@@ -459,6 +495,52 @@ func (e *engine) collectDepthStat(i int) {
 	e.mark = cur
 }
 
+// publishObs flushes the per-depth observability deltas (the unrollers
+// publish at depth boundaries; the solvers publish per Solve call and the
+// EMM generators per frame on their own) and raises the depth high-water
+// gauge. No-op without an attached registry.
+func (e *engine) publishObs(i int) {
+	e.fu.PublishObs()
+	if e.bu != nil {
+		e.bu.PublishObs()
+	}
+	e.obsDepth.Max(int64(i))
+}
+
+// emmClausesCum is the cumulative EMM clause count of the forward window
+// (Sizes().Clauses() + InitClauses), the figure per-depth trace events
+// report so a journal can be reconciled against Result.Stats.EMM.
+func (e *engine) emmClausesCum() int {
+	if e.fg == nil {
+		return 0
+	}
+	sz := e.fg.Sizes()
+	return sz.Clauses() + sz.InitClauses
+}
+
+// obsResolved counts a decisive per-property verdict (anything but a
+// timeout) on the fleet-wide properties-resolved counter.
+func (e *engine) obsResolved(k Kind) {
+	if k != KindTimeout {
+		e.obsProps.Inc()
+	}
+}
+
+// obsPBAUpdate feeds one depth's UNSAT core into the tracker and mirrors
+// the abstraction state (core size, latch-reason set) onto the registry
+// gauges plus a point event in the trace.
+func (e *engine) obsPBAUpdate(i int) {
+	core := e.fs.Core()
+	e.tracker.Update(i, core)
+	e.obsCoreSize.Set(int64(len(core)))
+	e.obsLR.Set(int64(e.tracker.Size()))
+	e.obs.Point("pba.update",
+		obs.F("depth", i),
+		obs.F("core", len(core)),
+		obs.F("lr", e.tracker.Size()),
+		obs.F("stable", e.tracker.StableFor(i)))
+}
+
 // prepareDepth extends both unrollings and EMM constraints to depth i.
 func (e *engine) prepareDepth(i int) {
 	if e.fg != nil {
@@ -482,23 +564,32 @@ func (e *engine) solve(s *sat.Solver, assumps ...sat.Lit) sat.Status {
 // forwardCheck runs the property-independent forward termination check at
 // depth i: SAT(I ∧ LFP_i ∧ C_i).
 func (e *engine) forwardCheck(i int) sat.Status {
-	return e.solve(e.fs, e.fu.LoopFreeLit(i))
+	sp := e.obs.Span("solve.forward", obs.F("depth", i))
+	st := e.solve(e.fs, e.fu.LoopFreeLit(i))
+	sp.End(obs.F("result", st.String()))
+	return st
 }
 
 // backwardCheck runs the backward termination (induction step) check for
 // prop at depth i: SAT(LFP_i ∧ ¬P_i ∧ CP_i ∧ C_i).
 func (e *engine) backwardCheck(prop, i int) sat.Status {
+	sp := e.obs.Span("solve.backward", obs.F("depth", i), obs.F("prop", prop))
 	assumps := []sat.Lit{e.bu.LoopFreeLit(i), e.bu.PropertyLit(prop, i).Not()}
 	for j := 0; j < i; j++ {
 		assumps = append(assumps, e.bu.PropertyLit(prop, j))
 	}
-	return e.solve(e.bs, assumps...)
+	st := e.solve(e.bs, assumps...)
+	sp.End(obs.F("result", st.String()))
+	return st
 }
 
 // ceCheck runs the counter-example check for prop at depth i:
 // SAT(I ∧ ¬P_i ∧ C_i).
 func (e *engine) ceCheck(prop, i int) sat.Status {
-	return e.solve(e.fs, e.fu.PropertyLit(prop, i).Not())
+	sp := e.obs.Span("solve.ce", obs.F("depth", i), obs.F("prop", prop))
+	st := e.solve(e.fs, e.fu.PropertyLit(prop, i).Not())
+	sp.End(obs.F("result", st.String()))
+	return st
 }
 
 // validateWitness replays w on the concrete-memory simulator when the run
@@ -526,15 +617,22 @@ func CheckCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Resul
 		if e.timedOut() {
 			return e.finish(&Result{Kind: KindTimeout, Depth: max(i-1, 0)})
 		}
+		sp := e.obs.Span("bmc.depth", obs.F("depth", i), obs.F("prop", prop))
 		e.prepareDepth(i)
 		r := e.depthStep(i)
+		e.publishObs(i)
 		if opt.CollectDepthStats {
 			e.collectDepthStat(i)
 		}
+		sp.End(obs.F("emm_clauses", e.emmClausesCum()),
+			obs.F("clauses", e.fs.NumClauses()),
+			obs.F("decided", r != nil))
 		if r != nil {
+			e.obsResolved(r.Kind)
 			return e.finish(r)
 		}
 	}
+	e.obsResolved(KindNoCE)
 	return e.finish(&Result{Kind: KindNoCE, Depth: opt.MaxDepth})
 }
 
@@ -573,7 +671,7 @@ func (e *engine) depthStep(i int) *Result {
 		return &Result{Kind: KindTimeout, Depth: i}
 	}
 	if e.opt.PBA {
-		e.tracker.Update(i, e.fs.Core())
+		e.obsPBAUpdate(i)
 		e.logf("depth %d: no CE, |LR|=%d (stable %d)", i, e.tracker.Size(), e.tracker.StableFor(i))
 		if e.opt.StopAtStable && e.tracker.StableFor(i) >= e.opt.StabilityDepth {
 			return &Result{Kind: KindStable, Depth: i}

@@ -122,7 +122,10 @@ func TestEMMProvesMemoryProperty(t *testing.T) {
 
 func TestExplicitProvesSameProperty(t *testing.T) {
 	m := memEcho()
-	exp, _ := expmem.Expand(m.N)
+	exp, _, err := expmem.Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := Check(exp, 0, BMC1(20))
 	if r.Kind != KindProof {
 		t.Fatalf("expected proof on explicit model, got %v", r)
@@ -147,7 +150,10 @@ func memReach() *rtl.Module {
 func TestEMMvsExplicitAgreeOnReachability(t *testing.T) {
 	m := memReach()
 	emm := Check(m.N, 0, Options{MaxDepth: 6, UseEMM: true, ValidateWitness: true})
-	exp, _ := expmem.Expand(m.N)
+	exp, _, err := expmem.Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	expl := Check(exp, 0, Options{MaxDepth: 6})
 	if emm.Kind != KindCE || expl.Kind != KindCE {
 		t.Fatalf("both engines must find the CE: emm=%v explicit=%v", emm, expl)
@@ -188,7 +194,10 @@ func TestEMMvsExplicitAgreementFuzz(t *testing.T) {
 	for iter := 0; iter < 25; iter++ {
 		m := randomMemDesign(rng)
 		emm := Check(m.N, 0, Options{MaxDepth: 5, UseEMM: true, ValidateWitness: true})
-		exp, _ := expmem.Expand(m.N)
+		exp, _, err := expmem.Expand(m.N)
+		if err != nil {
+			t.Fatal(err)
+		}
 		expl := Check(exp, 0, Options{MaxDepth: 5})
 		if emm.Kind != expl.Kind || (emm.Kind == KindCE && emm.Depth != expl.Depth) {
 			t.Fatalf("iter %d: disagreement emm=%v explicit=%v", iter, emm, expl)
@@ -231,7 +240,10 @@ func TestArbitraryInitProofNeedsEq6(t *testing.T) {
 		t.Fatalf("spurious witness unexpectedly replays")
 	}
 	// And the explicit model agrees the property is true.
-	exp, _ := expmem.Expand(m.N)
+	exp, _, err := expmem.Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	expl := Check(exp, 0, BMC1(10))
 	if expl.Kind != KindProof {
 		t.Fatalf("explicit model: expected proof, got %v", expl)
@@ -349,7 +361,10 @@ func TestTimeout(t *testing.T) {
 	acc.SetNext(m.Add(acc.Q, rd))
 	m.Done(acc)
 	m.AssertAlways("p", m.EqConst(acc.Q, 0xBEEF).Not())
-	exp, _ := expmem.Expand(m.N)
+	exp, _, err := expmem.Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := Check(exp, 0, Options{MaxDepth: 60, Timeout: time.Millisecond})
 	if r.Kind != KindTimeout {
 		t.Fatalf("expected timeout, got %v", r)
@@ -431,7 +446,10 @@ func TestPureLatchLFPIsUnsound(t *testing.T) {
 		return m
 	}
 	// Ground truth via the explicit model: the property is violated.
-	exp, _ := expmem.Expand(build().N)
+	exp, _, err := expmem.Expand(build().N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r := Check(exp, 0, Options{MaxDepth: 6}); r.Kind != KindCE {
 		t.Fatalf("ground truth should be CE, got %v", r)
 	}

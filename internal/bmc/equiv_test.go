@@ -92,7 +92,10 @@ func TestStrashEquivalenceBMC1Explicit(t *testing.T) {
 	// BMC-1 runs on the memory-free explicit model (only strash matters
 	// there; there are no EMM comparators).
 	q := designs.NewQuickSort(designs.QuickSortConfig{N: 3, ArrayAW: 2, DataW: 3, StackAW: 2})
-	n, _ := expmem.Expand(q.Netlist())
+	n, _, err := expmem.Expand(q.Netlist())
+	if err != nil {
+		t.Fatal(err)
+	}
 	opt := BMC1(10)
 	assertEquiv(t, "quicksort/bmc1-explicit", func(opt Options) *Result {
 		return Check(n, q.P2Index, opt)

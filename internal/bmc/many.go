@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"emmver/internal/aig"
+	"emmver/internal/obs"
 	"emmver/internal/sat"
 )
 
@@ -52,6 +53,7 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 		for pi := range props {
 			if out.Results[pi] == nil {
 				out.Results[pi] = &Result{Kind: kind, Prop: props[pi], Depth: depth, ProofSide: side}
+				e.obsResolved(kind)
 			}
 		}
 		unresolved = 0
@@ -62,6 +64,13 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 		if e.timedOut() {
 			finishAll(KindTimeout, max(i-1, 0), "")
 			break
+		}
+		sp := e.obs.Span("bmc.depth", obs.F("depth", i), obs.F("unresolved", unresolved))
+		endDepth := func() {
+			e.publishObs(i)
+			sp.End(obs.F("emm_clauses", e.emmClausesCum()),
+				obs.F("clauses", e.fs.NumClauses()),
+				obs.F("unresolved", unresolved))
 		}
 		e.prepareDepth(i)
 
@@ -74,6 +83,7 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 				finishAll(KindTimeout, i, "")
 			}
 			if unresolved == 0 {
+				endDepth()
 				break
 			}
 		}
@@ -90,6 +100,7 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 				if e.backwardCheck(p, i) == sat.Unsat {
 					out.Results[pi] = &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "backward"}
 					unresolved--
+					e.obsResolved(KindProof)
 					e.logf("prop %d: backward proof at depth %d", p, i)
 					continue
 				}
@@ -101,6 +112,7 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 				e.validateWitness(w, p)
 				out.Results[pi] = &Result{Kind: KindCE, Prop: p, Depth: i, Witness: w}
 				unresolved--
+				e.obsResolved(KindCE)
 				if i > out.MaxWitnessDepth {
 					out.MaxWitnessDepth = i
 				}
@@ -113,10 +125,12 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 		if opt.CollectDepthStats {
 			e.collectDepthStat(i)
 		}
+		endDepth()
 	}
 	for pi, p := range props {
 		if out.Results[pi] == nil {
 			out.Results[pi] = &Result{Kind: KindNoCE, Prop: p, Depth: opt.MaxDepth}
+			e.obsResolved(KindNoCE)
 		}
 	}
 	r := e.finish(&Result{})

@@ -1,0 +1,60 @@
+package bmc
+
+import (
+	"io"
+	"time"
+
+	"emmver/internal/obs"
+)
+
+// The builders below are value-receiver copies: each returns a new Options
+// with one knob turned, so call chains read like configuration sentences —
+//
+//	opt := bmc.Options{MaxDepth: 40, UseEMM: true}.
+//		WithTimeout(30 * time.Second).
+//		WithJobs(8).
+//		WithTrace(journal)
+//
+// Every builder is exactly equivalent to setting the corresponding struct
+// field directly; they exist so callers composing Options incrementally
+// (facades, CLIs, experiment drivers) never mutate a shared value.
+
+// WithTimeout returns a copy of o whose wall-clock budget is d.
+// Equivalent field: Options.Timeout.
+func (o Options) WithTimeout(d time.Duration) Options {
+	o.Timeout = d
+	return o
+}
+
+// WithJobs returns a copy of o whose fan-out worker count is n (0 selects
+// runtime.NumCPU, 1 forces the sequential shared-unrolling engine).
+// Equivalent field: Options.Jobs.
+func (o Options) WithJobs(n int) Options {
+	o.Jobs = n
+	return o
+}
+
+// WithTrace returns a copy of o observed through a fresh registry plus the
+// given trace sink: spans and points flow to sink, metrics accumulate in
+// the new registry (reachable via o.Obs.Registry()). A nil sink still
+// attaches the metrics registry. Equivalent field: Options.Obs set to
+// obs.New(obs.NewRegistry(), sink).
+func (o Options) WithTrace(sink obs.Sink) Options {
+	o.Obs = obs.New(obs.NewRegistry(), sink)
+	return o
+}
+
+// WithObserver returns a copy of o observed by ob, for callers that manage
+// their own registry/sink pairing (e.g. several runs aggregating into one
+// registry). Equivalent field: Options.Obs.
+func (o Options) WithObserver(ob *obs.Observer) Options {
+	o.Obs = ob
+	return o
+}
+
+// WithLog returns a copy of o that narrates per-depth outcomes to w.
+// Equivalent field: Options.Log.
+func (o Options) WithLog(w io.Writer) Options {
+	o.Log = w
+	return o
+}

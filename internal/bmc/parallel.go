@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"emmver/internal/aig"
+	"emmver/internal/obs"
 	"emmver/internal/par"
 	"emmver/internal/sat"
 )
@@ -67,13 +68,18 @@ func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt 
 	var fwdUnsat atomic.Int64
 	fwdUnsat.Store(math.MaxInt64)
 
-	par.ForEach(ctx, jobs, len(props), func(ctx context.Context, w, pi int) {
+	par.ForEachObs(ctx, opt.Obs, "bmc.prop", jobs, len(props), func(ctx context.Context, w, pi int) {
 		e := engines[w]
 		if e == nil || !reuse {
 			if e != nil {
 				workerStats[w].Add(e.snapshotStats())
 			}
-			e = newEngine(ctx, n, props[pi], opt)
+			// Each worker's engine carries a derived observer tagged with
+			// the worker index, so every span it emits (depth steps, solver
+			// calls) is attributable to its worker goroutine in the journal.
+			wopt := opt
+			wopt.Obs = opt.Obs.With(obs.F("worker", w))
+			e = newEngine(ctx, n, props[pi], wopt)
 			engines[w] = e
 		}
 		out.Results[pi] = e.runProp(props[pi], &fwdUnsat)
@@ -117,34 +123,51 @@ func (e *engine) runPropLoop(p int, fwdUnsat *atomic.Int64) *Result {
 		if e.timedOut() {
 			return &Result{Kind: KindTimeout, Prop: p, Depth: max(i-1, 0)}
 		}
+		sp := e.obs.Span("bmc.depth", obs.F("depth", i), obs.F("prop", p))
 		e.prepareDepth(i)
-		if e.opt.Proofs {
-			switch e.oracleForwardCheck(i, fwdUnsat) {
-			case sat.Unsat:
-				e.logf("prop %d: forward proof at depth %d", p, i)
-				return &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "forward"}
-			case sat.Unknown:
-				return &Result{Kind: KindTimeout, Prop: p, Depth: i}
-			}
-			switch e.backwardCheck(p, i) {
-			case sat.Unsat:
-				e.logf("prop %d: backward proof at depth %d", p, i)
-				return &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "backward"}
-			case sat.Unknown:
-				return &Result{Kind: KindTimeout, Prop: p, Depth: i}
-			}
+		r := e.propDepthStep(p, i, fwdUnsat)
+		e.publishObs(i)
+		sp.End(obs.F("emm_clauses", e.emmClausesCum()),
+			obs.F("clauses", e.fs.NumClauses()),
+			obs.F("decided", r != nil))
+		if r != nil {
+			e.obsResolved(r.Kind)
+			return r
 		}
-		switch e.ceCheck(p, i) {
-		case sat.Sat:
-			w := e.extractWitness(i)
-			e.validateWitness(w, p)
-			e.logf("prop %d: counter-example at depth %d", p, i)
-			return &Result{Kind: KindCE, Prop: p, Depth: i, Witness: w}
+	}
+	e.obsResolved(KindNoCE)
+	return &Result{Kind: KindNoCE, Prop: p, Depth: e.opt.MaxDepth}
+}
+
+// propDepthStep runs the depth-i check order for property p against the
+// fleet-shared forward oracle, returning a decisive Result or nil.
+func (e *engine) propDepthStep(p, i int, fwdUnsat *atomic.Int64) *Result {
+	if e.opt.Proofs {
+		switch e.oracleForwardCheck(i, fwdUnsat) {
+		case sat.Unsat:
+			e.logf("prop %d: forward proof at depth %d", p, i)
+			return &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "forward"}
+		case sat.Unknown:
+			return &Result{Kind: KindTimeout, Prop: p, Depth: i}
+		}
+		switch e.backwardCheck(p, i) {
+		case sat.Unsat:
+			e.logf("prop %d: backward proof at depth %d", p, i)
+			return &Result{Kind: KindProof, Prop: p, Depth: i, ProofSide: "backward"}
 		case sat.Unknown:
 			return &Result{Kind: KindTimeout, Prop: p, Depth: i}
 		}
 	}
-	return &Result{Kind: KindNoCE, Prop: p, Depth: e.opt.MaxDepth}
+	switch e.ceCheck(p, i) {
+	case sat.Sat:
+		w := e.extractWitness(i)
+		e.validateWitness(w, p)
+		e.logf("prop %d: counter-example at depth %d", p, i)
+		return &Result{Kind: KindCE, Prop: p, Depth: i, Witness: w}
+	case sat.Unknown:
+		return &Result{Kind: KindTimeout, Prop: p, Depth: i}
+	}
+	return nil
 }
 
 // oracleForwardCheck answers the forward termination check at depth i,

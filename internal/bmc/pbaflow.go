@@ -1,9 +1,11 @@
 package bmc
 
 import (
+	"context"
 	"time"
 
 	"emmver/internal/aig"
+	"emmver/internal/obs"
 	"emmver/internal/pba"
 )
 
@@ -39,6 +41,14 @@ func (r *PBAResult) Kind() Kind {
 // setting) on the abstract model. Counter-examples found in phase 1 are
 // real (the model is concrete) and end the flow.
 func ProveWithPBA(n *aig.Netlist, prop int, opt Options) *PBAResult {
+	return ProveWithPBACtx(context.Background(), n, prop, opt)
+}
+
+// ProveWithPBACtx is ProveWithPBA under a cancellation context: ctx spans
+// both phases, so cancelling it stops whichever phase is running. Each
+// phase is wrapped in a "pba.phase" trace span carrying the phase name and
+// its verdict.
+func ProveWithPBACtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *PBAResult {
 	p1opt := opt
 	p1opt.PBA = true
 	p1opt.Proofs = false // phase 1 only hunts CEs and collects reasons
@@ -47,8 +57,12 @@ func ProveWithPBA(n *aig.Netlist, prop int, opt Options) *PBAResult {
 		p1opt.StabilityDepth = 10
 	}
 	t0 := time.Now()
-	phase1 := Check(n, prop, p1opt)
+	sp := opt.Obs.Span("pba.phase", obs.F("phase", "abstract"), obs.F("prop", prop))
+	phase1 := CheckCtx(ctx, n, prop, p1opt)
 	res := &PBAResult{Phase1: phase1, AbstractionTime: time.Since(t0)}
+	sp.End(obs.F("kind", phase1.Kind.String()),
+		obs.F("depth", phase1.Depth),
+		obs.F("lr", phase1.Tracker.Size()))
 	if phase1.Kind != KindStable && phase1.Kind != KindNoCE {
 		return res
 	}
@@ -67,7 +81,9 @@ func ProveWithPBA(n *aig.Netlist, prop int, opt Options) *PBAResult {
 			return res
 		}
 	}
-	res.Proof = Check(n, prop, p2opt)
+	sp = opt.Obs.Span("pba.phase", obs.F("phase", "prove"), obs.F("prop", prop))
+	res.Proof = CheckCtx(ctx, n, prop, p2opt)
+	sp.End(obs.F("kind", res.Proof.Kind.String()), obs.F("depth", res.Proof.Depth))
 	if res.Proof.Kind == KindCE {
 		// A counter-example on the reduced model may be spurious (the
 		// abstraction only preserves correctness up to the stability
@@ -76,7 +92,9 @@ func ProveWithPBA(n *aig.Netlist, prop int, opt Options) *PBAResult {
 		p3opt := opt
 		p3opt.PBA = false
 		p3opt.Proofs = true
-		res.Proof = Check(n, prop, p3opt)
+		sp = opt.Obs.Span("pba.phase", obs.F("phase", "concrete-fallback"), obs.F("prop", prop))
+		res.Proof = CheckCtx(ctx, n, prop, p3opt)
+		sp.End(obs.F("kind", res.Proof.Kind.String()), obs.F("depth", res.Proof.Depth))
 	}
 	return res
 }

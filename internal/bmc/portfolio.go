@@ -3,6 +3,7 @@ package bmc
 import (
 	"context"
 
+	"emmver/internal/obs"
 	"emmver/internal/par"
 	"emmver/internal/sat"
 )
@@ -29,6 +30,8 @@ type laneOutcome struct {
 func (e *engine) depthStepPortfolio(i int) *Result {
 	prop := e.prop
 	fwdLane := func(ctx context.Context) (laneOutcome, bool) {
+		sp := e.obs.Span("bmc.lane", obs.F("lane", "forward"), obs.F("depth", i))
+		defer sp.End()
 		defer e.armSolver(e.fs, ctx)()
 		switch e.forwardCheck(i) {
 		case sat.Unsat:
@@ -47,11 +50,13 @@ func (e *engine) depthStepPortfolio(i int) *Result {
 		if e.opt.PBA {
 			// The UNSAT core is only valid until the next fs solve; the
 			// tracker is touched by this lane alone.
-			e.tracker.Update(i, e.fs.Core())
+			e.obsPBAUpdate(i)
 		}
 		return laneOutcome{}, false
 	}
 	bwdLane := func(ctx context.Context) (laneOutcome, bool) {
+		sp := e.obs.Span("bmc.lane", obs.F("lane", "backward"), obs.F("depth", i))
+		defer sp.End()
 		defer e.armSolver(e.bs, ctx)()
 		switch e.backwardCheck(prop, i) {
 		case sat.Unsat:

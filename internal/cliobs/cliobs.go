@@ -1,0 +1,69 @@
+// Package cliobs wires the observability flags shared by the command-line
+// tools — -trace (JSONL span journal), -progress (live heartbeat line),
+// -pprof (metrics + profiling endpoint) — into an obs.Observer ready to
+// hang on bmc.Options.Obs or exp.Config.Obs.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"emmver/internal/obs"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	Trace    *string
+	Progress *time.Duration
+	Pprof    *string
+}
+
+// Register declares -trace, -progress and -pprof on the default flag set;
+// call it before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		Trace:    flag.String("trace", "", "write a JSONL span/metrics trace journal to this file"),
+		Progress: flag.Duration("progress", 0, "print a live progress line to stderr at this interval (e.g. 5s; 0 = off)"),
+		Pprof:    flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. :6060)"),
+	}
+}
+
+// Setup builds the observer the parsed flags ask for, starting the
+// progress reporter and debug server as requested. The returned stop
+// function halts the reporter and flushes/closes the trace journal; run it
+// before the process exits. When no observability flag was given the
+// observer is nil (costing the engines nothing) and stop is a no-op.
+func (f *Flags) Setup() (*obs.Observer, func()) {
+	var journal *obs.JSONL
+	if *f.Trace != "" {
+		file, err := os.Create(*f.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		journal = obs.NewJSONL(file)
+	}
+	if journal == nil && *f.Progress <= 0 && *f.Pprof == "" {
+		return nil, func() {}
+	}
+	reg := obs.NewRegistry()
+	var sink obs.Sink
+	if journal != nil {
+		sink = journal
+	}
+	o := obs.New(reg, sink)
+	prog := obs.StartProgress(reg, os.Stderr, *f.Progress)
+	if *f.Pprof != "" {
+		obs.StartDebugServer(*f.Pprof, reg, os.Stderr)
+	}
+	return o, func() {
+		prog.Stop()
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace journal: %v\n", err)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"emmver/internal/aig"
+	"emmver/internal/obs"
 	"emmver/internal/sat"
 	"emmver/internal/unroll"
 )
@@ -102,6 +103,18 @@ type Generator struct {
 	frames int // next depth to process
 
 	sizes Sizes
+
+	// Observability (AttachObs): emm.generate spans per processed depth
+	// and per-constraint-family registry counters, published as deltas at
+	// each depth so the live totals track Sizes exactly.
+	obs      *obs.Observer
+	obsAddr  *obs.Counter
+	obsRD    *obs.Counter
+	obsGates *obs.Counter
+	obsIPair *obs.Counter
+	obsICl   *obs.Counter
+	obsMemo  *obs.Counter
+	obsPub   Sizes
 }
 
 type memGen struct {
@@ -228,6 +241,38 @@ func (g *Generator) mustBeFresh() {
 	}
 }
 
+// AttachObs binds the generator to an observer: AddUpTo then emits one
+// emm.generate span per processed depth and publishes per-constraint-family
+// counter deltas (emm.addr_clauses, emm.readdata_clauses, emm.gates,
+// emm.init_pairs, emm.init_clauses, emm.memo_hits) into the registry.
+func (g *Generator) AttachObs(o *obs.Observer) {
+	g.obs = o
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	g.obsAddr = reg.Counter(obs.MEMMAddrClauses)
+	g.obsRD = reg.Counter(obs.MEMMReadDataClauses)
+	g.obsGates = reg.Counter(obs.MEMMGates)
+	g.obsIPair = reg.Counter(obs.MEMMInitPairs)
+	g.obsICl = reg.Counter(obs.MEMMInitClauses)
+	g.obsMemo = reg.Counter(obs.MEMMMemoHits)
+}
+
+func (g *Generator) publishObs() {
+	if g.obsAddr == nil {
+		return
+	}
+	cur := g.sizes
+	g.obsAddr.Add(int64(cur.AddrClauses - g.obsPub.AddrClauses))
+	g.obsRD.Add(int64(cur.ReadDataClauses - g.obsPub.ReadDataClauses))
+	g.obsGates.Add(int64(cur.Gates - g.obsPub.Gates))
+	g.obsIPair.Add(int64(cur.InitPairs - g.obsPub.InitPairs))
+	g.obsICl.Add(int64(cur.InitClauses - g.obsPub.InitClauses))
+	g.obsMemo.Add(int64(cur.CompMemoHits - g.obsPub.CompMemoHits))
+	g.obsPub = cur
+}
+
 // Sizes returns the cumulative constraint tally.
 func (g *Generator) Sizes() Sizes { return g.sizes }
 
@@ -238,7 +283,16 @@ func (g *Generator) Frames() int { return g.frames }
 // "C_i = C_{i-1} ∪ EMM_Constraints(i)" update of Fig. 2/Fig. 3.
 func (g *Generator) AddUpTo(k int) {
 	for g.frames <= k {
+		sp := g.obs.Span("emm.generate",
+			obs.F("depth", g.frames), obs.F("arb_init", g.forceArb))
+		before := g.sizes
 		g.addFrame(g.frames)
+		g.publishObs()
+		sp.End(
+			obs.F("clauses", g.sizes.Clauses()-before.Clauses()),
+			obs.F("init_clauses", g.sizes.InitClauses-before.InitClauses),
+			obs.F("gates", g.sizes.Gates-before.Gates),
+			obs.F("memo_hits", g.sizes.CompMemoHits-before.CompMemoHits))
 		g.frames++
 	}
 }

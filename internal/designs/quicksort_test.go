@@ -124,7 +124,10 @@ func TestQuickSortP2ProofEMM(t *testing.T) {
 
 func TestQuickSortP1ProofExplicit(t *testing.T) {
 	q := NewQuickSort(tinyQS(2))
-	exp, _ := expmem.Expand(q.Netlist())
+	exp, _, err := expmem.Expand(q.Netlist())
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := bmc.Check(exp, q.P1Index, bmc.BMC1(60))
 	if r.Kind != bmc.KindProof {
 		t.Fatalf("explicit P1 must be proved, got %v", r)

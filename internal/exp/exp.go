@@ -17,6 +17,10 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/expmem"
+	"emmver/internal/obs"
 )
 
 // Scale selects experiment sizing.
@@ -52,6 +56,11 @@ type Config struct {
 	Jobs int
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
+	// Obs attaches the observability layer to every verification run an
+	// experiment performs: solver/EMM/unroller metrics aggregate into its
+	// registry and per-depth/solve spans flow to its trace sink, letting a
+	// journal reconstruct e.g. Table 2 clause-growth curves. Nil is off.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns a reduced-scale configuration with the given
@@ -95,4 +104,16 @@ func heapMB() float64 {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// mustExpand builds the Explicit Modeling baseline of a harness-generated
+// design. The generators only emit netlists Expand accepts, so a failure
+// here is a harness bug and panics rather than polluting every row type
+// with an error column.
+func mustExpand(n *aig.Netlist) *aig.Netlist {
+	out, _, err := expmem.Expand(n)
+	if err != nil {
+		panic(fmt.Sprintf("exp: explicit baseline expansion failed: %v", err))
+	}
+	return out
 }

@@ -11,7 +11,6 @@ import (
 	"emmver/internal/bdd"
 	"emmver/internal/bmc"
 	"emmver/internal/designs"
-	"emmver/internal/expmem"
 	"emmver/internal/par"
 )
 
@@ -63,6 +62,7 @@ func Industry1(cfg Config) *I1Result {
 			MaxDepth: 3*fcfg.LineWidth + 10,
 			UseEMM:   useEMM,
 			Timeout:  cfg.Timeout,
+			Obs:      cfg.Obs,
 		}, cfg.Jobs)
 		mb = mr.Stats.PeakHeapMB
 		var leftovers []int
@@ -84,7 +84,7 @@ func Industry1(cfg Config) *I1Result {
 		kinds := make([]bmc.Kind, len(leftovers))
 		par.ForEach(context.Background(), cfg.Jobs, len(leftovers), func(_ context.Context, _, li int) {
 			pr := bmc.Check(n, leftovers[li], bmc.Options{
-				MaxDepth: 10, UseEMM: useEMM, Proofs: true, Timeout: cfg.Timeout,
+				MaxDepth: 10, UseEMM: useEMM, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs,
 			})
 			kinds[li] = pr.Kind
 		})
@@ -107,7 +107,7 @@ func Industry1(cfg Config) *I1Result {
 		runBoth(f.Netlist(), true)
 
 	cfg.logf("industry1: Explicit over %d properties ...", fcfg.NumProps)
-	exp, _ := expmem.Expand(f.Netlist())
+	exp := mustExpand(f.Netlist())
 	res.ExplWitnesses, res.ExplProofs, res.ExplOther, _, res.ExplSec, res.ExplMB, res.ExplTO =
 		runBoth(exp, false)
 	return res
@@ -167,7 +167,7 @@ func Industry2(cfg Config) *I2Result {
 	// (a) Full memory abstraction: spurious witnesses at shallow depth.
 	cfg.logf("industry2: full-abstraction spurious CE ...")
 	l := designs.NewLookup(lcfg)
-	r := bmc.Check(l.Netlist(), l.ReachIndices[0], bmc.Options{MaxDepth: 20, Timeout: cfg.Timeout})
+	r := bmc.Check(l.Netlist(), l.ReachIndices[0], bmc.Options{MaxDepth: 20, Timeout: cfg.Timeout, Obs: cfg.Obs})
 	if r.Kind == bmc.KindCE {
 		res.SpuriousDepth = r.Depth
 	}
@@ -184,7 +184,7 @@ func Industry2(cfg Config) *I2Result {
 	sweepCtx, cancelSweep := context.WithCancel(context.Background())
 	par.ForEach(sweepCtx, cfg.Jobs, len(l.ReachIndices), func(ctx context.Context, _, i int) {
 		rr := bmc.CheckCtx(ctx, l.Netlist(), l.ReachIndices[i], bmc.Options{
-			MaxDepth: depth, UseEMM: true, Timeout: cfg.Timeout,
+			MaxDepth: depth, UseEMM: true, Timeout: cfg.Timeout, Obs: cfg.Obs,
 		})
 		if rr.Kind == bmc.KindCE {
 			foundCE.Store(true)
@@ -202,14 +202,14 @@ func Industry2(cfg Config) *I2Result {
 	// (c) The invariant G(WE=0 ∨ WD=0) by backward induction.
 	cfg.logf("industry2: invariant proof ...")
 	ir := bmc.Check(l.Netlist(), l.InvariantIndex, bmc.Options{
-		MaxDepth: 20, UseEMM: true, Proofs: true, Timeout: cfg.Timeout,
+		MaxDepth: 20, UseEMM: true, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs,
 	})
 	if ir.Kind == bmc.KindProof {
 		res.InvDepth = ir.Depth
 		res.InvSec = ir.Stats.Elapsed.Seconds()
 	}
-	exp, _ := expmem.Expand(l.Netlist())
-	ier := bmc.Check(exp, l.InvariantIndex, bmc.Options{MaxDepth: 20, Proofs: true, Timeout: cfg.Timeout})
+	exp := mustExpand(l.Netlist())
+	ier := bmc.Check(exp, l.InvariantIndex, bmc.Options{MaxDepth: 20, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs})
 	res.InvExplSec = ier.Stats.Elapsed.Seconds()
 	res.InvExplTO = ier.Kind == bmc.KindTimeout
 
@@ -222,7 +222,7 @@ func Industry2(cfg Config) *I2Result {
 	var rdProofs atomic.Int64
 	par.ForEach(context.Background(), cfg.Jobs, len(l.ReachIndices), func(_ context.Context, _, i int) {
 		pr := bmc.ProveWithPBA(constrained, l.ReachIndices[i], bmc.Options{
-			MaxDepth: 30, StabilityDepth: 5, Timeout: cfg.Timeout,
+			MaxDepth: 30, StabilityDepth: 5, Timeout: cfg.Timeout, Obs: cfg.Obs,
 		})
 		if pr.Kind() == bmc.KindProof {
 			rdProofs.Add(1)

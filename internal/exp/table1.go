@@ -7,7 +7,6 @@ import (
 
 	"emmver/internal/bmc"
 	"emmver/internal/designs"
-	"emmver/internal/expmem"
 	"emmver/internal/par"
 )
 
@@ -65,7 +64,7 @@ func Table1(cfg Config, sizes []int) []T1Row {
 		row := T1Row{N: n, Prop: prop}
 
 		cfg.logf("table1: N=%d %s EMM ...", n, prop)
-		opt := bmc.Options{MaxDepth: 400, UseEMM: true, Proofs: true, Timeout: cfg.Timeout}
+		opt := bmc.Options{MaxDepth: 400, UseEMM: true, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs}
 		r := bmc.Check(q.Netlist(), pi, opt)
 		row.EMMKind = r.Kind
 		row.EMMSec = r.Stats.Elapsed.Seconds()
@@ -76,8 +75,8 @@ func Table1(cfg Config, sizes []int) []T1Row {
 		}
 
 		cfg.logf("table1: N=%d %s Explicit ...", n, prop)
-		exp, _ := expmem.Expand(q.Netlist())
-		re := bmc.Check(exp, pi, bmc.Options{MaxDepth: 400, Proofs: true, Timeout: cfg.Timeout})
+		exp := mustExpand(q.Netlist())
+		re := bmc.Check(exp, pi, bmc.Options{MaxDepth: 400, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs})
 		row.ExplKind = re.Kind
 		row.ExplSec = re.Stats.Elapsed.Seconds()
 		row.ExplMB = re.Stats.PeakHeapMB

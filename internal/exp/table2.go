@@ -8,7 +8,6 @@ import (
 
 	"emmver/internal/bmc"
 	"emmver/internal/designs"
-	"emmver/internal/expmem"
 	"emmver/internal/par"
 )
 
@@ -51,7 +50,7 @@ func Table2(cfg Config, sizes []int) []T2Row {
 
 		cfg.logf("table2: N=%d EMM+PBA ...", n)
 		q := designs.NewQuickSort(qcfg)
-		opt := bmc.Options{MaxDepth: 400, UseEMM: true, StabilityDepth: 10, Timeout: cfg.Timeout}
+		opt := bmc.Options{MaxDepth: 400, UseEMM: true, StabilityDepth: 10, Timeout: cfg.Timeout, Obs: cfg.Obs}
 		res := bmc.ProveWithPBA(q.Netlist(), q.P2Index, opt)
 		row.EMMOrigFF = len(q.Netlist().Latches)
 		row.EMMPBASec = res.AbstractionTime.Seconds()
@@ -69,8 +68,8 @@ func Table2(cfg Config, sizes []int) []T2Row {
 		}
 
 		cfg.logf("table2: N=%d Explicit+PBA ...", n)
-		exp, _ := expmem.Expand(q.Netlist())
-		eopt := bmc.Options{MaxDepth: 400, StabilityDepth: 10, Timeout: cfg.Timeout}
+		exp := mustExpand(q.Netlist())
+		eopt := bmc.Options{MaxDepth: 400, StabilityDepth: 10, Timeout: cfg.Timeout, Obs: cfg.Obs}
 		eres := bmc.ProveWithPBA(exp, q.P2Index, eopt)
 		row.ExplOrigFF = len(exp.Latches)
 		row.ExplPBASec = eres.AbstractionTime.Seconds()

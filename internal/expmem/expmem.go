@@ -27,9 +27,27 @@ type Mapping struct {
 	MemLatches [][][]aig.Lit
 }
 
-// Expand builds a memory-free copy of n. It panics on combinational cycles
-// through memory ports (a read port whose address depends on its own data).
-func Expand(n *aig.Netlist) (*aig.Netlist, *Mapping) {
+// MaxExpandedBits caps the total number of memory latches one expansion
+// may create (the 2^AW × DW blowup is the very thing EMM exists to avoid —
+// past this point explicit modeling is a mistake, not a baseline). Expand
+// reports an error instead of exhausting memory.
+const MaxExpandedBits = 1 << 24
+
+// expandError is the typed panic the expander throws on bad input; Expand
+// converts it into its error return. Anything else keeps unwinding — a
+// plain panic here is a bug, not an input condition.
+type expandError struct{ err error }
+
+// failf aborts the expansion with an input-condition error.
+func failf(format string, args ...interface{}) {
+	panic(expandError{fmt.Errorf("expmem: "+format, args...)})
+}
+
+// Expand builds a memory-free copy of n. It reports an error on inputs
+// explicit modeling cannot represent: combinational cycles through memory
+// ports (a read port whose address depends on its own data), read-data
+// nodes not owned by any port, and expansions larger than MaxExpandedBits.
+func Expand(n *aig.Netlist) (out *aig.Netlist, mp *Mapping, err error) {
 	x := &expander{
 		src: n,
 		dst: aig.New(n.Name + "_explicit"),
@@ -40,8 +58,17 @@ func Expand(n *aig.Netlist) (*aig.Netlist, *Mapping) {
 		memo:  make(map[aig.NodeID]aig.Lit),
 		state: make(map[aig.NodeID]int),
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			ee, ok := r.(expandError)
+			if !ok {
+				panic(r)
+			}
+			out, mp, err = nil, nil, ee.err
+		}
+	}()
 	x.run()
-	return x.dst, x.mp
+	return x.dst, x.mp, nil
 }
 
 type expander struct {
@@ -80,7 +107,14 @@ func (x *expander) run() {
 		x.memo[l.Node] = nl
 		x.state[l.Node] = 2
 	}
-	// Memory word registers.
+	// Memory word registers, after checking the blowup fits the cap.
+	var totalBits int64
+	for _, m := range x.src.Memories {
+		totalBits += int64(m.Words()) * int64(m.DW)
+	}
+	if totalBits > MaxExpandedBits {
+		failf("expansion needs %d memory latches (cap %d); use EMM instead", totalBits, MaxExpandedBits)
+	}
 	for mi, m := range x.src.Memories {
 		words := make([][]aig.Lit, m.Words())
 		for w := range words {
@@ -140,7 +174,7 @@ func (x *expander) copyNode(id aig.NodeID) aig.Lit {
 		return v
 	}
 	if x.state[id] == 1 {
-		panic("expmem: combinational cycle through a memory port")
+		failf("combinational cycle through a memory port")
 	}
 	x.state[id] = 1
 	node := x.src.NodeAt(id)
@@ -155,11 +189,11 @@ func (x *expander) copyNode(id aig.NodeID) aig.Lit {
 	case aig.KMemRead:
 		pr, ok := x.portOf[id]
 		if !ok {
-			panic("expmem: orphan memory-read node")
+			failf("orphan memory-read node %d", id)
 		}
 		v = x.readData(pr.mi, pr.rp)[pr.bit]
 	default:
-		panic(fmt.Sprintf("expmem: unexpected kind %v during copy", node.Kind))
+		failf("unexpected kind %v during copy", node.Kind)
 	}
 	x.memo[id] = v
 	x.state[id] = 2

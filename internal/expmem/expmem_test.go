@@ -36,7 +36,10 @@ func buildMemDesign(aw, dw, nw, nr int, init aig.MemInit, image []uint64) *rtl.M
 // cycles and compares all property values.
 func compareRuns(t *testing.T, orig *aig.Netlist, seed int64, cycles int) {
 	t.Helper()
-	exp, mp := Expand(orig)
+	exp, mp, err := Expand(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s1 := sim.New(orig)
 	s2 := sim.New(exp)
 	rng := rand.New(rand.NewSource(seed))
@@ -111,7 +114,10 @@ func TestWriteRacePriority(t *testing.T) {
 	for _, l := range rd {
 		m.AssertAlways("rd", l)
 	}
-	exp, mp := Expand(m.N)
+	exp, mp, err := Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := sim.New(exp)
 	in := make(map[aig.NodeID]bool)
 	for _, l := range addr {
@@ -132,7 +138,10 @@ func TestWriteRacePriority(t *testing.T) {
 
 func TestExpandStats(t *testing.T) {
 	m := buildMemDesign(4, 8, 1, 1, aig.MemZero, nil)
-	exp, _ := Expand(m.N)
+	exp, _, err := Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := exp.Stats()
 	if st.Memories != 0 {
 		t.Fatalf("explicit model must have no memories")
@@ -147,7 +156,10 @@ func TestExpandStats(t *testing.T) {
 
 func TestExpandArbitraryInitLatches(t *testing.T) {
 	m := buildMemDesign(2, 2, 1, 1, aig.MemArbitrary, nil)
-	exp, mp := Expand(m.N)
+	exp, mp, err := Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, word := range mp.MemLatches[0] {
 		for _, bit := range word {
 			if exp.LatchOf(bit.Node()).Init != aig.InitX {
@@ -161,34 +173,52 @@ func TestExpandPreservesConstraints(t *testing.T) {
 	m := buildMemDesign(2, 2, 1, 1, aig.MemZero, nil)
 	c := m.InputBit("cond")
 	m.Assume(c)
-	exp, _ := Expand(m.N)
+	exp, _, err := Expand(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(exp.Constraints) != 1 {
 		t.Fatalf("constraints must be copied")
 	}
 }
 
-func TestCombinationalCyclePanics(t *testing.T) {
+func TestCombinationalCycleErrors(t *testing.T) {
 	// A read port whose address depends on its own data is a
-	// combinational cycle; Expand must reject it.
+	// combinational cycle; Expand must reject it with an error, not a
+	// panic.
 	m := rtl.NewModule("bad")
 	mem := m.Memory("mem", 2, 2, aig.MemZero)
 	rp := m.N.NewReadPort(mem.Mod)
 	d := rp.DataLits()
 	m.N.SetReadAddr(mem.Mod, rp, d, aig.True)
 	m.AssertAlways("cyclic", d[0])
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("combinational cycle must panic")
-		}
-	}()
-	Expand(m.N)
+	out, _, err := Expand(m.N)
+	if err == nil || out != nil {
+		t.Fatalf("combinational cycle must be reported as an error, got out=%v err=%v", out, err)
+	}
+}
+
+func TestOversizedExpansionErrors(t *testing.T) {
+	// A 2^24-word memory would expand past MaxExpandedBits; Expand must
+	// refuse rather than exhaust memory building the word registers.
+	m := rtl.NewModule("huge")
+	mem := m.Memory("mem", 24, 8, aig.MemZero)
+	rd := mem.Read(m.Input("ra", 24), aig.True)
+	m.AssertAlways("rd", rd[0])
+	out, _, err := Expand(m.N)
+	if err == nil || out != nil {
+		t.Fatalf("oversized expansion must be reported as an error, got out=%v err=%v", out, err)
+	}
 }
 
 func TestExpandedModelIsDeterministic(t *testing.T) {
 	// Expanding twice yields netlists of identical size.
 	m := buildMemDesign(3, 4, 2, 1, aig.MemZero, nil)
-	e1, _ := Expand(m.N)
-	e2, _ := Expand(m.N)
+	e1, _, err1 := Expand(m.N)
+	e2, _, err2 := Expand(m.N)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	if e1.NumNodes() != e2.NumNodes() || e1.NumAnds() != e2.NumAnds() {
 		t.Fatalf("expansion not deterministic")
 	}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the HTTP handler served by the -pprof CLI flag: the
+// standard net/http/pprof endpoints under /debug/pprof/ plus a plain-text
+// metrics dump of reg under /metrics.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer serves DebugMux on addr in a background goroutine,
+// reporting startup failures to logw (verification must not die because a
+// port is taken).
+func StartDebugServer(addr string, reg *Registry, logw io.Writer) {
+	go func() {
+		if err := http.ListenAndServe(addr, DebugMux(reg)); err != nil && logw != nil {
+			fmt.Fprintf(logw, "obs: debug server on %s: %v\n", addr, err)
+		}
+	}()
+}

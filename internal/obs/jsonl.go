@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// JSONL writes each trace event as one flat JSON object per line:
+//
+//	{"t_us":1754380800123456,"ev":"end","name":"solve.forward","span":7,"dur_us":812,"depth":3,"result":"SAT"}
+//
+// Fixed keys are t_us (wall-clock unix microseconds), ev, name, span
+// (omitted for points), and dur_us (end events only); the event's fields
+// are flattened into the same object, which keeps jq pipelines one
+// selector deep. Emit is safe for concurrent use; the writer is buffered,
+// so call Close (or Flush) before reading the journal.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	out io.Writer
+	err error
+}
+
+// NewJSONL builds a journal writer over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{bw: bufio.NewWriterSize(w, 1<<16), out: w}
+}
+
+// Emit appends one event line. Write errors are sticky and reported by
+// Err/Close rather than interrupting the verification run.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	buf := make([]byte, 0, 160)
+	buf = append(buf, `{"t_us":`...)
+	buf = strconv.AppendInt(buf, e.T.UnixMicro(), 10)
+	buf = append(buf, `,"ev":`...)
+	buf = appendJSONString(buf, e.Ev)
+	buf = append(buf, `,"name":`...)
+	buf = appendJSONString(buf, e.Name)
+	if e.Span != 0 {
+		buf = append(buf, `,"span":`...)
+		buf = strconv.AppendUint(buf, e.Span, 10)
+	}
+	if e.Ev == "end" {
+		buf = append(buf, `,"dur_us":`...)
+		buf = strconv.AppendInt(buf, e.DurUS, 10)
+	}
+	for _, kv := range e.Fields {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, kv.K)
+		buf = append(buf, ':')
+		buf = appendJSONValue(buf, kv.V)
+	}
+	buf = append(buf, '}', '\n')
+	_, j.err = j.bw.Write(buf)
+}
+
+// Flush drains the buffer to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = j.bw.Flush()
+	}
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer (a file),
+// closes it. Returns the first error seen over the journal's lifetime.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if c, ok := j.out.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Err reports the sticky write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func appendJSONValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case string:
+		return appendJSONString(buf, x)
+	case time.Duration:
+		return strconv.AppendInt(buf, x.Microseconds(), 10)
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return appendJSONString(buf, "!"+err.Error())
+		}
+		return append(buf, b...)
+	}
+}
+
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			// Field keys and values in this journal are ASCII identifiers
+			// and design names; multi-byte runes pass through verbatim,
+			// which is valid JSON (UTF-8).
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+func hexDigit(d byte) byte {
+	if d < 10 {
+		return '0' + d
+	}
+	return 'a' + d - 10
+}

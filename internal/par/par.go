@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"emmver/internal/obs"
 )
 
 // Jobs normalizes a -jobs flag value: n <= 0 selects runtime.NumCPU().
@@ -51,6 +53,23 @@ func ForEach(ctx context.Context, jobs, n int, fn func(ctx context.Context, work
 	}
 	wg.Wait()
 	return ctx.Err()
+}
+
+// ForEachObs is ForEach with span tracing: when o has a sink attached,
+// every task runs inside a span named name carrying worker and index
+// fields, so a trace journal attributes pool work to its worker goroutine.
+// With tracing off it is exactly ForEach.
+func ForEachObs(ctx context.Context, o *obs.Observer, name string, jobs, n int, fn func(ctx context.Context, worker, i int)) error {
+	if !o.Enabled() {
+		return ForEach(ctx, jobs, n, fn)
+	}
+	return ForEach(ctx, jobs, n, func(ctx context.Context, worker, i int) {
+		// Derive per-task so worker and index ride on the end event (and
+		// its duration) too, not just the start.
+		sp := o.With(obs.F("worker", worker), obs.F("index", i)).Span(name)
+		fn(ctx, worker, i)
+		sp.End()
+	})
 }
 
 // SyncWriter wraps w with a mutex so concurrent workers can share one log

@@ -1,6 +1,10 @@
 package sat
 
-import "sort"
+import (
+	"sort"
+
+	"emmver/internal/obs"
+)
 
 // Solver is an incremental CDCL SAT solver. The zero value is not usable;
 // construct with New.
@@ -67,6 +71,25 @@ type Solver struct {
 	pollTick    uint32 // search-loop iterations since the last Interrupt poll
 
 	stats Stats
+
+	// Observability (AttachObs): registry counters the solver publishes
+	// cumulative-stat deltas into once per Solve call and on demand via
+	// PublishObs. Nil counters make publication a no-op.
+	obsAttached bool
+	obsPub      Stats // cumulative values already published
+	obsPubNC    int   // NumClauses already published
+	obsPubNV    int   // NumVars already published
+	obsSolves   *obs.Counter
+	obsConfl    *obs.Counter
+	obsProps    *obs.Counter
+	obsBinProps *obs.Counter
+	obsDecs     *obs.Counter
+	obsRestarts *obs.Counter
+	obsReduces  *obs.Counter
+	obsLAdded   *obs.Counter
+	obsLDeleted *obs.Counter
+	obsClauses  *obs.Counter
+	obsVars     *obs.Counter
 }
 
 // Stats holds cumulative search statistics.
@@ -79,9 +102,11 @@ type Stats struct {
 	BinPropagations int64
 	Conflicts       int64
 	Restarts        int64
-	LearntsAdded    int64
-	LearntsDeleted  int64
-	MaxVar          int
+	// ReduceDBs counts learnt-database reduction sweeps.
+	ReduceDBs      int64
+	LearntsAdded   int64
+	LearntsDeleted int64
+	MaxVar         int
 }
 
 // New constructs an empty solver.
@@ -122,6 +147,54 @@ func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 // Stats returns cumulative statistics.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// AttachObs binds the solver to an observer's metrics registry under the
+// canonical solver.* names. Several solvers may attach to one registry;
+// each publishes deltas, so the registry holds fleet-wide totals while
+// per-solver breakdowns stay available through Stats. Publication happens
+// at the end of every Solve call and on PublishObs — never inside the
+// search loop, so attaching costs nothing measurable.
+func (s *Solver) AttachObs(o *obs.Observer) {
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	s.obsAttached = true
+	s.obsSolves = reg.Counter(obs.MSolves)
+	s.obsConfl = reg.Counter(obs.MConflicts)
+	s.obsProps = reg.Counter(obs.MPropagations)
+	s.obsBinProps = reg.Counter(obs.MBinPropagations)
+	s.obsDecs = reg.Counter(obs.MDecisions)
+	s.obsRestarts = reg.Counter(obs.MRestarts)
+	s.obsReduces = reg.Counter(obs.MReduceDBs)
+	s.obsLAdded = reg.Counter(obs.MLearntsAdded)
+	s.obsLDeleted = reg.Counter(obs.MLearntsDeleted)
+	s.obsClauses = reg.Counter(obs.MSolverClauses)
+	s.obsVars = reg.Counter(obs.MSolverVars)
+}
+
+// PublishObs pushes the not-yet-published part of the cumulative counters
+// into the attached registry (no-op when detached). The BMC engine calls
+// it at depth boundaries to cover clauses added between Solve calls.
+func (s *Solver) PublishObs() {
+	if !s.obsAttached {
+		return
+	}
+	cur := s.stats
+	s.obsConfl.Add(cur.Conflicts - s.obsPub.Conflicts)
+	s.obsProps.Add(cur.Propagations - s.obsPub.Propagations)
+	s.obsBinProps.Add(cur.BinPropagations - s.obsPub.BinPropagations)
+	s.obsDecs.Add(cur.Decisions - s.obsPub.Decisions)
+	s.obsRestarts.Add(cur.Restarts - s.obsPub.Restarts)
+	s.obsReduces.Add(cur.ReduceDBs - s.obsPub.ReduceDBs)
+	s.obsLAdded.Add(cur.LearntsAdded - s.obsPub.LearntsAdded)
+	s.obsLDeleted.Add(cur.LearntsDeleted - s.obsPub.LearntsDeleted)
+	s.obsPub = cur
+	nc, nv := s.NumClauses(), s.NumVars()
+	s.obsClauses.Add(int64(nc - s.obsPubNC))
+	s.obsVars.Add(int64(nv - s.obsPubNV))
+	s.obsPubNC, s.obsPubNV = nc, nv
+}
 
 // NewVar allocates a fresh variable.
 func (s *Solver) NewVar() Var {
@@ -593,6 +666,7 @@ func (s *Solver) reduceDB() {
 	if len(s.learnts) < 2 {
 		return
 	}
+	s.stats.ReduceDBs++
 	ls := s.learnts
 	db := &s.db
 	sort.Slice(ls, func(i, j int) bool { return db.hdr[ls[i]].act < db.hdr[ls[j]].act })
@@ -624,6 +698,10 @@ func (s *Solver) pickBranchVar() Var {
 
 // Solve searches for a satisfying assignment under the given assumptions.
 func (s *Solver) Solve(assumps ...Lit) Status {
+	if s.obsAttached {
+		s.obsSolves.Inc()
+		defer s.PublishObs()
+	}
 	s.model = nil
 	s.conflictAssum = nil
 	s.finalChain = nil

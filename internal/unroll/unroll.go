@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"emmver/internal/aig"
+	"emmver/internal/obs"
 	"emmver/internal/sat"
 )
 
@@ -85,9 +86,23 @@ type Unroller struct {
 	// StrashHits counts gate requests answered from the strash cache.
 	StrashHits int
 
+	// GatesBuilt counts AND gates actually Tseitin-encoded (strash hits
+	// excluded), so GatesBuilt + StrashHits is the number of gate requests.
+	GatesBuilt int
+
 	// Clause/variable accounting.
 	ClausesAdded int
 	AuxVars      int
+
+	// Observability (AttachObs): registry counters the unroller publishes
+	// cumulative-tally deltas into on PublishObs. The per-gate counters
+	// above stay plain ints on the build path; only the depth-boundary
+	// publish touches atomics.
+	obsGates   *obs.Counter
+	obsStrash  *obs.Counter
+	obsClauses *obs.Counter
+	obsVars    *obs.Counter
+	obsPub     struct{ gates, strash, clauses, vars int }
 }
 
 type frame struct {
@@ -112,6 +127,35 @@ func New(n *aig.Netlist, s *sat.Solver, mode Mode) *Unroller {
 		u.latchIdx[l.Node] = i
 	}
 	return u
+}
+
+// AttachObs binds the unroller to an observer's metrics registry under the
+// canonical unroll.* names. Like the solver, several unrollers (forward,
+// backward, fleet workers) attach to one registry and publish deltas.
+func (u *Unroller) AttachObs(o *obs.Observer) {
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	u.obsGates = reg.Counter(obs.MUnrollGates)
+	u.obsStrash = reg.Counter(obs.MStrashHits)
+	u.obsClauses = reg.Counter(obs.MUnrollClauses)
+	u.obsVars = reg.Counter(obs.MUnrollVars)
+}
+
+// PublishObs pushes the tally growth since the last publish into the
+// attached registry (no-op when detached). The BMC engine calls it at
+// depth boundaries.
+func (u *Unroller) PublishObs() {
+	if u.obsGates == nil {
+		return
+	}
+	u.obsGates.Add(int64(u.GatesBuilt - u.obsPub.gates))
+	u.obsStrash.Add(int64(u.StrashHits - u.obsPub.strash))
+	u.obsClauses.Add(int64(u.ClausesAdded - u.obsPub.clauses))
+	u.obsVars.Add(int64(u.AuxVars - u.obsPub.vars))
+	u.obsPub.gates, u.obsPub.strash = u.GatesBuilt, u.StrashHits
+	u.obsPub.clauses, u.obsPub.vars = u.ClausesAdded, u.AuxVars
 }
 
 // FalseLit returns the CNF literal fixed to false.
@@ -256,6 +300,7 @@ func (u *Unroller) mkAnd(a, b sat.Lit, tag Tag) sat.Lit {
 			return v
 		}
 		v := u.FreshVar()
+		u.GatesBuilt++
 		u.addClause(tag, v.Not(), a)
 		u.addClause(tag, v.Not(), b)
 		u.addClause(tag, v, a.Not(), b.Not())
@@ -266,6 +311,7 @@ func (u *Unroller) mkAnd(a, b sat.Lit, tag Tag) sat.Lit {
 		return v
 	}
 	v := u.FreshVar()
+	u.GatesBuilt++
 	u.addClause(tag, v.Not(), a)
 	u.addClause(tag, v.Not(), b)
 	u.addClause(tag, v, a.Not(), b.Not())
