@@ -29,6 +29,7 @@ import (
 	"emmver/internal/cliobs"
 	"emmver/internal/designs"
 	"emmver/internal/expmem"
+	"emmver/internal/sat"
 	"emmver/internal/vcd"
 )
 
@@ -46,9 +47,16 @@ func main() {
 	vcdOut := flag.String("vcd", "", "write a counter-example waveform to this file")
 	aigerOut := flag.String("aiger", "", "write the (memory-free) model as AIGER to this file and exit")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes")
+	restart := flag.String("restart", "ema", "solver restart strategy: luby or ema (adaptive)")
+	noSimplify := flag.Bool("no-simplify", false, "disable between-depth inprocessing (subsumption + variable elimination)")
 	verbose := flag.Bool("v", false, "log per-depth progress")
 	obsFlags := cliobs.Register()
 	flag.Parse()
+
+	restartMode, err := sat.ParseRestartMode(*restart)
+	if err != nil {
+		fail(err.Error())
+	}
 
 	netlist, pi := buildDesign(*design, *n, *reduced, *prop)
 	if *explicit {
@@ -76,6 +84,8 @@ func main() {
 	}
 
 	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	opt.Restart = restartMode
+	opt.NoSimplify = *noSimplify
 	opt.CollectDepthStats = *stats
 	// With more than one job the engine races forward/backward termination
 	// on separate goroutines at each depth (only meaningful with proofs).
@@ -152,6 +162,12 @@ func main() {
 	}
 	fmt.Printf("stats: %d solver calls, %d clauses, %d vars, %d conflicts, %.0f MB heap\n",
 		r.Stats.SolveCalls, r.Stats.Clauses, r.Stats.Vars, r.Stats.Conflicts, r.Stats.PeakHeapMB)
+	fmt.Printf("restarts: %d (luby %d, ema %d)\n",
+		r.Stats.Restarts, r.Stats.RestartsLuby, r.Stats.RestartsEMA)
+	if r.Stats.Simplifies > 0 {
+		fmt.Printf("inprocessing: %d passes, %d clauses subsumed, %d strengthened, %d vars eliminated\n",
+			r.Stats.Simplifies, r.Stats.SubsumedClauses, r.Stats.StrengthenedClauses, r.Stats.EliminatedVars)
+	}
 	if r.Stats.EMM.Clauses() > 0 {
 		fmt.Printf("emm constraints: %s\n", r.Stats.EMM)
 	}

@@ -25,6 +25,7 @@ import (
 	"emmver/internal/cliobs"
 	"emmver/internal/expmem"
 	"emmver/internal/par"
+	"emmver/internal/sat"
 	"emmver/internal/vcd"
 	"emmver/internal/verilog"
 )
@@ -54,6 +55,8 @@ func main() {
 	explicit := flag.Bool("explicit", false, "expand memories into latches first")
 	vcdOut := flag.String("vcd", "", "write the first counter-example waveform here")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes (forces a sequential run)")
+	restart := flag.String("restart", "ema", "solver restart strategy: luby or ema (adaptive)")
+	noSimplify := flag.Bool("no-simplify", false, "disable between-depth inprocessing (subsumption + variable elimination)")
 	verbose := flag.Bool("v", false, "log per-depth progress")
 	obsFlags := cliobs.Register()
 	params := paramFlags{}
@@ -95,7 +98,13 @@ func main() {
 		fmt.Printf("explicit model: %s\n", n.Stats())
 	}
 
+	restartMode, err := sat.ParseRestartMode(*restart)
+	if err != nil {
+		fatal(err)
+	}
 	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	opt.Restart = restartMode
+	opt.NoSimplify = *noSimplify
 	opt.CollectDepthStats = *stats
 	if *verbose {
 		opt.Log = os.Stderr
@@ -151,6 +160,16 @@ func main() {
 		}
 		copy(results, mr.Results)
 		depthStats = mr.DepthStats
+		if *stats {
+			fmt.Printf("stats: %d solver calls, %d conflicts, restarts %d (luby %d, ema %d)\n",
+				mr.Stats.SolveCalls, mr.Stats.Conflicts,
+				mr.Stats.Restarts, mr.Stats.RestartsLuby, mr.Stats.RestartsEMA)
+			if mr.Stats.Simplifies > 0 {
+				fmt.Printf("inprocessing: %d passes, %d clauses subsumed, %d strengthened, %d vars eliminated\n",
+					mr.Stats.Simplifies, mr.Stats.SubsumedClauses,
+					mr.Stats.StrengthenedClauses, mr.Stats.EliminatedVars)
+			}
+		}
 	}
 
 	fails := 0

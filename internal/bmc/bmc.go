@@ -15,6 +15,7 @@ package bmc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -85,6 +86,18 @@ type Options struct {
 	// by default.
 	DisableStrash  bool
 	DisableEMMMemo bool
+	// Restart selects the solvers' restart strategy: sat.RestartEMA (the
+	// adaptive glue-driven default) or sat.RestartLuby (the classic
+	// schedule). Equivalent builder: WithRestart.
+	Restart sat.RestartMode
+	// NoSimplify disables the between-depth inprocessing pass
+	// (sat.Solver.Simplify: subsumption, clause strengthening, bounded
+	// variable elimination over non-frozen auxiliaries). Inprocessing is
+	// also skipped automatically whenever PBA proof tracing is active —
+	// clause rewriting would invalidate resolution chains — with
+	// sat.ErrTracingActive as the solver-level second guard. Equivalent
+	// builder: WithSimplify.
+	NoSimplify bool
 	// PureLatchLFP uses the paper's literal loop-free-path constraint
 	// (latch states pairwise distinct). The default strengthens state
 	// equality with "and no write fired in between", which keeps the
@@ -155,6 +168,16 @@ type Stats struct {
 	Conflicts  int64
 	PeakHeapMB float64
 	EMM        core.Sizes
+	// Restarts, split by trigger: Luby budget expiry vs the adaptive glue
+	// EMA crossing its threshold (RestartsLuby + RestartsEMA = Restarts).
+	Restarts     int64
+	RestartsLuby int64
+	RestartsEMA  int64
+	// Between-depth inprocessing work (zero under PBA or NoSimplify).
+	Simplifies          int64
+	SubsumedClauses     int64
+	StrengthenedClauses int64
+	EliminatedVars      int64
 }
 
 // Add accumulates o into s. The parallel engines use it to merge
@@ -166,6 +189,13 @@ func (s *Stats) Add(o Stats) {
 	s.Clauses += o.Clauses
 	s.Vars += o.Vars
 	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.RestartsLuby += o.RestartsLuby
+	s.RestartsEMA += o.RestartsEMA
+	s.Simplifies += o.Simplifies
+	s.SubsumedClauses += o.SubsumedClauses
+	s.StrengthenedClauses += o.StrengthenedClauses
+	s.EliminatedVars += o.EliminatedVars
 	if o.PeakHeapMB > s.PeakHeapMB {
 		s.PeakHeapMB = o.PeakHeapMB
 	}
@@ -265,6 +295,10 @@ type engine struct {
 
 	depthStats []DepthStat
 	mark       depthMark
+	// lastSimpConfl is the cumulative conflict count (both solvers) at the
+	// last inprocessing pass; simplifyStep skips until enough new search
+	// effort has accumulated to pay for the occurrence-list rebuild.
+	lastSimpConfl int64
 
 	// Observability handle plus the gauges/counters the engine itself
 	// maintains (the solvers/unrollers/generators publish their own).
@@ -296,6 +330,7 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 		e.obsLR = reg.Gauge(obs.MPBALatchReasons)
 	}
 	e.fs = sat.New()
+	e.fs.Restart = opt.Restart
 	if opt.PBA {
 		e.fs.EnableProofTracing()
 		e.tracker = pba.NewTracker()
@@ -332,6 +367,7 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 	}
 	if opt.Proofs {
 		e.bs = sat.New()
+		e.bs.Restart = opt.Restart
 		e.bs.AttachObs(opt.Obs)
 		e.bu = unroll.New(n, e.bs, unroll.Free)
 		e.bu.NoStrash = opt.DisableStrash || opt.PBA
@@ -421,11 +457,27 @@ func (e *engine) snapshotStats() Stats {
 	s.Elapsed = time.Since(e.start)
 	s.Clauses = e.fs.NumClauses()
 	s.Vars = e.fs.NumVars()
-	s.Conflicts = e.fs.Stats().Conflicts
+	fst := e.fs.Stats()
+	s.Conflicts = fst.Conflicts
+	s.Restarts = fst.Restarts
+	s.RestartsLuby = fst.RestartsLuby
+	s.RestartsEMA = fst.RestartsEMA
+	s.Simplifies = fst.Simplifies
+	s.SubsumedClauses = fst.SubsumedClauses
+	s.StrengthenedClauses = fst.StrengthenedClauses
+	s.EliminatedVars = fst.EliminatedVars
 	if e.bs != nil {
 		s.Clauses += e.bs.NumClauses()
 		s.Vars += e.bs.NumVars()
-		s.Conflicts += e.bs.Stats().Conflicts
+		bst := e.bs.Stats()
+		s.Conflicts += bst.Conflicts
+		s.Restarts += bst.Restarts
+		s.RestartsLuby += bst.RestartsLuby
+		s.RestartsEMA += bst.RestartsEMA
+		s.Simplifies += bst.Simplifies
+		s.SubsumedClauses += bst.SubsumedClauses
+		s.StrengthenedClauses += bst.StrengthenedClauses
+		s.EliminatedVars += bst.EliminatedVars
 	}
 	if e.fg != nil {
 		s.EMM = e.fg.Sizes()
@@ -631,9 +683,71 @@ func CheckCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Resul
 			e.obsResolved(r.Kind)
 			return e.finish(r)
 		}
+		e.simplifyStep(i)
 	}
 	e.obsResolved(KindNoCE)
 	return e.finish(&Result{Kind: KindNoCE, Depth: opt.MaxDepth})
+}
+
+// simplifyMinConflicts gates between-depth inprocessing on search effort: a
+// pass only runs once the solvers have logged this many new conflicts since
+// the previous pass, plus one conflict per simplifyClausesPerConfl clauses
+// (a pass rebuilds the occurrence lists, so its cost grows with the
+// formula while its payoff grows with the search). Vars rather than consts
+// so the equivalence tests can force every pass on designs too small to
+// clear the bar.
+var (
+	simplifyMinConflicts    int64 = 500
+	simplifyClausesPerConfl       = int64(50)
+)
+
+// simplifyStep runs the between-depth inprocessing pass on both solvers
+// after depth i failed to decide the property. The frame frontier, EMM
+// interface signals, and every strash/memo-cached literal are frozen by the
+// unroller and generator, so elimination only consumes depth-local
+// auxiliaries that no later depth can mention. Skipped under NoSimplify and
+// under PBA (clause rewriting would invalidate the proof log); the solver's
+// ErrTracingActive guard backstops the latter. Also skipped until the
+// solvers have accumulated simplifyMinConflicts of new search effort since
+// the last pass: on easy per-depth instances the occurrence-list rebuild
+// costs more than the search it would save.
+func (e *engine) simplifyStep(i int) {
+	if e.opt.NoSimplify || e.opt.PBA {
+		return
+	}
+	confl := e.fs.Stats().Conflicts
+	clauses := int64(e.fs.NumClauses())
+	if e.bs != nil {
+		confl += e.bs.Stats().Conflicts
+		clauses += int64(e.bs.NumClauses())
+	}
+	need := simplifyMinConflicts
+	if simplifyClausesPerConfl > 0 {
+		need += clauses / simplifyClausesPerConfl
+	}
+	if confl-e.lastSimpConfl < need {
+		return
+	}
+	e.lastSimpConfl = confl
+	sp := e.obs.Span("bmc.simplify", obs.F("depth", i), obs.F("prop", e.prop))
+	for _, s := range []*sat.Solver{e.fs, e.bs} {
+		if s == nil {
+			continue
+		}
+		if err := s.Simplify(); err != nil && !errors.Is(err, sat.ErrTracingActive) {
+			panic(fmt.Sprintf("bmc: inprocessing failed: %v", err))
+		}
+	}
+	st := e.fs.Stats()
+	sub, str, elim := st.SubsumedClauses, st.StrengthenedClauses, st.EliminatedVars
+	if e.bs != nil {
+		bst := e.bs.Stats()
+		sub += bst.SubsumedClauses
+		str += bst.StrengthenedClauses
+		elim += bst.EliminatedVars
+	}
+	sp.End(obs.F("subsumed", sub), obs.F("strengthened", str),
+		obs.F("eliminated_vars", elim))
 }
 
 // depthStep runs the depth-i checks in the paper's order — forward

@@ -126,6 +126,9 @@ func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options)
 			e.collectDepthStat(i)
 		}
 		endDepth()
+		if unresolved > 0 {
+			e.simplifyStep(i)
+		}
 	}
 	for pi, p := range props {
 		if out.Results[pi] == nil {

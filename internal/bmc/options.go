@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"emmver/internal/obs"
+	"emmver/internal/sat"
 )
 
 // The builders below are value-receiver copies: each returns a new Options
@@ -56,5 +57,19 @@ func (o Options) WithObserver(ob *obs.Observer) Options {
 // Equivalent field: Options.Log.
 func (o Options) WithLog(w io.Writer) Options {
 	o.Log = w
+	return o
+}
+
+// WithRestart returns a copy of o whose solvers restart per m
+// (sat.RestartEMA or sat.RestartLuby). Equivalent field: Options.Restart.
+func (o Options) WithRestart(m sat.RestartMode) Options {
+	o.Restart = m
+	return o
+}
+
+// WithSimplify returns a copy of o with the between-depth inprocessing
+// pass switched on or off. Equivalent field: Options.NoSimplify = !on.
+func (o Options) WithSimplify(on bool) Options {
+	o.NoSimplify = !on
 	return o
 }

@@ -134,6 +134,7 @@ func (e *engine) runPropLoop(p int, fwdUnsat *atomic.Int64) *Result {
 			e.obsResolved(r.Kind)
 			return r
 		}
+		e.simplifyStep(i)
 	}
 	e.obsResolved(KindNoCE)
 	return &Result{Kind: KindNoCE, Prop: p, Depth: e.opt.MaxDepth}

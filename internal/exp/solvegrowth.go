@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/bmc"
+	"emmver/internal/rtl"
+	"emmver/internal/sat"
+)
+
+// GrowthSolveConfig selects the solve-based variant of the growth
+// experiment: the same shared-address memory shape as GrowthConfig, but the
+// formula is actually handed to the solver with a valid property, so the
+// run measures search effort (conflicts, wall-clock) rather than formula
+// size. NoOpt disables strash and comparator memoization — the
+// configuration where depth-local auxiliary gates pile up and between-depth
+// inprocessing has the most to reclaim.
+type GrowthSolveConfig struct {
+	AW, DW     int
+	MaxK       int
+	NoOpt      bool
+	Restart    sat.RestartMode
+	NoSimplify bool
+	Timeout    time.Duration
+}
+
+// DefaultGrowthSolve is the §S2 configuration: the shared-address shape at
+// reduced widths, checked to depth 24.
+func DefaultGrowthSolve() GrowthSolveConfig {
+	return GrowthSolveConfig{AW: 8, DW: 16, MaxK: 24, NoOpt: true}
+}
+
+// GrowthSolveResult aggregates one BMC-2 run of the solve-based growth
+// experiment.
+type GrowthSolveResult struct {
+	Config    GrowthSolveConfig
+	Kind      bmc.Kind
+	Conflicts int64
+	Elapsed   time.Duration
+	Stats     bmc.Stats
+	Depths    []bmc.DepthStat
+}
+
+// GrowthSolve builds the shared-address design — one write port and two
+// read ports all driven by a single address bus — and BMC-2-checks the
+// read-consistency property "re0 ∧ re1 → rd0 == rd1" up to cfg.MaxK. The
+// property is valid (both ports observe the same address, so EMM forces
+// equal data), which makes every depth an UNSAT instance: the solver must
+// refute the whole unrolling each time, so conflicts and wall-clock track
+// solver quality rather than luck in witness search.
+func GrowthSolve(cfg GrowthSolveConfig) GrowthSolveResult {
+	m := rtl.NewModule("growth-solve")
+	mem := m.Memory("mem", cfg.AW, cfg.DW, aig.MemArbitrary)
+	addr := m.Input("a", cfg.AW)
+	mem.Write(addr, m.Input("wd", cfg.DW), m.InputBit("we"))
+	re0 := m.InputBit("re0")
+	re1 := m.InputBit("re1")
+	rd0 := mem.Read(addr, re0)
+	rd1 := mem.Read(addr, re1)
+	both := m.N.And(re0, re1)
+	ok := m.N.And(both, m.Eq(rd0, rd1).Not()).Not()
+	m.AssertAlways("shared-read-agree", ok)
+	m.Done()
+
+	opt := bmc.BMC2(cfg.MaxK).
+		WithRestart(cfg.Restart).
+		WithSimplify(!cfg.NoSimplify).
+		WithTimeout(cfg.Timeout)
+	opt.DisableStrash = cfg.NoOpt
+	opt.DisableEMMMemo = cfg.NoOpt
+	opt.CollectDepthStats = true
+
+	t0 := time.Now()
+	r := bmc.Check(m.N, 0, opt)
+	return GrowthSolveResult{
+		Config:    cfg,
+		Kind:      r.Kind,
+		Conflicts: r.Stats.Conflicts,
+		Elapsed:   time.Since(t0),
+		Stats:     r.Stats,
+		Depths:    r.DepthStats,
+	}
+}
+
+// RenderGrowthSolveAB prints the §S2 before/after table: per-depth
+// conflicts and wall-clock with inprocessing off (a) and on (b).
+func RenderGrowthSolveAB(off, on GrowthSolveResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "solve-based growth (shared-address, NoOpt=%v, AW=%d DW=%d): inprocessing off vs on\n",
+		off.Config.NoOpt, off.Config.AW, off.Config.DW)
+	fmt.Fprintf(&b, "| k | conflicts (off) | conflicts (on) | time (off) | time (on) |\n")
+	fmt.Fprintf(&b, "|---|-----------------|----------------|------------|----------|\n")
+	for i := range off.Depths {
+		if i >= len(on.Depths) {
+			break
+		}
+		fmt.Fprintf(&b, "| %d | %d | %d | %s | %s |\n",
+			off.Depths[i].Depth, off.Depths[i].Conflicts, on.Depths[i].Conflicts,
+			off.Depths[i].Elapsed.Round(time.Millisecond),
+			on.Depths[i].Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "total: %d vs %d conflicts, %s vs %s\n",
+		off.Conflicts, on.Conflicts,
+		off.Elapsed.Round(time.Millisecond), on.Elapsed.Round(time.Millisecond))
+	return b.String()
+}

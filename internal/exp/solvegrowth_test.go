@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"testing"
+
+	"emmver/internal/bmc"
+	"emmver/internal/sat"
+)
+
+// The shared-read-agree property is valid, so both the inprocessing-off and
+// inprocessing-on runs must refute every depth — and the on-run must have
+// actually simplified between depths.
+func TestGrowthSolveEquivalence(t *testing.T) {
+	cfg := GrowthSolveConfig{AW: 4, DW: 4, MaxK: 6, NoOpt: true}
+
+	cfg.Restart, cfg.NoSimplify = sat.RestartLuby, true
+	off := GrowthSolve(cfg)
+	cfg.Restart, cfg.NoSimplify = sat.RestartEMA, false
+	on := GrowthSolve(cfg)
+
+	for _, r := range []GrowthSolveResult{off, on} {
+		if r.Kind != bmc.KindNoCE {
+			t.Fatalf("expected NoCE on valid property, got %v (simplify=%v)", r.Kind, !r.Config.NoSimplify)
+		}
+		if len(r.Depths) != cfg.MaxK+1 {
+			t.Fatalf("expected %d depth stats, got %d", cfg.MaxK+1, len(r.Depths))
+		}
+	}
+	if off.Stats.Simplifies != 0 {
+		t.Fatalf("off-run ran %d simplify passes", off.Stats.Simplifies)
+	}
+	if on.Stats.Simplifies == 0 {
+		t.Fatalf("on-run never simplified")
+	}
+	t.Log(RenderGrowthSolveAB(off, on))
+}

@@ -26,12 +26,48 @@ const (
 	flagDel
 )
 
-// clauseHdr is the per-clause metadata, 16 bytes.
+// Learnt-clause tiers (Chanseok Oh's three-tier scheme). The zero value is
+// tierLocal so that a header allocated without explicit tiering is always
+// eligible for deletion; recordLearnt assigns the real tier from the LBD.
+const (
+	// tierLocal clauses are the churn pool: reduced by activity, weakest
+	// half dropped whenever the pool outgrows its budget.
+	tierLocal uint8 = iota
+	// tierMid clauses (LBD <= midLBD) survive reductions but are demoted to
+	// tierLocal when they stay out of conflict analysis for midAgeLimit
+	// conflicts.
+	tierMid
+	// tierCore clauses (LBD <= coreLBD) are never deleted.
+	tierCore
+)
+
+// Tier thresholds and the mid-tier disuse horizon (in conflicts).
+const (
+	coreLBD     = 2
+	midLBD      = 6
+	midAgeLimit = 30000
+)
+
+// tierForLBD maps a glue value to its tier.
+func tierForLBD(lbd int) uint8 {
+	switch {
+	case lbd <= coreLBD:
+		return tierCore
+	case lbd <= midLBD:
+		return tierMid
+	}
+	return tierLocal
+}
+
+// clauseHdr is the per-clause metadata, 24 bytes.
 type clauseHdr struct {
 	off   int32   // start of the literal block in the arena
 	size  int32   // number of literals
 	act   float32 // activity (learnt clauses only)
 	id    int32   // proof-tracing id; -1 when tracing is off
+	touch int32   // conflict count at last analysis involvement (mid-tier aging)
+	lbd   uint16  // glue: distinct decision levels at learn time, updated on use
+	tier  uint8   // learnt tier (tierLocal/tierMid/tierCore)
 	flags uint8
 }
 

@@ -1,0 +1,458 @@
+package sat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyTracingGuard(t *testing.T) {
+	s := New()
+	s.EnableProofTracing()
+	addVars(s, 3)
+	s.AddClauseTagged(0, lits(1, 2))
+	s.AddClauseTagged(1, lits(1, 2, 3)) // subsumed, but must survive under tracing
+	nc := s.NumClauses()
+	if err := s.Simplify(); !errors.Is(err, ErrTracingActive) {
+		t.Fatalf("Simplify under tracing: err=%v, want ErrTracingActive", err)
+	}
+	if s.NumClauses() != nc {
+		t.Fatalf("Simplify under tracing changed the database: %d -> %d clauses", nc, s.NumClauses())
+	}
+	if st := s.Stats(); st.Simplifies != 0 || st.SubsumedClauses != 0 || st.EliminatedVars != 0 {
+		t.Fatalf("Simplify under tracing touched stats: %+v", st)
+	}
+	// The solver must remain fully functional, proof machinery included.
+	s.AddClauseTagged(2, lits(-1))
+	s.AddClauseTagged(3, lits(-2))
+	if s.Solve() != Unsat {
+		t.Fatalf("expected UNSAT")
+	}
+	if len(s.Core()) == 0 {
+		t.Fatalf("expected a non-empty core")
+	}
+}
+
+func TestSimplifySubsumption(t *testing.T) {
+	s := New()
+	addVars(s, 3)
+	s.AddClause(lits(1, 2)...)
+	s.AddClause(lits(1, 2, 3)...)
+	for v := Var(0); v < 3; v++ {
+		s.Freeze(v) // isolate subsumption from variable elimination
+	}
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	if st := s.Stats(); st.SubsumedClauses != 1 {
+		t.Fatalf("SubsumedClauses=%d, want 1", st.SubsumedClauses)
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("NumClauses=%d, want 1 after subsumption", s.NumClauses())
+	}
+	if cl := s.ClauseAt(0); len(cl) != 2 {
+		t.Fatalf("surviving clause %v, want the binary", cl)
+	}
+	if s.Solve() != Sat {
+		t.Fatalf("expected SAT")
+	}
+}
+
+func TestSimplifySelfSubsumingStrengthen(t *testing.T) {
+	s := New()
+	addVars(s, 5)
+	// C = (a ∨ b) strengthens D = (¬a ∨ b ∨ c) to (b ∨ c). The extra a-clauses
+	// make b the least-occurring literal of C, so D is found through occ[b].
+	s.AddClause(lits(1, 2)...)
+	s.AddClause(lits(-1, 2, 3)...)
+	s.AddClause(lits(1, 4)...)
+	s.AddClause(lits(1, 5)...)
+	for v := Var(0); v < 5; v++ {
+		s.Freeze(v)
+	}
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	if st := s.Stats(); st.StrengthenedClauses != 1 {
+		t.Fatalf("StrengthenedClauses=%d, want 1", st.StrengthenedClauses)
+	}
+	found := false
+	for i := 0; i < s.NumClauses(); i++ {
+		cl := s.ClauseAt(i)
+		if len(cl) != 2 {
+			continue
+		}
+		has := map[Lit]bool{cl[0]: true, cl[1]: true}
+		if has[PosLit(1)] && has[PosLit(2)] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("strengthened clause (b ∨ c) not found")
+	}
+	// Strengthening must preserve equivalence: ¬b forces a (via C) — and with
+	// the strengthened clause, also c.
+	if s.Solve(lits(-2)[0]) != Sat {
+		t.Fatalf("expected SAT under ¬b")
+	}
+	if s.Value(0) != True || s.Value(2) != True {
+		t.Fatalf("under ¬b want a=true c=true, got a=%v c=%v", s.Value(0), s.Value(2))
+	}
+}
+
+func TestSimplifyEliminationChain(t *testing.T) {
+	const n = 20
+	s := New()
+	addVars(s, n)
+	var orig [][]Lit
+	for i := 0; i < n-1; i++ {
+		cl := []Lit{NegLit(Var(i)), PosLit(Var(i + 1))}
+		orig = append(orig, cl)
+		s.AddClause(cl...)
+	}
+	s.Freeze(0)
+	s.Freeze(n - 1)
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	st := s.Stats()
+	if st.EliminatedVars != n-2 {
+		t.Fatalf("EliminatedVars=%d, want %d", st.EliminatedVars, n-2)
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("NumClauses=%d, want 1 (the collapsed implication)", s.NumClauses())
+	}
+	for v := Var(1); v < n-1; v++ {
+		if !s.Eliminated(v) {
+			t.Fatalf("var %d should be eliminated", v)
+		}
+	}
+	// Frozen endpoints still work, and the model must extend over the
+	// eliminated middle so every original clause reads as satisfied.
+	if s.Solve(lits(1)[0]) != Sat {
+		t.Fatalf("expected SAT under x0")
+	}
+	if s.Value(n-1) != True {
+		t.Fatalf("x%d must be implied true", n-1)
+	}
+	for _, cl := range orig {
+		if s.LitValue(cl[0]) != True && s.LitValue(cl[1]) != True {
+			t.Fatalf("extended model violates original clause %v", cl)
+		}
+	}
+}
+
+func TestSimplifyDerivesUnsat(t *testing.T) {
+	s := New()
+	addVars(s, 3)
+	s.AddClause(lits(1, 2)...)
+	s.AddClause(lits(-1, 2)...)
+	s.AddClause(lits(-2, 3)...)
+	s.AddClause(lits(-2, -3)...)
+	if !s.Okay() {
+		t.Fatalf("clause addition alone should not detect UNSAT here")
+	}
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	if s.Okay() {
+		t.Fatalf("Simplify should have derived UNSAT")
+	}
+	if s.Solve() != Unsat {
+		t.Fatalf("expected UNSAT")
+	}
+}
+
+func TestFreezeProtocol(t *testing.T) {
+	s := New()
+	addVars(s, 3)
+	s.AddClause(lits(1, 2)...)
+	s.AddClause(lits(-2, 3)...)
+	for v := Var(0); v < 3; v++ {
+		s.Freeze(v)
+	}
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	if st := s.Stats(); st.EliminatedVars != 0 {
+		t.Fatalf("frozen vars eliminated: %+v", st)
+	}
+	if !s.Frozen(1) {
+		t.Fatalf("Frozen(1) should be true")
+	}
+	s.Thaw(1)
+	if s.Frozen(1) {
+		t.Fatalf("Frozen(1) should be false after Thaw")
+	}
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	if !s.Eliminated(1) {
+		t.Fatalf("thawed var should now be eliminable")
+	}
+	if s.Solve() != Sat {
+		t.Fatalf("expected SAT")
+	}
+}
+
+func TestEliminatedVarPanics(t *testing.T) {
+	mk := func() *Solver {
+		s := New()
+		addVars(s, 3)
+		s.AddClause(lits(1, 2)...)
+		s.AddClause(lits(-2, 3)...)
+		s.Freeze(0)
+		s.Freeze(2)
+		if err := s.Simplify(); err != nil {
+			t.Fatalf("Simplify: %v", err)
+		}
+		if !s.Eliminated(1) {
+			t.Fatalf("setup: var 1 should be eliminated")
+		}
+		return s
+	}
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("AddClause", func() { mk().AddClause(lits(2)...) })
+	expectPanic("assumption", func() { mk().Solve(lits(2)...) })
+	expectPanic("Freeze", func() { mk().Freeze(1) })
+	expectPanic("Thaw unbalanced", func() {
+		s := New()
+		addVars(s, 1)
+		s.Thaw(0)
+	})
+}
+
+func TestRestartModes(t *testing.T) {
+	for _, mode := range []RestartMode{RestartEMA, RestartLuby} {
+		s := New()
+		s.Restart = mode
+		pigeonhole(s, 8, 7)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("%v: PHP(8,7) expected UNSAT, got %v", mode, got)
+		}
+		st := s.Stats()
+		if st.Restarts != st.RestartsLuby+st.RestartsEMA {
+			t.Fatalf("%v: restart split %d+%d != total %d", mode, st.RestartsLuby, st.RestartsEMA, st.Restarts)
+		}
+		switch mode {
+		case RestartLuby:
+			if st.RestartsEMA != 0 || st.RestartsLuby == 0 {
+				t.Fatalf("luby: bad split %+v", st)
+			}
+			if st.RestartsBlocked != 0 {
+				t.Fatalf("luby: blocking should be off, got %d", st.RestartsBlocked)
+			}
+		case RestartEMA:
+			if st.RestartsLuby != 0 {
+				t.Fatalf("ema: luby restarts counted: %+v", st)
+			}
+		}
+		s2 := New()
+		s2.Restart = mode
+		pigeonhole(s2, 7, 7)
+		if got := s2.Solve(); got != Sat {
+			t.Fatalf("%v: PHP(7,7) expected SAT, got %v", mode, got)
+		}
+	}
+}
+
+func TestParseRestartMode(t *testing.T) {
+	if m, err := ParseRestartMode("luby"); err != nil || m != RestartLuby {
+		t.Fatalf("luby: %v %v", m, err)
+	}
+	if m, err := ParseRestartMode("ema"); err != nil || m != RestartEMA {
+		t.Fatalf("ema: %v %v", m, err)
+	}
+	if _, err := ParseRestartMode("geometric"); err == nil {
+		t.Fatalf("expected error on unknown mode")
+	}
+	if RestartEMA.String() != "ema" || RestartLuby.String() != "luby" {
+		t.Fatalf("String() wrong")
+	}
+}
+
+// TestSimplifyAgainstBruteForce is the strongest elimination exercise: whole
+// random formulas with nothing frozen, simplified, solved, and the verdict
+// and extended model checked against exhaustive enumeration.
+func TestSimplifyAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(9)
+		nClauses := 1 + rng.Intn(34)
+		cnf := randomCNF(rng, nVars, nClauses, 4)
+		want := bruteForce(nVars, cnf)
+		s := New()
+		addVars(s, nVars)
+		dbOK := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				dbOK = false
+				break
+			}
+		}
+		if dbOK {
+			if err := s.Simplify(); err != nil {
+				t.Fatalf("iter %d: Simplify: %v", iter, err)
+			}
+		}
+		got := dbOK && s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, got, want, cnf)
+		}
+		if !got {
+			continue
+		}
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				if s.LitValue(l) == True {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("iter %d: extended model violates clause %v", iter, cl)
+			}
+		}
+	}
+}
+
+// TestSimplifyIncrementalEquivalence models the BMC usage pattern: add a
+// batch, freeze the literals future batches and assumptions will mention,
+// simplify, add the next batch, and solve under assumptions — comparing
+// verdicts with a plain solver that never simplifies.
+func TestSimplifyIncrementalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(90210))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 6 + rng.Intn(10)
+		batch1 := randomCNF(rng, nVars, 5+rng.Intn(25), 4)
+		batch2 := randomCNF(rng, nVars, 3+rng.Intn(15), 4)
+		var assumps []Lit
+		for i := rng.Intn(3); i > 0; i-- {
+			assumps = append(assumps, MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1))
+		}
+
+		ref := New()
+		ref.Restart = RestartLuby
+		addVars(ref, nVars)
+		refOK := true
+		for _, cl := range batch1 {
+			if !ref.AddClause(cl...) {
+				refOK = false
+			}
+		}
+		for _, cl := range batch2 {
+			if refOK && !ref.AddClause(cl...) {
+				refOK = false
+			}
+		}
+		want := Unsat
+		if refOK {
+			want = ref.Solve(assumps...)
+		}
+
+		s := New()
+		addVars(s, nVars)
+		sOK := true
+		for _, cl := range batch1 {
+			if !s.AddClause(cl...) {
+				sOK = false
+			}
+		}
+		frozen := make(map[Var]bool)
+		freeze := func(v Var) {
+			if !frozen[v] {
+				frozen[v] = true
+				s.Freeze(v)
+			}
+		}
+		for _, cl := range batch2 {
+			for _, l := range cl {
+				freeze(l.Var())
+			}
+		}
+		for _, a := range assumps {
+			freeze(a.Var())
+		}
+		if err := s.Simplify(); err != nil {
+			t.Fatalf("iter %d: Simplify: %v", iter, err)
+		}
+		for _, cl := range batch2 {
+			if sOK && !s.AddClause(cl...) {
+				sOK = false
+			}
+		}
+		got := Unsat
+		if sOK {
+			got = s.Solve(assumps...)
+		}
+		if got != want {
+			t.Fatalf("iter %d: inprocessing=%v plain=%v", iter, got, want)
+		}
+		if got == Sat {
+			check := func(batch [][]Lit) {
+				for _, cl := range batch {
+					sat := false
+					for _, l := range cl {
+						if s.LitValue(l) == True {
+							sat = true
+							break
+						}
+					}
+					if !sat {
+						t.Fatalf("iter %d: model violates clause %v", iter, cl)
+					}
+				}
+			}
+			check(batch1)
+			check(batch2)
+			for _, a := range assumps {
+				if s.LitValue(a) != True {
+					t.Fatalf("iter %d: model violates assumption %v", iter, a)
+				}
+			}
+		}
+		// A second pass over the enlarged database must preserve the verdict.
+		if err := s.Simplify(); err != nil {
+			t.Fatalf("iter %d: second Simplify: %v", iter, err)
+		}
+		got2 := Unsat
+		if s.Okay() {
+			got2 = s.Solve(assumps...)
+		}
+		if got2 != want {
+			t.Fatalf("iter %d: after second Simplify got %v, want %v", iter, got2, want)
+		}
+	}
+}
+
+func TestSimplifyNoNewClausesIsCheap(t *testing.T) {
+	s := New()
+	addVars(s, 4)
+	s.AddClause(lits(1, 2)...)
+	s.AddClause(lits(3, 4)...)
+	for v := Var(0); v < 4; v++ {
+		s.Freeze(v)
+	}
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	// Second call with an unchanged database: nothing to queue, no effects.
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("second Simplify: %v", err)
+	}
+	st := s.Stats()
+	if st.Simplifies != 2 || st.SubsumedClauses != 0 || st.StrengthenedClauses != 0 {
+		t.Fatalf("unexpected inprocessing effects: %+v", st)
+	}
+	if s.Solve() != Sat {
+		t.Fatalf("expected SAT")
+	}
+}

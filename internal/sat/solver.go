@@ -57,6 +57,30 @@ type Solver struct {
 	model         []LBool
 	conflictAssum []Lit // failed assumptions from the last Unsat answer
 
+	// Restart selects the restart strategy (default RestartEMA); see
+	// restart.go. May be changed between Solve calls.
+	Restart RestartMode
+	ema     emaState
+
+	// LBD machinery: a per-level stamp array for counting distinct decision
+	// levels in a clause, and live clause counts per learnt tier.
+	lbdStamp []uint32
+	lbdGen   uint32
+	nTier    [3]int
+	localMax int // reduceDB fires when the local tier outgrows this
+
+	// Inprocessing state (simplify.go): freeze counts and the eliminated
+	// flag per variable, plus the clauses deleted by variable elimination,
+	// kept for model reconstruction.
+	frozen      []int32
+	elimed      []bool
+	elimClauses [][]Lit // each record: the eliminated variable's literal first
+	simpMark    int     // clauses with cref >= simpMark are new since last Simplify
+	occ         [][]cref
+	abst        []uint64 // per-clause variable signature (subsumption prefilter)
+	litStamp    []uint32
+	litGen      uint32
+
 	// Proof tracing.
 	trace      bool
 	proof      proofStore
@@ -75,21 +99,32 @@ type Solver struct {
 	// Observability (AttachObs): registry counters the solver publishes
 	// cumulative-stat deltas into once per Solve call and on demand via
 	// PublishObs. Nil counters make publication a no-op.
-	obsAttached bool
-	obsPub      Stats // cumulative values already published
-	obsPubNC    int   // NumClauses already published
-	obsPubNV    int   // NumVars already published
-	obsSolves   *obs.Counter
-	obsConfl    *obs.Counter
-	obsProps    *obs.Counter
-	obsBinProps *obs.Counter
-	obsDecs     *obs.Counter
-	obsRestarts *obs.Counter
-	obsReduces  *obs.Counter
-	obsLAdded   *obs.Counter
-	obsLDeleted *obs.Counter
-	obsClauses  *obs.Counter
-	obsVars     *obs.Counter
+	obsAttached  bool
+	obsPub       Stats // cumulative values already published
+	obsPubNC     int   // NumClauses already published
+	obsPubNV     int   // NumVars already published
+	obsSolves    *obs.Counter
+	obsConfl     *obs.Counter
+	obsProps     *obs.Counter
+	obsBinProps  *obs.Counter
+	obsDecs      *obs.Counter
+	obsRestarts  *obs.Counter
+	obsRestLuby  *obs.Counter
+	obsRestEMA   *obs.Counter
+	obsRestBlock *obs.Counter
+	obsReduces   *obs.Counter
+	obsLAdded    *obs.Counter
+	obsLDeleted  *obs.Counter
+	obsLBDSum    *obs.Counter
+	obsSimp      *obs.Counter
+	obsSubsumed  *obs.Counter
+	obsStrength  *obs.Counter
+	obsElimVars  *obs.Counter
+	obsClauses   *obs.Counter
+	obsVars      *obs.Counter
+	obsTierCore  *obs.Gauge
+	obsTierMid   *obs.Gauge
+	obsTierLocal *obs.Gauge
 }
 
 // Stats holds cumulative search statistics.
@@ -107,15 +142,36 @@ type Stats struct {
 	LearntsAdded   int64
 	LearntsDeleted int64
 	MaxVar         int
+	// RestartsLuby and RestartsEMA split Restarts by trigger (Luby budget
+	// vs glue-EMA threshold); RestartsBlocked counts EMA restarts postponed
+	// because the trail was unusually deep.
+	RestartsLuby    int64
+	RestartsEMA     int64
+	RestartsBlocked int64
+	// LBDSum is the total glue over all learnt clauses at record time, so
+	// LBDSum/LearntsAdded is the mean learnt LBD.
+	LBDSum int64
+	// Inprocessing tallies (Simplify).
+	Simplifies          int64
+	SubsumedClauses     int64
+	StrengthenedClauses int64
+	EliminatedVars      int64
 }
 
 // New constructs an empty solver.
 func New() *Solver {
 	return &Solver{
-		ok:     true,
-		varInc: 1.0,
-		claInc: 1.0,
+		ok:       true,
+		varInc:   1.0,
+		claInc:   1.0,
+		localMax: 2000,
 	}
+}
+
+// TierSizes returns the live learnt-clause counts per tier (core glue
+// clauses, mid-tier, local churn pool).
+func (s *Solver) TierSizes() (core, mid, local int) {
+	return s.nTier[tierCore], s.nTier[tierMid], s.nTier[tierLocal]
 }
 
 // EnableProofTracing turns on resolution-chain recording. It must be called
@@ -166,11 +222,22 @@ func (s *Solver) AttachObs(o *obs.Observer) {
 	s.obsBinProps = reg.Counter(obs.MBinPropagations)
 	s.obsDecs = reg.Counter(obs.MDecisions)
 	s.obsRestarts = reg.Counter(obs.MRestarts)
+	s.obsRestLuby = reg.Counter(obs.MRestartsLuby)
+	s.obsRestEMA = reg.Counter(obs.MRestartsEMA)
+	s.obsRestBlock = reg.Counter(obs.MRestartsBlocked)
 	s.obsReduces = reg.Counter(obs.MReduceDBs)
 	s.obsLAdded = reg.Counter(obs.MLearntsAdded)
 	s.obsLDeleted = reg.Counter(obs.MLearntsDeleted)
+	s.obsLBDSum = reg.Counter(obs.MLBDSum)
+	s.obsSimp = reg.Counter(obs.MSimplifies)
+	s.obsSubsumed = reg.Counter(obs.MSubsumedClauses)
+	s.obsStrength = reg.Counter(obs.MStrengthenedClauses)
+	s.obsElimVars = reg.Counter(obs.MEliminatedVars)
 	s.obsClauses = reg.Counter(obs.MSolverClauses)
 	s.obsVars = reg.Counter(obs.MSolverVars)
+	s.obsTierCore = reg.Gauge(obs.MTierCore)
+	s.obsTierMid = reg.Gauge(obs.MTierMid)
+	s.obsTierLocal = reg.Gauge(obs.MTierLocal)
 }
 
 // PublishObs pushes the not-yet-published part of the cumulative counters
@@ -186,9 +253,22 @@ func (s *Solver) PublishObs() {
 	s.obsBinProps.Add(cur.BinPropagations - s.obsPub.BinPropagations)
 	s.obsDecs.Add(cur.Decisions - s.obsPub.Decisions)
 	s.obsRestarts.Add(cur.Restarts - s.obsPub.Restarts)
+	s.obsRestLuby.Add(cur.RestartsLuby - s.obsPub.RestartsLuby)
+	s.obsRestEMA.Add(cur.RestartsEMA - s.obsPub.RestartsEMA)
+	s.obsRestBlock.Add(cur.RestartsBlocked - s.obsPub.RestartsBlocked)
 	s.obsReduces.Add(cur.ReduceDBs - s.obsPub.ReduceDBs)
 	s.obsLAdded.Add(cur.LearntsAdded - s.obsPub.LearntsAdded)
 	s.obsLDeleted.Add(cur.LearntsDeleted - s.obsPub.LearntsDeleted)
+	s.obsLBDSum.Add(cur.LBDSum - s.obsPub.LBDSum)
+	s.obsSimp.Add(cur.Simplifies - s.obsPub.Simplifies)
+	s.obsSubsumed.Add(cur.SubsumedClauses - s.obsPub.SubsumedClauses)
+	s.obsStrength.Add(cur.StrengthenedClauses - s.obsPub.StrengthenedClauses)
+	s.obsElimVars.Add(cur.EliminatedVars - s.obsPub.EliminatedVars)
+	// Tier sizes are instantaneous, not cumulative: publish as high-water
+	// gauges so a fleet of solvers reports its largest tiers.
+	s.obsTierCore.Max(int64(s.nTier[tierCore]))
+	s.obsTierMid.Max(int64(s.nTier[tierMid]))
+	s.obsTierLocal.Max(int64(s.nTier[tierLocal]))
 	s.obsPub = cur
 	nc, nv := s.NumClauses(), s.NumVars()
 	s.obsClauses.Add(int64(nc - s.obsPubNC))
@@ -208,6 +288,8 @@ func (s *Solver) NewVar() Var {
 	s.watches = append(s.watches, nil, nil)
 	s.binWatches = append(s.binWatches, nil, nil)
 	s.seen = append(s.seen, 0)
+	s.frozen = append(s.frozen, 0)
+	s.elimed = append(s.elimed, false)
 	if s.order == nil {
 		s.order = newVarOrder(&s.activity)
 	}
@@ -263,6 +345,11 @@ func (s *Solver) AddClauseTagged(tag int64, lits []Lit) bool {
 	for _, l := range tmp {
 		if int(l.Var()) >= len(s.assigns) {
 			panic("sat: literal references unallocated variable")
+		}
+		if s.elimed[l.Var()] {
+			// The frozen-literal protocol was violated: a variable removed
+			// by Simplify's bounded elimination is being constrained again.
+			panic("sat: clause references eliminated variable (missing Freeze before Simplify)")
 		}
 		if l == prev {
 			continue
@@ -477,7 +564,11 @@ func (s *Solver) bumpVar(v Var) {
 	s.order.decreased(v)
 }
 
-func (s *Solver) decayVar() { s.varInc /= 0.95 }
+// The 0.99 decay (vs MiniSat's 0.95) keeps the activity ordering stable
+// across the much more frequent adaptive restarts: with glue-driven
+// restarting the solver revisits the same prefix often, and a fast decay
+// makes it re-derive the ordering from scratch each time.
+func (s *Solver) decayVar() { s.varInc /= 0.99 }
 
 func (s *Solver) bumpClause(c cref) {
 	h := &s.db.hdr[c]
@@ -506,13 +597,28 @@ func (s *Solver) analyze(confl cref) (learnt []Lit, btLevel int, chain []int32) 
 		if s.trace {
 			chain = append(chain, s.db.id(confl))
 		}
-		if s.db.isLearnt(confl) {
-			s.bumpClause(confl)
-		}
 		// Skip the resolved literal by identity: binary reasons come from
 		// the implication lists, where the implied literal is not
 		// necessarily stored at position 0.
 		cl := s.db.lits(confl)
+		if s.db.isLearnt(confl) {
+			s.bumpClause(confl)
+			// Glucose's dynamic glue update: a clause used in analysis
+			// refreshes its disuse stamp, and if its LBD has improved it is
+			// promoted toward a safer tier.
+			h := &s.db.hdr[confl]
+			h.touch = int32(s.stats.Conflicts)
+			if int(h.lbd) > coreLBD {
+				if nl := s.computeLBD(cl); nl < int(h.lbd) {
+					h.lbd = uint16(nl)
+					if nt := tierForLBD(nl); nt > h.tier {
+						s.nTier[h.tier]--
+						s.nTier[nt]++
+						h.tier = nt
+					}
+				}
+			}
+		}
 		for _, q := range cl {
 			if q == p {
 				continue
@@ -635,19 +741,53 @@ func (s *Solver) levelZeroChain(confl cref) []int32 {
 	return chain
 }
 
-func (s *Solver) recordLearnt(lits []Lit, chain []int32) cref {
+// computeLBD counts the distinct non-zero decision levels among lits (the
+// clause's glue). Levels survive backjumps untouched in s.levels, so calling
+// this right after analyze — before or after cancelUntil — is equivalent.
+func (s *Solver) computeLBD(lits []Lit) int {
+	s.lbdGen++
+	gen := s.lbdGen
+	n := 0
+	for _, l := range lits {
+		lv := int(s.levels[l.Var()])
+		if lv == 0 {
+			continue
+		}
+		for lv >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if s.lbdStamp[lv] != gen {
+			s.lbdStamp[lv] = gen
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Solver) recordLearnt(lits []Lit, chain []int32) (cref, int) {
 	id := int32(-1)
 	if s.trace {
 		id = s.proof.addLearnt(chain)
 	}
+	lbd := s.computeLBD(lits)
 	c := s.db.alloc(lits, true, id)
+	h := &s.db.hdr[c]
+	if lbd > int(^uint16(0)) {
+		h.lbd = ^uint16(0)
+	} else {
+		h.lbd = uint16(lbd)
+	}
+	h.tier = tierForLBD(lbd)
+	h.touch = int32(s.stats.Conflicts)
 	s.stats.LearntsAdded++
+	s.stats.LBDSum += int64(lbd)
 	if len(lits) >= 2 {
+		s.nTier[h.tier]++
 		s.learnts = append(s.learnts, c)
 		s.attach(c)
 		s.bumpClause(c)
 	}
-	return c
+	return c, lbd
 }
 
 // locked reports whether c is the reason of its first (implied) literal and
@@ -657,28 +797,55 @@ func (s *Solver) locked(c cref) bool {
 	return s.value(l) == True && s.reasons[l.Var()] == c
 }
 
-// reduceDB removes roughly half of the learnt clauses, preferring clauses
-// with low activity. Binary learnts (which carry high propagation value at
-// 8 bytes of watch cost) and clauses that are the reason of a standing
-// assignment are never deleted. When enough of the arena is garbage, the
-// literal blocks are compacted in place.
+// reduceDB is the three-tier learnt-database reduction. Core clauses
+// (glue <= 2) are never touched; mid-tier clauses survive but are demoted
+// to the local pool after midAgeLimit conflicts without being used in
+// conflict analysis; the local pool is sorted by activity and its weakest
+// half deleted. Binary learnts (glue <= 2 by construction, and high
+// propagation value at 8 bytes of watch cost) and clauses that are the
+// reason of a standing assignment are never deleted. When enough of the
+// arena is garbage, the literal blocks are compacted in place.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) < 2 {
 		return
 	}
 	s.stats.ReduceDBs++
-	ls := s.learnts
 	db := &s.db
-	sort.Slice(ls, func(i, j int) bool { return db.hdr[ls[i]].act < db.hdr[ls[j]].act })
-	keep := ls[:0]
-	half := len(ls) / 2
-	for i, c := range ls {
-		if i < half && db.size(c) > 2 && !s.locked(c) {
+	now := int32(s.stats.Conflicts)
+	var local []cref
+	for _, c := range s.learnts {
+		h := &db.hdr[c]
+		if h.flags&flagDel != 0 {
+			continue
+		}
+		if h.tier == tierMid && now-h.touch > midAgeLimit {
+			h.tier = tierLocal
+		}
+		if h.tier == tierLocal {
+			local = append(local, c)
+		}
+	}
+	sort.Slice(local, func(i, j int) bool { return db.hdr[local[i]].act < db.hdr[local[j]].act })
+	half := len(local) / 2
+	for i, c := range local {
+		if i >= half {
+			break
+		}
+		if db.size(c) > 2 && !s.locked(c) {
 			db.markDeleted(c) // watchers lazily dropped in propagate
 			s.stats.LearntsDeleted++
+		}
+	}
+	// Rebuild the live list and recount the tiers (the recount also absorbs
+	// any drift from clauses attached outside recordLearnt, e.g. in tests).
+	keep := s.learnts[:0]
+	s.nTier = [3]int{}
+	for _, c := range s.learnts {
+		if db.isDeleted(c) {
 			continue
 		}
 		keep = append(keep, c)
+		s.nTier[db.hdr[c].tier]++
 	}
 	s.learnts = keep
 	if db.shouldCompact() {
@@ -689,7 +856,7 @@ func (s *Solver) reduceDB() {
 func (s *Solver) pickBranchVar() Var {
 	for !s.order.empty() {
 		v := s.order.removeMin()
-		if s.assigns[v] == Undef && s.decider[v] {
+		if s.assigns[v] == Undef && s.decider[v] && !s.elimed[v] {
 			return v
 		}
 	}
@@ -705,6 +872,11 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	s.model = nil
 	s.conflictAssum = nil
 	s.finalChain = nil
+	for _, a := range assumps {
+		if s.elimed[a.Var()] {
+			panic("sat: assumption references eliminated variable (missing Freeze before Simplify)")
+		}
+	}
 	if !s.ok {
 		if s.trace {
 			s.finalChain = s.rootCause
@@ -727,10 +899,10 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	}
 
 	var conflicts int64
+	useLuby := s.Restart == RestartLuby
 	restartN := 0
 	limit := int64(luby(2, restartN) * 100)
 	sinceRestart := int64(0)
-	maxLearnts := int64(len(s.clauses)/3 + 1000)
 
 	for {
 		// Poll the interrupt hook on a bounded stride of search-loop
@@ -762,9 +934,15 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel, chain := s.analyze(confl)
+			trailAtConflict := len(s.trail)
 			// Do not backtrack past the assumptions unless forced to.
 			s.cancelUntil(btLevel)
-			c := s.recordLearnt(learnt, chain)
+			c, lbd := s.recordLearnt(learnt, chain)
+			if !useLuby {
+				if s.ema.update(lbd, trailAtConflict, sinceRestart >= emaMinConflicts) {
+					s.stats.RestartsBlocked++
+				}
+			}
 			if s.value(learnt[0]) != Undef {
 				panic("sat: asserting literal assigned after backjump")
 			}
@@ -778,17 +956,26 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 			continue
 		}
 
-		if sinceRestart >= limit {
-			// Restart, keeping assumptions intact by replaying them below.
-			restartN++
+		if useLuby {
+			if sinceRestart >= limit {
+				// Restart, keeping assumptions intact by replaying them below.
+				restartN++
+				s.stats.Restarts++
+				s.stats.RestartsLuby++
+				limit = int64(luby(2, restartN) * 100)
+				sinceRestart = 0
+				s.cancelUntil(0)
+			}
+		} else if sinceRestart >= emaMinConflicts && s.ema.shouldRestart() {
 			s.stats.Restarts++
-			limit = int64(luby(2, restartN) * 100)
+			s.stats.RestartsEMA++
+			s.ema.onRestart()
 			sinceRestart = 0
 			s.cancelUntil(0)
 		}
-		if int64(len(s.learnts)) > maxLearnts {
+		if s.nTier[tierLocal] > s.localMax {
 			s.reduceDB()
-			maxLearnts += maxLearnts / 10
+			s.localMax += s.localMax / 10
 		}
 
 		// Re-establish assumptions as the first decisions.
@@ -811,8 +998,10 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 
 		v := s.pickBranchVar()
 		if v == VarUndef {
-			// Model found.
+			// Model found. Extend it over eliminated variables so that
+			// witness decoding can read any CNF variable.
 			s.model = append([]LBool(nil), s.assigns...)
+			s.extendModel()
 			s.cancelUntil(0)
 			return Sat
 		}

@@ -120,4 +120,92 @@ func TestTraceJournalMatchesEMMSizes(t *testing.T) {
 	if got := snap["emm.addr_clauses"] + snap["emm.readdata_clauses"] + snap["emm.init_clauses"]; got < int64(want) {
 		t.Fatalf("registry EMM clause total=%d below forward-window Stats.EMM=%v", got, want)
 	}
+	// BMC3 traces proofs for PBA, which disables inprocessing wholesale.
+	if snap["solver.simplifies"] != 0 || r.Stats.Simplifies != 0 {
+		t.Fatalf("PBA run reported inprocessing work: registry=%d stats=%d",
+			snap["solver.simplifies"], r.Stats.Simplifies)
+	}
+}
+
+// TestInprocCountersReconcile runs a conflict-heavy shared-address design
+// and reconciles the new solver counters three ways: Result.Stats, the
+// metrics registry, and the bmc.simplify spans of the JSONL journal must
+// all tell the same story. The quickstart design is too easy here — the
+// inprocessing pass only fires once the solvers have logged enough
+// conflicts to pay for it, and BMC-3's backward induction proves any
+// latch-free property at depth 0 — so this test uses plain BMC-2 on the
+// §S2 shape: one write and two reads racing on a shared address bus, with
+// the optimizer caches off so every depth is a real refutation.
+func TestInprocCountersReconcile(t *testing.T) {
+	d := NewDesign("shared-addr")
+	mem := d.Memory("ram", 4, 8, MemArbitrary)
+	addr := d.Input("a", 4)
+	mem.Write(addr, d.Input("wd", 8), d.InputBit("we"))
+	re0 := d.InputBit("re0")
+	re1 := d.InputBit("re1")
+	rd0 := mem.Read(addr, re0)
+	rd1 := mem.Read(addr, re1)
+	both := d.N.And(re0, re1)
+	d.AssertAlways("shared-read-agree", d.N.And(both, d.Eq(rd0, rd1).Not()).Not())
+	d.Done()
+
+	var buf bytes.Buffer
+	journal := NewJSONLTrace(&buf)
+	opt := BMC2(10)
+	opt.DisableStrash = true
+	opt.DisableEMMMemo = true
+	opt = Observe(opt, journal)
+	r := Verify(d.N, 0, opt)
+	if r.Kind != NoCounterExample {
+		t.Fatalf("valid property must not be falsified: %v", r)
+	}
+	if err := journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if r.Stats.Simplifies == 0 {
+		t.Fatal("multi-depth non-PBA run never simplified")
+	}
+	if r.Stats.Restarts != r.Stats.RestartsLuby+r.Stats.RestartsEMA {
+		t.Fatalf("restart split does not sum: %d != %d + %d",
+			r.Stats.Restarts, r.Stats.RestartsLuby, r.Stats.RestartsEMA)
+	}
+
+	snap := opt.Obs.Registry().Snapshot()
+	for name, want := range map[string]int64{
+		"solver.restarts":             r.Stats.Restarts,
+		"solver.restarts_luby":        r.Stats.RestartsLuby,
+		"solver.restarts_ema":         r.Stats.RestartsEMA,
+		"solver.simplifies":           r.Stats.Simplifies,
+		"solver.subsumed_clauses":     r.Stats.SubsumedClauses,
+		"solver.strengthened_clauses": r.Stats.StrengthenedClauses,
+		"solver.eliminated_vars":      r.Stats.EliminatedVars,
+	} {
+		if got := snap[name]; got != want {
+			t.Errorf("registry %s=%d vs Stats=%d", name, got, want)
+		}
+	}
+
+	var simplifySpans int
+	var journalElim float64
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var ev map[string]interface{}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("journal line is not valid JSON: %q: %v", line, err)
+		}
+		if ev["ev"] == "end" && ev["name"] == "bmc.simplify" {
+			simplifySpans++
+			// Cumulative across both solvers; the last span carries the total.
+			journalElim = ev["eliminated_vars"].(float64)
+		}
+	}
+	// BMC-2 has only the forward solver, so the solver counter is exactly
+	// one per span (a proofs run would log two).
+	if int64(simplifySpans) != r.Stats.Simplifies {
+		t.Errorf("journal has %d bmc.simplify spans vs Stats.Simplifies=%d (want 1 per span)",
+			simplifySpans, r.Stats.Simplifies)
+	}
+	if int64(journalElim) != r.Stats.EliminatedVars {
+		t.Errorf("journal eliminated_vars=%v vs Stats=%d", journalElim, r.Stats.EliminatedVars)
+	}
 }
