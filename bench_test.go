@@ -28,6 +28,7 @@ import (
 	"emmver/internal/exp"
 	"emmver/internal/expmem"
 	"emmver/internal/ltl"
+	"emmver/internal/pass"
 	"emmver/internal/rtl"
 	"emmver/internal/sat"
 	"emmver/internal/unroll"
@@ -549,4 +550,46 @@ func BenchmarkGrowthSolve(b *testing.B) {
 	}
 	run("baseline", true)
 	run("inproc", false)
+}
+
+// BenchmarkCompilePipeline prices the static compile pipeline and records
+// its effect on the decoy-salted growth design: /static times the four
+// netlist passes alone; /solve-off and /solve-on run the depth-12 BMC-2
+// check with the pipeline disabled and enabled, reporting cumulative CNF
+// clauses so the benchmark trajectory captures the reduction.
+func BenchmarkCompilePipeline(b *testing.B) {
+	cfg := exp.GrowthSolveConfig{AW: 5, DW: 8, MaxK: 12, NoOpt: true, Decoys: 8}
+	b.Run("static", func(b *testing.B) {
+		n := exp.GrowthSolveNetlist(cfg)
+		var after pass.Counts
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := pass.Compile(n, []int{0}, pass.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			after = pass.CountsOf(c.N)
+		}
+		before := pass.CountsOf(n)
+		b.ReportMetric(float64(before.Nodes-after.Nodes), "nodes_removed")
+		b.ReportMetric(float64(before.Latches-after.Latches), "latches_removed")
+		b.ReportMetric(float64(before.MemPorts-after.MemPorts), "ports_removed")
+	})
+	solve := func(name, spec string) {
+		b.Run(name, func(b *testing.B) {
+			var clauses int
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Passes = spec
+				r := exp.GrowthSolve(c)
+				if r.Kind != bmc.KindNoCE {
+					b.Fatalf("valid property must report NO_CE, got %v", r.Kind)
+				}
+				clauses = r.Stats.Clauses
+			}
+			b.ReportMetric(float64(clauses), "clauses")
+		})
+	}
+	solve("solve-off", pass.SpecNone)
+	solve("solve-on", "")
 }

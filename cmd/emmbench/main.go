@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"emmver/internal/exp"
+	"emmver/internal/pass"
 	"emmver/internal/rtl"
 	"emmver/internal/sat"
 	"emmver/internal/unroll"
@@ -68,6 +69,9 @@ func main() {
 		{"Simplify", benchSimplify},
 		{"GrowthSolve/Baseline", func() entry { return benchGrowthSolve(sat.RestartLuby, true) }},
 		{"GrowthSolve/Inproc", func() entry { return benchGrowthSolve(sat.RestartEMA, false) }},
+		{"CompilePipeline/Static", benchCompileStatic},
+		{"CompilePipeline/Off", func() entry { return benchCompileSolve(pass.SpecNone) }},
+		{"CompilePipeline/On", func() entry { return benchCompileSolve("") }},
 	} {
 		e := b.run()
 		e.Name = b.name
@@ -119,6 +123,27 @@ func main() {
 			},
 		})
 		fmt.Printf("solve reduction at depth 24: %.1f%% time, %.1f%% conflicts\n", timeRed, conflRed)
+	}
+
+	// The PR-5 headline: CNF reduction from the static compile pipeline
+	// (COI + constant sweep + port pruning + dedup) on the decoy-salted
+	// growth design, solved to the same depth either way.
+	var pOff, pOn float64
+	for _, e := range rep.Benchmarks {
+		switch e.Name {
+		case "CompilePipeline/Off":
+			pOff = e.Metrics["clauses"]
+		case "CompilePipeline/On":
+			pOn = e.Metrics["clauses"]
+		}
+	}
+	if pOff > 0 && pOn > 0 {
+		red := 100 * (1 - pOn/pOff)
+		rep.Benchmarks = append(rep.Benchmarks, entry{
+			Name:    "CompilePipeline/Reduction",
+			Metrics: map[string]float64{"clause_reduction_pct": red},
+		})
+		fmt.Printf("pass-pipeline CNF reduction at depth 24: %.1f%%\n", red)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -348,6 +373,55 @@ func benchGrowthSolve(mode sat.RestartMode, noSimplify bool) entry {
 			"restarts":        float64(res.Stats.Restarts),
 			"eliminated_vars": float64(res.Stats.EliminatedVars),
 			"subsumed":        float64(res.Stats.SubsumedClauses),
+		},
+	}
+}
+
+// benchCompileStatic times the four netlist passes alone on the
+// decoy-salted §S3 growth design.
+func benchCompileStatic() entry {
+	cfg := exp.DefaultCompileAB()
+	n := exp.GrowthSolveNetlist(cfg)
+	var after pass.Counts
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := pass.Compile(n, []int{0}, pass.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			after = pass.CountsOf(c.N)
+		}
+	})
+	before := pass.CountsOf(n)
+	return entry{
+		Iterations: r.N,
+		NsPerOp:    float64(r.NsPerOp()),
+		Metrics: map[string]float64{
+			"nodes_removed":   float64(before.Nodes - after.Nodes),
+			"latches_removed": float64(before.Latches - after.Latches),
+			"ports_removed":   float64(before.MemPorts - after.MemPorts),
+		},
+	}
+}
+
+// benchCompileSolve runs the §S3 A/B half selected by spec: the
+// decoy-salted growth design, BMC-2 to depth 24, with the compile
+// pipeline off (spec "none") or on (spec "").
+func benchCompileSolve(spec string) entry {
+	cfg := exp.DefaultCompileAB()
+	cfg.Passes = spec
+	var res exp.GrowthSolveResult
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res = exp.GrowthSolve(cfg)
+		}
+	})
+	return entry{
+		Iterations: r.N,
+		NsPerOp:    float64(r.NsPerOp()),
+		Metrics: map[string]float64{
+			"clauses":   float64(res.Stats.Clauses),
+			"conflicts": float64(res.Conflicts),
 		},
 	}
 }

@@ -29,7 +29,6 @@ import (
 	"emmver/internal/cliobs"
 	"emmver/internal/designs"
 	"emmver/internal/expmem"
-	"emmver/internal/sat"
 	"emmver/internal/vcd"
 )
 
@@ -47,16 +46,10 @@ func main() {
 	vcdOut := flag.String("vcd", "", "write a counter-example waveform to this file")
 	aigerOut := flag.String("aiger", "", "write the (memory-free) model as AIGER to this file and exit")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes")
-	restart := flag.String("restart", "ema", "solver restart strategy: luby or ema (adaptive)")
-	noSimplify := flag.Bool("no-simplify", false, "disable between-depth inprocessing (subsumption + variable elimination)")
 	verbose := flag.Bool("v", false, "log per-depth progress")
+	engFlags := cliobs.RegisterEngine()
 	obsFlags := cliobs.Register()
 	flag.Parse()
-
-	restartMode, err := sat.ParseRestartMode(*restart)
-	if err != nil {
-		fail(err.Error())
-	}
 
 	netlist, pi := buildDesign(*design, *n, *reduced, *prop)
 	if *explicit {
@@ -84,8 +77,13 @@ func main() {
 	}
 
 	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
-	opt.Restart = restartMode
-	opt.NoSimplify = *noSimplify
+	opt, err := engFlags.Apply(opt)
+	if err != nil {
+		fail(err.Error())
+	}
+	if s := cliobs.DescribeCompile(netlist, []int{pi}, opt.Passes); s != "" {
+		fmt.Printf("compile: %s\n", s)
+	}
 	opt.CollectDepthStats = *stats
 	// With more than one job the engine races forward/backward termination
 	// on separate goroutines at each depth (only meaningful with proofs).

@@ -18,13 +18,16 @@ import (
 
 	"emmver/internal/bmc"
 	"emmver/internal/btor2"
+	"emmver/internal/cliobs"
 )
 
 func main() {
 	engine := flag.String("engine", "bmc3", "bmc1, bmc2, or bmc3")
 	depth := flag.Int("depth", 100, "maximum analysis depth")
 	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
+	jobs := flag.Int("jobs", 1, "how many bad properties are checked concurrently")
 	verbose := flag.Bool("v", false, "log per-depth progress")
+	engFlags := cliobs.RegisterEngine()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: emmbtor [flags] model.btor2")
@@ -42,8 +45,16 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("model: %s, %d properties\n", n.Stats(), len(n.Props))
+	if len(n.Props) == 0 {
+		return
+	}
 
 	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: true}
+	opt, err = engFlags.Apply(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *verbose {
 		opt.Log = os.Stderr
 	}
@@ -59,10 +70,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
+	if s := cliobs.DescribeCompile(n, allProps(len(n.Props)), opt.Passes); s != "" {
+		fmt.Printf("compile: %s\n", s)
+	}
 
+	// One CheckMany run shares the compile pipeline and the incremental
+	// unrolling across every bad property.
+	props := allProps(len(n.Props))
+	var mr *bmc.ManyResult
+	if *jobs > 1 {
+		mr = bmc.CheckManyParallel(n, props, opt, *jobs)
+	} else {
+		mr = bmc.CheckMany(n, props, opt)
+	}
 	fails := 0
 	for pi, p := range n.Props {
-		r := bmc.Check(n, pi, opt)
+		r := mr.Results[pi]
 		fmt.Printf("  [%s] %s\n", p.Name, r)
 		if r.Kind == bmc.KindCE {
 			fails++
@@ -71,4 +94,12 @@ func main() {
 	if fails > 0 {
 		os.Exit(1)
 	}
+}
+
+func allProps(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }

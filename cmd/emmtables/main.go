@@ -5,6 +5,7 @@
 //	emmtables -exp i1            Industry I (image filter, 216 properties)
 //	emmtables -exp i2            Industry II (multi-port lookup engine)
 //	emmtables -exp f1            constraint-growth validation ("figure")
+//	emmtables -exp s3            compile-pipeline A/B (§S3)
 //	emmtables -exp all           everything
 //
 // By default experiments run at the reduced scale (small memory widths,
@@ -27,18 +28,27 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, all")
+	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, all")
 	scale := flag.String("scale", "reduced", "design sizing: reduced or paper")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-run timeout (the paper used 3h)")
 	sizes := flag.String("n", "3,4,5", "quicksort array sizes for t1/t2")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "how many verification runs execute concurrently per experiment")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
+	engFlags := cliobs.RegisterEngine()
 	obsFlags := cliobs.Register()
 	flag.Parse()
 
+	restart, noSimplify, passes, err := engFlags.Values()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	observer, obsStop := obsFlags.Setup()
 	defer obsStop()
-	cfg := exp.Config{Timeout: *timeout, Jobs: *jobs, Obs: observer}
+	cfg := exp.Config{
+		Timeout: *timeout, Jobs: *jobs, Obs: observer,
+		Restart: restart, NoSimplify: noSimplify, Passes: passes,
+	}
 	switch *scale {
 	case "reduced":
 		cfg.Scale = exp.ScaleReduced
@@ -79,6 +89,14 @@ func main() {
 		case "f1":
 			fmt.Printf("## Experiment F1 (constraint growth)\n\n")
 			fmt.Println(exp.RenderGrowth(exp.Growth(exp.DefaultGrowth())))
+		case "s3":
+			fmt.Printf("## Experiment S3 (compile pipeline A/B)\n\n")
+			ab, err := exp.CompileAB(exp.DefaultCompileAB())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(exp.RenderCompileAB(ab))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -86,7 +104,7 @@ func main() {
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"t1", "t2", "i1", "i2", "f1"} {
+		for _, name := range []string{"t1", "t2", "i1", "i2", "f1", "s3"} {
 			run(name)
 		}
 		return

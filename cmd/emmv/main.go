@@ -25,7 +25,6 @@ import (
 	"emmver/internal/cliobs"
 	"emmver/internal/expmem"
 	"emmver/internal/par"
-	"emmver/internal/sat"
 	"emmver/internal/vcd"
 	"emmver/internal/verilog"
 )
@@ -55,9 +54,8 @@ func main() {
 	explicit := flag.Bool("explicit", false, "expand memories into latches first")
 	vcdOut := flag.String("vcd", "", "write the first counter-example waveform here")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes (forces a sequential run)")
-	restart := flag.String("restart", "ema", "solver restart strategy: luby or ema (adaptive)")
-	noSimplify := flag.Bool("no-simplify", false, "disable between-depth inprocessing (subsumption + variable elimination)")
 	verbose := flag.Bool("v", false, "log per-depth progress")
+	engFlags := cliobs.RegisterEngine()
 	obsFlags := cliobs.Register()
 	params := paramFlags{}
 	flag.Var(params, "param", "parameter override NAME=VALUE (repeatable)")
@@ -98,14 +96,21 @@ func main() {
 		fmt.Printf("explicit model: %s\n", n.Stats())
 	}
 
-	restartMode, err := sat.ParseRestartMode(*restart)
+	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
+	opt, err = engFlags.Apply(opt)
 	if err != nil {
 		fatal(err)
 	}
-	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
-	opt.Restart = restartMode
-	opt.NoSimplify = *noSimplify
 	opt.CollectDepthStats = *stats
+	if *verbose {
+		allProps := make([]int, len(n.Props))
+		for pi := range allProps {
+			allProps[pi] = pi
+		}
+		if s := cliobs.DescribeCompile(n, allProps, opt.Passes); s != "" {
+			fmt.Printf("compile: %s\n", s)
+		}
+	}
 	if *verbose {
 		opt.Log = os.Stderr
 	}

@@ -31,6 +31,7 @@
 //	internal/unroll  time-frame expansion with tagged CNF
 //	internal/core    the EMM constraint generation (the paper's §3–§4)
 //	internal/expmem  the Explicit Modeling baseline
+//	internal/pass    the static compile pipeline (COI, sweep, ports, dedup)
 //	internal/bmc     BMC-1 / BMC-2 / BMC-3 engines and the PBA flow
 //	internal/pba     latch-reason tracking and model reduction
 //	internal/bdd     a BDD-based model checker for comparison
@@ -49,6 +50,7 @@ import (
 	"emmver/internal/expmem"
 	"emmver/internal/ltl"
 	"emmver/internal/obs"
+	"emmver/internal/pass"
 	"emmver/internal/rtl"
 	"emmver/internal/sim"
 	"emmver/internal/verilog"
@@ -224,6 +226,36 @@ func ProveWithAbstractionCtx(ctx context.Context, n *Netlist, prop int, opt Opti
 // under it), generalized.
 func ProveWithInvariant(n *Netlist, mainProp, invariantProp int, opt Options) (*bmc.InvariantResult, error) {
 	return bmc.ProveWithInvariant(n, mainProp, invariantProp, opt)
+}
+
+// Compile-pipeline aliases: the static netlist-to-netlist passes every
+// engine runs before unrolling. Options.Passes (or WithPasses) selects
+// them per verification run; Compile runs the pipeline standalone.
+type (
+	// CompileOptions configures a standalone Compile run (pass spec +
+	// observer).
+	CompileOptions = pass.Options
+	// CompiledModel is the reduced netlist, the renumbered property
+	// indices, and the mapping back to source coordinates.
+	CompiledModel = pass.Compiled
+	// PassMapping translates compiled latch/memory/port coordinates back
+	// to the source netlist. The engines use it internally to back-map
+	// witnesses and PBA latch reasons; it is exposed for tools that
+	// consume CompiledModel directly.
+	PassMapping = pass.Mapping
+)
+
+// PassNames lists the available compile passes in default-pipeline order.
+func PassNames() []string { return pass.Names() }
+
+// Compile runs the static compile pipeline (cone-of-influence reduction,
+// inductive constant sweep, memory-port pruning, structural dedup — the
+// spec in opt.Spec, default all four) over n for the given property
+// indices. Every Verify/VerifyAll run does this automatically under
+// Options.Passes; call Compile directly to inspect the reduction or hand
+// the reduced model to other tools.
+func Compile(n *Netlist, props []int, opt CompileOptions) (*CompiledModel, error) {
+	return pass.Compile(n, props, opt)
 }
 
 // ExpandMemories builds the Explicit Modeling baseline: every memory

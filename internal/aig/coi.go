@@ -8,14 +8,27 @@ package aig
 // module (all its ports' address/data/enable cones, since any write may be
 // forwarded to the read).
 //
-// The returned mapping translates old input/latch node ids to new ones so
-// witnesses can be related across the reduction.
-func ExtractCone(n *Netlist, props []int) (*Netlist, map[NodeID]NodeID) {
-	// Fixpoint: collect every node reachable backward from the roots,
-	// expanding latches through their next functions and memory read
-	// nodes through their module's port nets.
-	needNode := make([]bool, n.NumNodes())
-	needMem := make([]bool, len(n.Memories))
+// The reduction is memory-granular: a reached memory keeps all its ports.
+// Port-granular pruning is layered on top by package pass. The returned
+// RebuildMap relates the reduced netlist to the source in both directions
+// so witnesses and latch-reason sets can be translated across it.
+func ExtractCone(n *Netlist, props []int) (*Netlist, *RebuildMap) {
+	needNode, needMem := coneOf(n, props)
+	return Rebuild(n, RebuildSpec{
+		Name:      n.Name + "_coi",
+		KeepInput: func(id NodeID) bool { return needNode[id] },
+		KeepLatch: func(i int) bool { return needNode[n.Latches[i].Node] },
+		KeepMem:   func(mi int) bool { return needMem[mi] },
+		Props:     props,
+	})
+}
+
+// coneOf runs the cone-of-influence fixpoint and returns which nodes and
+// which memory modules the selected properties (plus all constraints) can
+// depend on.
+func coneOf(n *Netlist, props []int) (needNode []bool, needMem []bool) {
+	needNode = make([]bool, n.NumNodes())
+	needMem = make([]bool, len(n.Memories))
 
 	memOfRead := make(map[NodeID]int)
 	for mi, m := range n.Memories {
@@ -79,95 +92,5 @@ func ExtractCone(n *Netlist, props []int) (*Netlist, map[NodeID]NodeID) {
 			}
 		}
 	}
-
-	// Rebuild.
-	out := New(n.Name + "_coi")
-	mapping := make(map[NodeID]NodeID)
-	newLit := make(map[NodeID]Lit)
-	newLit[0] = False
-
-	for _, id := range n.Inputs {
-		if !needNode[id] {
-			continue
-		}
-		l := out.NewInput(n.InputName(id))
-		newLit[id] = l
-		mapping[id] = l.Node()
-	}
-	for _, l := range n.Latches {
-		if !needNode[l.Node] {
-			continue
-		}
-		nl := out.NewLatch(l.Name, l.Init)
-		newLit[l.Node] = nl
-		mapping[l.Node] = nl.Node()
-	}
-	newMems := make([]*Memory, len(n.Memories))
-	for mi, m := range n.Memories {
-		if !needMem[mi] {
-			continue
-		}
-		nm := out.NewMemory(m.Name, m.AW, m.DW, m.Init)
-		nm.Image = m.Image
-		newMems[mi] = nm
-		for _, rp := range m.Reads {
-			nrp := out.NewReadPort(nm)
-			for b, dn := range rp.Data {
-				newLit[dn] = MkLit(nrp.Data[b], false)
-			}
-		}
-	}
-
-	var copyLit func(l Lit) Lit
-	copyLit = func(l Lit) Lit {
-		id := l.Node()
-		if v, ok := newLit[id]; ok {
-			return v.XorInv(l.Inverted())
-		}
-		node := n.nodes[id]
-		if node.Kind != KAnd {
-			panic("aig: cone copy reached an undeclared non-gate node")
-		}
-		v := out.And(copyLit(node.F0), copyLit(node.F1))
-		newLit[id] = v
-		return v.XorInv(l.Inverted())
-	}
-
-	for _, l := range n.Latches {
-		if needNode[l.Node] {
-			out.SetNext(newLit[l.Node], copyLit(l.Next))
-		}
-	}
-	for mi, m := range n.Memories {
-		if !needMem[mi] {
-			continue
-		}
-		nm := newMems[mi]
-		for ri, rp := range m.Reads {
-			addr := make([]Lit, len(rp.Addr))
-			for i, a := range rp.Addr {
-				addr[i] = copyLit(a)
-			}
-			out.SetReadAddr(nm, nm.Reads[ri], addr, copyLit(rp.En))
-		}
-		for _, wp := range m.Writes {
-			addr := make([]Lit, len(wp.Addr))
-			for i, a := range wp.Addr {
-				addr[i] = copyLit(a)
-			}
-			data := make([]Lit, len(wp.Data))
-			for i, d := range wp.Data {
-				data[i] = copyLit(d)
-			}
-			out.NewWritePort(nm, addr, data, copyLit(wp.En))
-		}
-	}
-	for _, pi := range props {
-		p := n.Props[pi]
-		out.AddProperty(p.Name, copyLit(p.OK))
-	}
-	for _, c := range n.Constraints {
-		out.AddConstraint(copyLit(c))
-	}
-	return out, mapping
+	return needNode, needMem
 }

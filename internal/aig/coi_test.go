@@ -43,8 +43,11 @@ func TestExtractConeDropsDeadLogic(t *testing.T) {
 	if len(out.Props) != 1 {
 		t.Fatalf("property lost")
 	}
-	if len(mapping) == 0 {
-		t.Fatalf("empty mapping")
+	if len(mapping.Latch) == 0 || len(mapping.Input) == 0 {
+		t.Fatalf("empty mapping: %+v", mapping)
+	}
+	if len(mapping.Mem) != 1 || mapping.Mem[0] != 0 {
+		t.Fatalf("memory map wrong: %v", mapping.Mem)
 	}
 }
 

@@ -44,6 +44,17 @@ type Options struct {
 	Proofs bool
 	// PBA enables proof-tracing and latch-reason collection on the
 	// counter-example checks.
+	//
+	// Proof tracing changes more than the solver: while cores are being
+	// harvested, the engine also turns off structural hashing in the
+	// unrollers, init-literal folding, comparator memoization, and the
+	// between-depth inprocessing pass. All four optimizations share (or
+	// rewrite) clauses across clause tags, and PBA attributes relevance by
+	// tag — a shared clause would implicate only its first creator, so
+	// the abstraction could silently drop latches or EMM events the proof
+	// needs. This means a PBA run (BMC-3's phase 1) has deliberately
+	// different performance characteristics from a plain BMC-2 run at the
+	// same options; TestPBADisablesClauseSharing pins the coupling.
 	PBA bool
 	// StabilityDepth is the number of depths the latch-reason set must
 	// stay unchanged before the abstraction is considered stable
@@ -115,6 +126,15 @@ type Options struct {
 	// step, and each portfolio lane. Nil (the default) costs nothing.
 	// Equivalent builder: WithTrace / WithObserver.
 	Obs *obs.Observer
+	// Passes selects the static compile pipeline every public entry point
+	// (Check/CheckCtx/CheckMany*/CheckManyParallel*) runs before the first
+	// solver call: "" for the default pass.SpecDefault pipeline
+	// (coi,sweep,ports,dedup), "none" to disable it, or an explicit
+	// comma-separated pass list. Results are always reported in source
+	// netlist coordinates — witnesses, latch reasons, and property indices
+	// are translated back through the pipeline's mapping. Equivalent
+	// builder: WithPasses.
+	Passes string
 	// Jobs is the worker count used by entry points that fan out across
 	// properties or lanes (the facade's VerifyAll and the CLIs): 0 picks
 	// runtime.NumCPU, 1 forces the sequential shared-unrolling engine, and
@@ -663,7 +683,18 @@ func Check(n *aig.Netlist, prop int, opt Options) *Result {
 // run stops at the next solver poll and reports KindTimeout. The parallel
 // engines use it to tear a whole fleet down as soon as its outcome is
 // decided.
+//
+// Like every public entry point, CheckCtx first runs the static compile
+// pipeline selected by Options.Passes and then translates the result back
+// to n's coordinates.
 func CheckCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Result {
+	c := compileModel(n, []int{prop}, &opt)
+	return c.finish(checkCompiled(ctx, c.n, c.props[0], opt), prop, opt)
+}
+
+// checkCompiled is the engine loop proper, running directly on the netlist
+// it is given (already compiled by the caller).
+func checkCompiled(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Result {
 	e := newEngine(ctx, n, prop, opt)
 	for i := 0; i <= opt.MaxDepth; i++ {
 		if e.timedOut() {

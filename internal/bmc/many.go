@@ -45,7 +45,18 @@ func CheckMany(n *aig.Netlist, props []int, opt Options) *ManyResult {
 }
 
 // CheckManyCtx is CheckMany under a cancellation context; see CheckCtx.
+// The static compile pipeline runs once for the whole property set, so its
+// cost is shared the same way the unrolling is.
 func CheckManyCtx(ctx context.Context, n *aig.Netlist, props []int, opt Options) *ManyResult {
+	c := compileModel(n, props, &opt)
+	out := checkManyCompiled(ctx, c.n, c.props, opt)
+	for pi := range out.Results {
+		out.Results[pi] = c.finish(out.Results[pi], c.srcProps[pi], opt)
+	}
+	return out
+}
+
+func checkManyCompiled(ctx context.Context, n *aig.Netlist, props []int, opt Options) *ManyResult {
 	e := newEngine(ctx, n, props[0], opt)
 	out := &ManyResult{Results: make([]*Result, len(props))}
 	unresolved := len(props)

@@ -73,3 +73,12 @@ func (o Options) WithSimplify(on bool) Options {
 	o.NoSimplify = !on
 	return o
 }
+
+// WithPasses returns a copy of o whose static compile pipeline is spec:
+// "" for the default pipeline, pass.SpecNone ("none") to disable it, or an
+// explicit comma-separated pass list such as "coi,dedup". Equivalent
+// field: Options.Passes.
+func (o Options) WithPasses(spec string) Options {
+	o.Passes = spec
+	return o
+}

@@ -46,6 +46,11 @@ func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt 
 		defer cancel()
 		opt.Timeout = 0
 	}
+	// Compile once before the fleet spawns: every worker engine unrolls
+	// the same reduced netlist, and results are back-mapped after the
+	// fan-in below.
+	c := compileModel(n, props, &opt)
+	n, props = c.n, c.props
 	jobs = par.Jobs(jobs)
 	if jobs > len(props) {
 		jobs = len(props)
@@ -102,6 +107,9 @@ func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt 
 		if r.Kind == KindCE && r.Depth > out.MaxWitnessDepth {
 			out.MaxWitnessDepth = r.Depth
 		}
+	}
+	for pi := range out.Results {
+		out.Results[pi] = c.finish(out.Results[pi], c.srcProps[pi], opt)
 	}
 	return out
 }

@@ -1,0 +1,85 @@
+package cliobs
+
+import (
+	"flag"
+	"strings"
+
+	"emmver/internal/aig"
+	"emmver/internal/bmc"
+	"emmver/internal/pass"
+	"emmver/internal/sat"
+)
+
+// EngineFlags bundles the solver and compile-pipeline flags shared by all
+// verification CLIs — -restart, -no-simplify, -passes, -no-passes — so
+// every frontend exposes the same knobs with the same semantics and
+// default values.
+type EngineFlags struct {
+	Restart    *string
+	NoSimplify *bool
+	Passes     *string
+	NoPasses   *bool
+}
+
+// RegisterEngine declares the shared engine flags on the default flag set;
+// call it before flag.Parse.
+func RegisterEngine() *EngineFlags {
+	return &EngineFlags{
+		Restart: flag.String("restart", "ema", "solver restart strategy: luby or ema (adaptive)"),
+		NoSimplify: flag.Bool("no-simplify", false,
+			"disable between-depth inprocessing (subsumption + variable elimination)"),
+		Passes: flag.String("passes", "",
+			"static compile pipeline: comma-separated passes from "+
+				strings.Join(pass.Names(), ",")+" (default \""+pass.SpecDefault+"\"), or none"),
+		NoPasses: flag.Bool("no-passes", false, "disable the static compile pipeline (same as -passes=none)"),
+	}
+}
+
+// Spec resolves -passes/-no-passes to the pipeline spec string for
+// bmc.Options.Passes / pass.Options.Spec.
+func (f *EngineFlags) Spec() string {
+	if *f.NoPasses {
+		return pass.SpecNone
+	}
+	return *f.Passes
+}
+
+// DescribeCompile runs the static pipeline once over n for the given
+// property set and returns a one-line reduction summary, or "" when the
+// pipeline is disabled, invalid, or removes nothing. Engines re-run the
+// pipeline internally; this exists only so CLIs can report what it will
+// do before the (much longer) solve starts.
+func DescribeCompile(n *aig.Netlist, props []int, spec string) string {
+	c, err := pass.Compile(n, props, pass.Options{Spec: spec})
+	if err != nil {
+		return ""
+	}
+	return c.Summary()
+}
+
+// Values validates the parsed flags and returns the raw engine knobs, for
+// callers that thread them into non-bmc config structs (e.g. exp.Config).
+// The error is user-facing (bad -restart or -passes value).
+func (f *EngineFlags) Values() (mode sat.RestartMode, noSimplify bool, spec string, err error) {
+	mode, err = sat.ParseRestartMode(*f.Restart)
+	if err != nil {
+		return mode, false, "", err
+	}
+	spec = f.Spec()
+	if err := pass.ValidSpec(spec); err != nil {
+		return mode, false, "", err
+	}
+	return mode, *f.NoSimplify, spec, nil
+}
+
+// Apply validates the parsed flag values and copies them onto opt.
+func (f *EngineFlags) Apply(opt bmc.Options) (bmc.Options, error) {
+	mode, noSimplify, spec, err := f.Values()
+	if err != nil {
+		return opt, err
+	}
+	opt.Restart = mode
+	opt.NoSimplify = noSimplify
+	opt.Passes = spec
+	return opt, nil
+}

@@ -19,8 +19,10 @@ import (
 	"time"
 
 	"emmver/internal/aig"
+	"emmver/internal/bmc"
 	"emmver/internal/expmem"
 	"emmver/internal/obs"
+	"emmver/internal/sat"
 )
 
 // Scale selects experiment sizing.
@@ -61,6 +63,28 @@ type Config struct {
 	// registry and per-depth/solve spans flow to its trace sink, letting a
 	// journal reconstruct e.g. Table 2 clause-growth curves. Nil is off.
 	Obs *obs.Observer
+	// Restart selects the solver restart strategy for every verification
+	// run an experiment performs (zero value = solver default, EMA).
+	Restart sat.RestartMode
+	// NoSimplify disables between-depth inprocessing in every run.
+	NoSimplify bool
+	// Passes overrides the static compile-pipeline spec for every run:
+	// "" keeps the default pipeline, "none" disables it. Sub-checks that
+	// pin their own spec to replicate a paper number keep their pin.
+	Passes string
+}
+
+// apply copies the engine-wide knobs (restart strategy, inprocessing,
+// compile-pipeline spec) onto opt. An opt that already pins Passes keeps
+// its pin — Industry II's invariant check relies on that to replicate the
+// unreduced 2-induction depth.
+func (c Config) apply(opt bmc.Options) bmc.Options {
+	opt.Restart = c.Restart
+	opt.NoSimplify = c.NoSimplify
+	if opt.Passes == "" {
+		opt.Passes = c.Passes
+	}
+	return opt
 }
 
 // DefaultConfig returns a reduced-scale configuration with the given

@@ -58,12 +58,12 @@ func Industry1(cfg Config) *I1Result {
 	runBoth := func(n *aig.Netlist, useEMM bool) (wit, proofs, other, maxDepth int, sec, mb float64, timedOut bool) {
 		t0 := time.Now()
 		props := f.PropIndices()
-		mr := bmc.CheckManyParallel(n, props, bmc.Options{
+		mr := bmc.CheckManyParallel(n, props, cfg.apply(bmc.Options{
 			MaxDepth: 3*fcfg.LineWidth + 10,
 			UseEMM:   useEMM,
 			Timeout:  cfg.Timeout,
 			Obs:      cfg.Obs,
-		}, cfg.Jobs)
+		}), cfg.Jobs)
 		mb = mr.Stats.PeakHeapMB
 		var leftovers []int
 		for pi, r := range mr.Results {
@@ -83,9 +83,9 @@ func Industry1(cfg Config) *I1Result {
 		}
 		kinds := make([]bmc.Kind, len(leftovers))
 		par.ForEach(context.Background(), cfg.Jobs, len(leftovers), func(_ context.Context, _, li int) {
-			pr := bmc.Check(n, leftovers[li], bmc.Options{
+			pr := bmc.Check(n, leftovers[li], cfg.apply(bmc.Options{
 				MaxDepth: 10, UseEMM: useEMM, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs,
-			})
+			}))
 			kinds[li] = pr.Kind
 		})
 		for _, k := range kinds {
@@ -167,7 +167,7 @@ func Industry2(cfg Config) *I2Result {
 	// (a) Full memory abstraction: spurious witnesses at shallow depth.
 	cfg.logf("industry2: full-abstraction spurious CE ...")
 	l := designs.NewLookup(lcfg)
-	r := bmc.Check(l.Netlist(), l.ReachIndices[0], bmc.Options{MaxDepth: 20, Timeout: cfg.Timeout, Obs: cfg.Obs})
+	r := bmc.Check(l.Netlist(), l.ReachIndices[0], cfg.apply(bmc.Options{MaxDepth: 20, Timeout: cfg.Timeout, Obs: cfg.Obs}))
 	if r.Kind == bmc.KindCE {
 		res.SpuriousDepth = r.Depth
 	}
@@ -183,9 +183,9 @@ func Industry2(cfg Config) *I2Result {
 	var foundCE atomic.Bool
 	sweepCtx, cancelSweep := context.WithCancel(context.Background())
 	par.ForEach(sweepCtx, cfg.Jobs, len(l.ReachIndices), func(ctx context.Context, _, i int) {
-		rr := bmc.CheckCtx(ctx, l.Netlist(), l.ReachIndices[i], bmc.Options{
+		rr := bmc.CheckCtx(ctx, l.Netlist(), l.ReachIndices[i], cfg.apply(bmc.Options{
 			MaxDepth: depth, UseEMM: true, Timeout: cfg.Timeout, Obs: cfg.Obs,
-		})
+		}))
 		if rr.Kind == bmc.KindCE {
 			foundCE.Store(true)
 			cancelSweep()
@@ -201,15 +201,20 @@ func Industry2(cfg Config) *I2Result {
 
 	// (c) The invariant G(WE=0 ∨ WD=0) by backward induction.
 	cfg.logf("industry2: invariant proof ...")
-	ir := bmc.Check(l.Netlist(), l.InvariantIndex, bmc.Options{
+	// Passes pinned off: the pipeline's constant sweep proves the dead
+	// privilege chain constant and discharges the invariant at depth 0,
+	// but the number this experiment replicates is the 2-induction depth
+	// on the unreduced design.
+	ir := bmc.Check(l.Netlist(), l.InvariantIndex, cfg.apply(bmc.Options{
 		MaxDepth: 20, UseEMM: true, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs,
-	})
+		Passes: "none",
+	}))
 	if ir.Kind == bmc.KindProof {
 		res.InvDepth = ir.Depth
 		res.InvSec = ir.Stats.Elapsed.Seconds()
 	}
 	exp := mustExpand(l.Netlist())
-	ier := bmc.Check(exp, l.InvariantIndex, bmc.Options{MaxDepth: 20, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs})
+	ier := bmc.Check(exp, l.InvariantIndex, cfg.apply(bmc.Options{MaxDepth: 20, Proofs: true, Timeout: cfg.Timeout, Obs: cfg.Obs}))
 	res.InvExplSec = ier.Stats.Elapsed.Seconds()
 	res.InvExplTO = ier.Kind == bmc.KindTimeout
 
@@ -221,9 +226,9 @@ func Industry2(cfg Config) *I2Result {
 	t0 = time.Now()
 	var rdProofs atomic.Int64
 	par.ForEach(context.Background(), cfg.Jobs, len(l.ReachIndices), func(_ context.Context, _, i int) {
-		pr := bmc.ProveWithPBA(constrained, l.ReachIndices[i], bmc.Options{
+		pr := bmc.ProveWithPBA(constrained, l.ReachIndices[i], cfg.apply(bmc.Options{
 			MaxDepth: 30, StabilityDepth: 5, Timeout: cfg.Timeout, Obs: cfg.Obs,
-		})
+		}))
 		if pr.Kind() == bmc.KindProof {
 			rdProofs.Add(1)
 		}

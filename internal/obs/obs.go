@@ -69,6 +69,14 @@ const (
 	// Proof-based abstraction.
 	MPBACoreSize     = "pba.core_size"     // gauge: last UNSAT core size
 	MPBALatchReasons = "pba.latch_reasons" // gauge: |LR| after the last update
+
+	// Static compile pipeline (package pass): totals removed across all
+	// pipeline runs seen by this registry.
+	MPassRuns            = "pass.runs"
+	MPassNodesRemoved    = "pass.nodes_removed"
+	MPassLatchesRemoved  = "pass.latches_removed"
+	MPassMemsRemoved     = "pass.mems_removed"
+	MPassMemPortsRemoved = "pass.mem_ports_removed"
 )
 
 // Counter is a monotonically increasing atomic metric. All methods are

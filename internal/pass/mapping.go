@@ -1,0 +1,261 @@
+// Package pass is the static compile pipeline that runs in front of every
+// verification engine: a sequence of netlist-to-netlist reductions over
+// aig.Netlist — cone-of-influence extraction, inductive constant sweeping,
+// memory-port pruning (§4.3's structural criterion), and structural dedup —
+// each of which returns a composable Mapping so counter-example witnesses
+// and PBA latch-reason sets found on the compiled netlist translate back to
+// the source netlist's node ids, latch indices, and port indices.
+package pass
+
+import "emmver/internal/aig"
+
+// Mapping relates a compiled netlist to the source netlist it was derived
+// from, in both directions. A Mapping from Identity() (or a nil *Mapping)
+// is the identity relation; Then composes two mappings across a pipeline.
+type Mapping struct {
+	identity bool
+
+	// source node id -> compiled node id, and the inverse.
+	inTo, inFrom map[aig.NodeID]aig.NodeID
+	laTo, laFrom map[aig.NodeID]aig.NodeID
+
+	// laIdxFrom[ci] = source latch index of compiled latch ci;
+	// laIdxTo[si] = compiled latch index of source latch si, or -1.
+	laIdxFrom, laIdxTo []int
+
+	// memFrom[cmi] = source memory index; memTo[smi] = compiled or -1.
+	memFrom, memTo []int
+
+	// readFrom[cmi][cri] = source read-port index (within the source
+	// memory memFrom[cmi]); readTo[smi][sri] = compiled or -1. Write
+	// ports are analogous.
+	readFrom, readTo   [][]int
+	writeFrom, writeTo [][]int
+}
+
+// Identity returns the identity mapping (compiled netlist == source).
+func Identity() *Mapping { return &Mapping{identity: true} }
+
+// IsIdentity reports whether the mapping is the identity relation. A nil
+// receiver counts as identity.
+func (m *Mapping) IsIdentity() bool { return m == nil || m.identity }
+
+// fromRebuild converts a single aig.Rebuild step's RebuildMap into a
+// Mapping.
+func fromRebuild(rm *aig.RebuildMap) *Mapping {
+	m := &Mapping{
+		inTo:      rm.Input,
+		laTo:      rm.Latch,
+		inFrom:    make(map[aig.NodeID]aig.NodeID, len(rm.Input)),
+		laFrom:    make(map[aig.NodeID]aig.NodeID, len(rm.Latch)),
+		laIdxFrom: rm.LatchIndex,
+		laIdxTo:   rm.LatchOf,
+		memFrom:   rm.Mem,
+		memTo:     rm.MemOf,
+		readFrom:  rm.Read,
+		readTo:    rm.ReadOf,
+		writeFrom: rm.Write,
+		writeTo:   rm.WriteOf,
+	}
+	for s, c := range rm.Input {
+		m.inFrom[c] = s
+	}
+	for s, c := range rm.Latch {
+		m.laFrom[c] = s
+	}
+	return m
+}
+
+// Then composes m (source -> mid) with next (mid -> compiled) into a
+// single source -> compiled mapping.
+func (m *Mapping) Then(next *Mapping) *Mapping {
+	if m.IsIdentity() {
+		return next
+	}
+	if next.IsIdentity() {
+		return m
+	}
+	out := &Mapping{
+		inTo:   make(map[aig.NodeID]aig.NodeID),
+		inFrom: make(map[aig.NodeID]aig.NodeID),
+		laTo:   make(map[aig.NodeID]aig.NodeID),
+		laFrom: make(map[aig.NodeID]aig.NodeID),
+	}
+	for s, mid := range m.inTo {
+		if c, ok := next.inTo[mid]; ok {
+			out.inTo[s] = c
+			out.inFrom[c] = s
+		}
+	}
+	for s, mid := range m.laTo {
+		if c, ok := next.laTo[mid]; ok {
+			out.laTo[s] = c
+			out.laFrom[c] = s
+		}
+	}
+	out.laIdxFrom = make([]int, len(next.laIdxFrom))
+	for ci, midI := range next.laIdxFrom {
+		out.laIdxFrom[ci] = m.laIdxFrom[midI]
+	}
+	out.laIdxTo = make([]int, len(m.laIdxTo))
+	for si, midI := range m.laIdxTo {
+		out.laIdxTo[si] = -1
+		if midI >= 0 {
+			out.laIdxTo[si] = next.laIdxTo[midI]
+		}
+	}
+	out.memFrom = make([]int, len(next.memFrom))
+	out.readFrom = make([][]int, len(next.memFrom))
+	out.writeFrom = make([][]int, len(next.memFrom))
+	for cmi, midMi := range next.memFrom {
+		out.memFrom[cmi] = m.memFrom[midMi]
+		out.readFrom[cmi] = composePorts(m.readFrom[midMi], next.readFrom[cmi])
+		out.writeFrom[cmi] = composePorts(m.writeFrom[midMi], next.writeFrom[cmi])
+	}
+	out.memTo = make([]int, len(m.memTo))
+	out.readTo = make([][]int, len(m.memTo))
+	out.writeTo = make([][]int, len(m.memTo))
+	for smi, midMi := range m.memTo {
+		out.memTo[smi] = -1
+		out.readTo[smi] = constSlice(len(m.readTo[smi]), -1)
+		out.writeTo[smi] = constSlice(len(m.writeTo[smi]), -1)
+		if midMi < 0 {
+			continue
+		}
+		cmi := next.memTo[midMi]
+		out.memTo[smi] = cmi
+		if cmi < 0 {
+			continue
+		}
+		for sri, midRi := range m.readTo[smi] {
+			if midRi >= 0 {
+				out.readTo[smi][sri] = next.readTo[midMi][midRi]
+			}
+		}
+		for swi, midWi := range m.writeTo[smi] {
+			if midWi >= 0 {
+				out.writeTo[smi][swi] = next.writeTo[midMi][midWi]
+			}
+		}
+	}
+	return out
+}
+
+// composePorts maps compiled-port indices through mid-port indices to
+// source-port indices: from1 is mid->source, from2 is compiled->mid.
+func composePorts(from1, from2 []int) []int {
+	out := make([]int, len(from2))
+	for ci, midI := range from2 {
+		out[ci] = from1[midI]
+	}
+	return out
+}
+
+func constSlice(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// SourceInput translates a compiled primary-input node id back to the
+// source netlist's node id.
+func (m *Mapping) SourceInput(id aig.NodeID) (aig.NodeID, bool) {
+	if m.IsIdentity() {
+		return id, true
+	}
+	s, ok := m.inFrom[id]
+	return s, ok
+}
+
+// SourceLatch translates a compiled latch node id back to the source
+// netlist's node id.
+func (m *Mapping) SourceLatch(id aig.NodeID) (aig.NodeID, bool) {
+	if m.IsIdentity() {
+		return id, true
+	}
+	s, ok := m.laFrom[id]
+	return s, ok
+}
+
+// SourceLatchIndex translates a compiled latch index to the source latch
+// index.
+func (m *Mapping) SourceLatchIndex(i int) int {
+	if m.IsIdentity() {
+		return i
+	}
+	return m.laIdxFrom[i]
+}
+
+// SourceMem translates a compiled memory index to the source memory index.
+func (m *Mapping) SourceMem(mi int) int {
+	if m.IsIdentity() {
+		return mi
+	}
+	return m.memFrom[mi]
+}
+
+// SourceRead translates (compiled memory, compiled read port) to the
+// source read-port index within SourceMem(mi).
+func (m *Mapping) SourceRead(mi, ri int) int {
+	if m.IsIdentity() {
+		return ri
+	}
+	return m.readFrom[mi][ri]
+}
+
+// SourceWrite translates (compiled memory, compiled write port) to the
+// source write-port index within SourceMem(mi).
+func (m *Mapping) SourceWrite(mi, wi int) int {
+	if m.IsIdentity() {
+		return wi
+	}
+	return m.writeFrom[mi][wi]
+}
+
+// CompiledLatch translates a source latch node id to the compiled node id.
+// ok is false when the pipeline removed (or constant-folded) the latch.
+func (m *Mapping) CompiledLatch(id aig.NodeID) (aig.NodeID, bool) {
+	if m.IsIdentity() {
+		return id, true
+	}
+	c, ok := m.laTo[id]
+	return c, ok
+}
+
+// CompiledMem translates a source memory index to the compiled index, or
+// -1 when the memory was pruned.
+func (m *Mapping) CompiledMem(mi int) int {
+	if m.IsIdentity() {
+		return mi
+	}
+	if mi >= len(m.memTo) {
+		return -1
+	}
+	return m.memTo[mi]
+}
+
+// CompiledRead translates (source memory, source read port) to the
+// compiled read-port index, or -1 when pruned.
+func (m *Mapping) CompiledRead(mi, ri int) int {
+	if m.IsIdentity() {
+		return ri
+	}
+	if mi >= len(m.readTo) || ri >= len(m.readTo[mi]) {
+		return -1
+	}
+	return m.readTo[mi][ri]
+}
+
+// CompiledWrite translates (source memory, source write port) to the
+// compiled write-port index, or -1 when pruned.
+func (m *Mapping) CompiledWrite(mi, wi int) int {
+	if m.IsIdentity() {
+		return wi
+	}
+	if mi >= len(m.writeTo) || wi >= len(m.writeTo[mi]) {
+		return -1
+	}
+	return m.writeTo[mi][wi]
+}

@@ -1,0 +1,229 @@
+package pass
+
+import (
+	"fmt"
+	"strings"
+
+	"emmver/internal/aig"
+	"emmver/internal/obs"
+)
+
+// SpecDefault is the pipeline every engine runs when no spec is given:
+// cone-of-influence first (cheap, big wins), constant sweep (unlocks more
+// cone), port pruning (§4.3's structural criterion), and a final dedup
+// rebuild.
+const SpecDefault = "coi,sweep,ports,dedup"
+
+// SpecNone disables the pipeline: Compile returns the source netlist
+// untouched with an identity mapping.
+const SpecNone = "none"
+
+// Options configures a Compile run.
+type Options struct {
+	// Spec is a comma-separated pass list ("coi,sweep,ports,dedup"),
+	// empty for SpecDefault, or "none"/"off" to disable the pipeline.
+	Spec string
+	// Obs receives one span per pass (pass.<name>) with before/after
+	// node/latch/memory-port counters, plus pass.* registry totals. Nil
+	// costs nothing.
+	Obs *obs.Observer
+}
+
+// Counts is a size snapshot of a netlist, taken before and after each
+// pass.
+type Counts struct {
+	Nodes    int
+	Ands     int
+	Inputs   int
+	Latches  int
+	Mems     int
+	MemPorts int // read + write ports across all memories
+}
+
+// CountsOf snapshots n's sizes.
+func CountsOf(n *aig.Netlist) Counts {
+	c := Counts{
+		Nodes:   n.NumNodes(),
+		Ands:    n.NumAnds(),
+		Inputs:  len(n.Inputs),
+		Latches: len(n.Latches),
+		Mems:    len(n.Memories),
+	}
+	for _, m := range n.Memories {
+		c.MemPorts += len(m.Reads) + len(m.Writes)
+	}
+	return c
+}
+
+// Delta records one pass's effect.
+type Delta struct {
+	Pass          string
+	Before, After Counts
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s: %d→%d nodes, %d→%d latches, %d→%d mem ports",
+		d.Pass, d.Before.Nodes, d.After.Nodes,
+		d.Before.Latches, d.After.Latches,
+		d.Before.MemPorts, d.After.MemPorts)
+}
+
+// Compiled is the result of running the pipeline: the reduced netlist, the
+// property indices into it (renumbered from the requested source indices),
+// and the composed Mapping back to the source netlist.
+type Compiled struct {
+	N       *aig.Netlist
+	Props   []int
+	Map     *Mapping
+	Applied []string
+	Deltas  []Delta
+}
+
+// Summary renders the whole-pipeline reduction in one line, or "" when
+// the pipeline ran no passes or removed nothing.
+func (c *Compiled) Summary() string {
+	if len(c.Deltas) == 0 {
+		return ""
+	}
+	b, a := c.Deltas[0].Before, c.Deltas[len(c.Deltas)-1].After
+	if b == a {
+		return ""
+	}
+	return fmt.Sprintf("passes [%s]: %d→%d nodes, %d→%d latches, %d→%d mems, %d→%d mem ports",
+		strings.Join(c.Applied, ","),
+		b.Nodes, a.Nodes, b.Latches, a.Latches, b.Mems, a.Mems, b.MemPorts, a.MemPorts)
+}
+
+type namedPass struct {
+	name string
+	fn   passFunc
+}
+
+var registry = []namedPass{
+	{"coi", coiPass},
+	{"sweep", sweepPass},
+	{"ports", portsPass},
+	{"dedup", dedupPass},
+}
+
+// Names lists the available pass names in default-pipeline order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, p := range registry {
+		out[i] = p.name
+	}
+	return out
+}
+
+// parseSpec resolves a spec string to a pass list. "" means SpecDefault;
+// "none" or "off" means no passes; otherwise a comma-separated subset of
+// Names(), run in the given order (repeats allowed).
+func parseSpec(spec string) ([]namedPass, error) {
+	spec = strings.TrimSpace(spec)
+	switch spec {
+	case "":
+		spec = SpecDefault
+	case SpecNone, "off":
+		return nil, nil
+	}
+	var out []namedPass
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, p := range registry {
+			if p.name == name {
+				out = append(out, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("pass: unknown pass %q (available: %s)", name, strings.Join(Names(), ","))
+		}
+	}
+	return out, nil
+}
+
+// ValidSpec reports whether spec parses; CLIs use it to reject bad -passes
+// values before any engine runs.
+func ValidSpec(spec string) error {
+	_, err := parseSpec(spec)
+	return err
+}
+
+// Compile runs the pipeline selected by opt.Spec over n for the given
+// property indices and returns the compiled netlist plus the mapping back
+// to n. With the pipeline disabled (or nothing to do) the returned netlist
+// is n itself and the mapping is the identity — but Props is always the
+// compiled-coordinate property list callers must use from here on.
+func Compile(n *aig.Netlist, props []int, opt Options) (*Compiled, error) {
+	passes, err := parseSpec(opt.Spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, pi := range props {
+		if pi < 0 || pi >= len(n.Props) {
+			return nil, fmt.Errorf("pass: property index %d out of range (netlist has %d)", pi, len(n.Props))
+		}
+	}
+	res := &Compiled{N: n, Props: append([]int(nil), props...), Map: Identity()}
+	if len(passes) == 0 {
+		return res, nil
+	}
+
+	before := CountsOf(n)
+	sp := opt.Obs.Span("pass.compile",
+		obs.F("spec", specString(passes)),
+		obs.F("props", len(props)),
+		obs.F("nodes", before.Nodes),
+		obs.F("latches", before.Latches),
+		obs.F("mem_ports", before.MemPorts))
+	for _, p := range passes {
+		pb := CountsOf(res.N)
+		psp := opt.Obs.Span("pass."+p.name,
+			obs.F("nodes", pb.Nodes),
+			obs.F("latches", pb.Latches),
+			obs.F("mems", pb.Mems),
+			obs.F("mem_ports", pb.MemPorts))
+		nn, mp, nprops := p.fn(res.N, res.Props)
+		pa := CountsOf(nn)
+		psp.End(
+			obs.F("nodes", pa.Nodes),
+			obs.F("latches", pa.Latches),
+			obs.F("mems", pa.Mems),
+			obs.F("mem_ports", pa.MemPorts))
+		res.N, res.Props = nn, nprops
+		res.Map = res.Map.Then(mp)
+		res.Applied = append(res.Applied, p.name)
+		res.Deltas = append(res.Deltas, Delta{Pass: p.name, Before: pb, After: pa})
+	}
+	after := CountsOf(res.N)
+	sp.End(
+		obs.F("nodes", after.Nodes),
+		obs.F("latches", after.Latches),
+		obs.F("mem_ports", after.MemPorts))
+	opt.Obs.Counter(obs.MPassRuns).Add(1)
+	opt.Obs.Counter(obs.MPassNodesRemoved).Add(int64(max0(before.Nodes - after.Nodes)))
+	opt.Obs.Counter(obs.MPassLatchesRemoved).Add(int64(max0(before.Latches - after.Latches)))
+	opt.Obs.Counter(obs.MPassMemsRemoved).Add(int64(max0(before.Mems - after.Mems)))
+	opt.Obs.Counter(obs.MPassMemPortsRemoved).Add(int64(max0(before.MemPorts - after.MemPorts)))
+	return res, nil
+}
+
+func specString(passes []namedPass) string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.name
+	}
+	return strings.Join(names, ",")
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

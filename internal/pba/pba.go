@@ -185,3 +185,35 @@ func (a *Abstraction) String() string {
 	return fmt.Sprintf("%d (%d) latches kept, %d/%d memories modeled",
 		a.KeptLatches, total, mems, len(a.MemEnabled))
 }
+
+// Remap returns a copy of t with latch indices translated through latch
+// and (memory, read-port) pairs through memPort, preserving the stability
+// bookkeeping. The compile pipeline (package pass) uses it to report latch
+// reasons and port usage in source-netlist coordinates after the engines
+// ran on a reduced netlist. Entries for which a translation returns a
+// negative index are kept untranslated — they cannot occur when the
+// tracker really came from the compiled netlist.
+func (t *Tracker) Remap(latch func(int) int, memPort func(mi, ri int) (int, int)) *Tracker {
+	out := &Tracker{
+		LR:           make(map[int]bool, len(t.LR)),
+		MemPortsUsed: make(map[[2]int]bool, len(t.MemPortsUsed)),
+		lastGrowth:   t.lastGrowth,
+		updated:      t.updated,
+	}
+	for i := range t.LR {
+		if si := latch(i); si >= 0 {
+			out.LR[si] = true
+		} else {
+			out.LR[i] = true
+		}
+	}
+	for mp := range t.MemPortsUsed {
+		smi, sri := memPort(mp[0], mp[1])
+		if smi >= 0 && sri >= 0 {
+			out.MemPortsUsed[[2]int{smi, sri}] = true
+		} else {
+			out.MemPortsUsed[mp] = true
+		}
+	}
+	return out
+}
