@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -43,6 +44,8 @@ type report struct {
 func main() {
 	out := flag.String("o", "BENCH_solver.json", "output file")
 	benchSecs := flag.Float64("benchtime", 1, "minimum seconds per benchmark")
+	coopDepth := flag.Int("coopdepth", 24, "BMC depth of the CoopSolve sharing A/B (lower for smoke runs)")
+	coopRuns := flag.Int("coopruns", 3, "runs per side of the CoopSolve sharing A/B (median is recorded)")
 	flag.Parse()
 	testing.Init()
 	if err := flag.Set("test.benchtime", fmt.Sprintf("%gs", *benchSecs)); err != nil {
@@ -78,6 +81,48 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, e)
 		fmt.Printf("%-22s %12.0f ns/op  %v\n", e.Name, e.NsPerOp, e.Metrics)
 	}
+
+	// The PR-6 headline: cooperative solving. Both sides run the identical
+	// 8-worker cube-and-conquer fleet on the shared-address growth design;
+	// only the learnt-clause bus differs, so the speedup isolates what
+	// lemma exchange buys. Medians over -coopruns runs per side.
+	coopCfg := exp.DefaultShareAB()
+	coopCfg.MaxK = *coopDepth
+	coop, err := exp.ShareAB(coopCfg, *coopRuns)
+	if err != nil {
+		fatal(err)
+	}
+	for _, side := range []struct {
+		name   string
+		median time.Duration
+		runs   []exp.GrowthSolveResult
+	}{
+		{"CoopSolve/Off", coop.OffMedian, coop.Off},
+		{"CoopSolve/On", coop.OnMedian, coop.On},
+	} {
+		e := entry{
+			Name:       side.name,
+			Iterations: len(side.runs),
+			NsPerOp:    float64(side.median.Nanoseconds()),
+			Metrics: map[string]float64{
+				"conflicts":   medianOf(side.runs, func(r exp.GrowthSolveResult) float64 { return float64(r.Conflicts) }),
+				"cube_splits": medianOf(side.runs, func(r exp.GrowthSolveResult) float64 { return float64(r.Stats.CubeSplits) }),
+				"imported":    medianOf(side.runs, func(r exp.GrowthSolveResult) float64 { return float64(r.Stats.SharedImported) }),
+			},
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Printf("%-22s %12.0f ns/op  %v\n", e.Name, e.NsPerOp, e.Metrics)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, entry{
+		Name: "CoopSolve/Speedup",
+		Metrics: map[string]float64{
+			"speedup_x": coop.Speedup,
+			"depth":     float64(*coopDepth),
+			"workers":   float64(coopCfg.Jobs),
+		},
+	})
+	fmt.Printf("cooperative sharing speedup at depth %d: %.2fx (median of %d runs/side, verdict %s)\n",
+		*coopDepth, coop.Speedup, *coopRuns, coop.Off[0].Kind)
 
 	// The headline number: CNF reduction from strash + comparator
 	// memoization on the shared-address growth design.
@@ -424,6 +469,16 @@ func benchCompileSolve(spec string) entry {
 			"conflicts": float64(res.Conflicts),
 		},
 	}
+}
+
+// medianOf extracts f over runs and returns the median value.
+func medianOf(runs []exp.GrowthSolveResult, f func(exp.GrowthSolveResult) float64) float64 {
+	vs := make([]float64, len(runs))
+	for i, r := range runs {
+		vs[i] = f(r)
+	}
+	sort.Float64s(vs)
+	return vs[len(vs)/2]
 }
 
 func fatal(err error) {

@@ -3,6 +3,12 @@
 //
 //	emmsat problem.cnf
 //	emmsat -core problem.cnf
+//	emmsat -restart luby -stats -trace run.jsonl problem.cnf
+//
+// It shares the engine CLIs' solver flag plumbing: -restart selects the
+// restart strategy, -stats prints the full solver statistics block, and
+// -trace/-progress/-pprof attach the observability layer exactly as on
+// emmv/emmbmc/emmbtor.
 //
 // Exit status follows the SAT-competition convention: 10 for SAT, 20 for
 // UNSAT, 1 for errors.
@@ -14,6 +20,8 @@ import (
 	"os"
 	"time"
 
+	"emmver/internal/cliobs"
+	"emmver/internal/obs"
 	"emmver/internal/sat"
 )
 
@@ -22,9 +30,17 @@ func main() {
 	budget := flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
 	quiet := flag.Bool("q", false, "suppress the model/core listing")
+	restart := flag.String("restart", "ema", "solver restart strategy: luby or ema (adaptive)")
+	stats := flag.Bool("stats", false, "print the full solver statistics block")
+	obsFlags := cliobs.Register()
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: emmsat [-core] [-conflicts N] problem.cnf")
+		fmt.Fprintln(os.Stderr, "usage: emmsat [-core] [-conflicts N] [-restart luby|ema] [-stats] problem.cnf")
+		os.Exit(1)
+	}
+	mode, err := sat.ParseRestartMode(*restart)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -33,8 +49,10 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+	observer, stopObs := obsFlags.Setup()
 
 	s := sat.New()
+	s.Restart = mode
 	if *core {
 		s.EnableProofTracing()
 	}
@@ -43,6 +61,7 @@ func main() {
 		deadline := time.Now().Add(*timeout)
 		s.Interrupt = func() bool { return time.Now().After(deadline) }
 	}
+	s.AttachObs(observer)
 
 	start := time.Now()
 	nc, err := readTagged(s, f, *core)
@@ -50,19 +69,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	sp := observer.Span("sat.solve", obs.F("file", flag.Arg(0)))
 	res := s.Solve()
+	sp.End()
 	elapsed := time.Since(start)
+	s.PublishObs()
 	st := s.Stats()
 	fmt.Printf("c %d vars, %d clauses, %d conflicts, %d decisions, %d propagations, %.3fs\n",
 		s.NumVars(), nc, st.Conflicts, st.Decisions, st.Propagations, elapsed.Seconds())
+	if *stats {
+		printStats(st)
+	}
 
+	code := 0
 	switch res {
 	case sat.Sat:
 		fmt.Println("s SATISFIABLE")
 		if !*quiet {
 			s.WriteModelDIMACS(os.Stdout)
 		}
-		os.Exit(10)
+		code = 10
 	case sat.Unsat:
 		fmt.Println("s UNSATISFIABLE")
 		if *core && !*quiet {
@@ -74,11 +100,26 @@ func main() {
 			}
 			fmt.Println()
 		}
-		os.Exit(20)
+		code = 20
 	default:
 		fmt.Println("s UNKNOWN")
-		os.Exit(0)
 	}
+	stopObs()
+	os.Exit(code)
+}
+
+// printStats renders the detailed statistics block in DIMACS comment lines.
+func printStats(st sat.Stats) {
+	fmt.Printf("c restarts: %d (luby %d, ema %d, blocked %d)\n",
+		st.Restarts, st.RestartsLuby, st.RestartsEMA, st.RestartsBlocked)
+	fmt.Printf("c learnts: %d added, %d deleted, %d reducedbs\n",
+		st.LearntsAdded, st.LearntsDeleted, st.ReduceDBs)
+	if st.LearntsAdded > 0 {
+		fmt.Printf("c avg lbd: %.2f\n", float64(st.LBDSum)/float64(st.LearntsAdded))
+	}
+	fmt.Printf("c binary propagations: %d\n", st.BinPropagations)
+	fmt.Printf("c inprocessing: %d passes, %d subsumed, %d strengthened, %d vars eliminated\n",
+		st.Simplifies, st.SubsumedClauses, st.StrengthenedClauses, st.EliminatedVars)
 }
 
 // readTagged loads the CNF; with tagging, each clause carries its index so

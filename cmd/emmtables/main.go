@@ -6,6 +6,7 @@
 //	emmtables -exp i2            Industry II (multi-port lookup engine)
 //	emmtables -exp f1            constraint-growth validation ("figure")
 //	emmtables -exp s3            compile-pipeline A/B (§S3)
+//	emmtables -exp s4            cooperative-solving A/B (§S4)
 //	emmtables -exp all           everything
 //
 // By default experiments run at the reduced scale (small memory widths,
@@ -28,7 +29,8 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, all")
+	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, s4, all")
+	runs := flag.Int("runs", 3, "runs per side of the s4 A/B (median is reported)")
 	scale := flag.String("scale", "reduced", "design sizing: reduced or paper")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-run timeout (the paper used 3h)")
 	sizes := flag.String("n", "3,4,5", "quicksort array sizes for t1/t2")
@@ -49,6 +51,7 @@ func main() {
 		Timeout: *timeout, Jobs: *jobs, Obs: observer,
 		Restart: restart, NoSimplify: noSimplify, Passes: passes,
 	}
+	cfg.Share, cfg.Cube = engFlags.ShareCube()
 	switch *scale {
 	case "reduced":
 		cfg.Scale = exp.ScaleReduced
@@ -97,6 +100,14 @@ func main() {
 				os.Exit(2)
 			}
 			fmt.Println(exp.RenderCompileAB(ab))
+		case "s4":
+			fmt.Printf("## Experiment S4 (cooperative solving A/B)\n\n")
+			ab, err := exp.ShareAB(exp.DefaultShareAB(), *runs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(exp.RenderShareAB(ab))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -104,7 +115,7 @@ func main() {
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"t1", "t2", "i1", "i2", "f1", "s3"} {
+		for _, name := range []string{"t1", "t2", "i1", "i2", "f1", "s3", "s4"} {
 			run(name)
 		}
 		return

@@ -25,6 +25,7 @@ import (
 	"emmver/internal/aig"
 	"emmver/internal/core"
 	"emmver/internal/obs"
+	"emmver/internal/par"
 	"emmver/internal/pba"
 	"emmver/internal/sat"
 	"emmver/internal/sim"
@@ -141,6 +142,21 @@ type Options struct {
 	// n > 1 bounds the fleet. Check itself ignores it — per-depth lane
 	// racing stays opt-in via Portfolio. Equivalent builder: WithJobs.
 	Jobs int
+	// Share connects the fleet's solvers through the learnt-clause sharing
+	// bus (internal/share): high-glue lemmas over frame values and EMM
+	// comparators are relocated between workers through a canonical
+	// (node, time-frame) literal coding. Effective only on multi-worker
+	// entry points, and automatically disabled when PBA proof tracing is on
+	// or the design asserts environment constraints (a peer's constraint
+	// units would not be model-extension sound). Equivalent builder:
+	// WithShare.
+	Share bool
+	// Cube partitions each depth's counter-example check over the EMM
+	// address-comparator variables (cube-and-conquer): cubes are assumed
+	// per-worker from a work-stealing queue and refined by further splitting
+	// when a cube exceeds its conflict budget. Same eligibility rules as
+	// Share. Equivalent builder: WithCube.
+	Cube bool
 }
 
 // Kind classifies a Result.
@@ -198,6 +214,13 @@ type Stats struct {
 	SubsumedClauses     int64
 	StrengthenedClauses int64
 	EliminatedVars      int64
+	// Cooperative solving (zero unless Options.Share/Cube are on): bus and
+	// cube-queue tallies, set once at fleet level after the workers join.
+	SharedExported int64
+	SharedImported int64
+	SharedFiltered int64
+	CubeSplits     int64
+	CubeStolen     int64
 }
 
 // Add accumulates o into s. The parallel engines use it to merge
@@ -216,6 +239,11 @@ func (s *Stats) Add(o Stats) {
 	s.SubsumedClauses += o.SubsumedClauses
 	s.StrengthenedClauses += o.StrengthenedClauses
 	s.EliminatedVars += o.EliminatedVars
+	s.SharedExported += o.SharedExported
+	s.SharedImported += o.SharedImported
+	s.SharedFiltered += o.SharedFiltered
+	s.CubeSplits += o.CubeSplits
+	s.CubeStolen += o.CubeStolen
 	if o.PeakHeapMB > s.PeakHeapMB {
 		s.PeakHeapMB = o.PeakHeapMB
 	}
@@ -689,6 +717,9 @@ func Check(n *aig.Netlist, prop int, opt Options) *Result {
 // to n's coordinates.
 func CheckCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Result {
 	c := compileModel(n, []int{prop}, &opt)
+	if jobs := par.Jobs(opt.Jobs); opt.Cube && jobs > 1 && shareEligible(c.n, opt) {
+		return c.finish(checkCubed(ctx, c.n, c.props[0], opt, jobs), prop, opt)
+	}
 	return c.finish(checkCompiled(ctx, c.n, c.props[0], opt), prop, opt)
 }
 

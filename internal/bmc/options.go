@@ -74,6 +74,20 @@ func (o Options) WithSimplify(on bool) Options {
 	return o
 }
 
+// WithShare returns a copy of o with the fleet's learnt-clause sharing bus
+// switched on or off. Equivalent field: Options.Share.
+func (o Options) WithShare(on bool) Options {
+	o.Share = on
+	return o
+}
+
+// WithCube returns a copy of o with EMM-aware cube-and-conquer switched on
+// or off. Equivalent field: Options.Cube.
+func (o Options) WithCube(on bool) Options {
+	o.Cube = on
+	return o
+}
+
 // WithPasses returns a copy of o whose static compile pipeline is spec:
 // "" for the default pipeline, pass.SpecNone ("none") to disable it, or an
 // explicit comma-separated pass list such as "coi,dedup". Equivalent

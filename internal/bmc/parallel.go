@@ -10,6 +10,7 @@ import (
 	"emmver/internal/obs"
 	"emmver/internal/par"
 	"emmver/internal/sat"
+	"emmver/internal/share"
 )
 
 // CheckManyParallel verifies many reachability properties of one design
@@ -52,11 +53,36 @@ func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt 
 	c := compileModel(n, props, &opt)
 	n, props = c.n, c.props
 	jobs = par.Jobs(jobs)
+	if opt.Cube && len(props) == 1 && jobs > 1 && shareEligible(n, opt) {
+		// A single property leaves the property-fleet idle; hand the whole
+		// worker budget to the cube-and-conquer splitter instead.
+		r := checkCubed(ctx, n, props[0], opt, jobs)
+		out.Stats = r.Stats
+		out.Results[0] = c.finish(r, c.srcProps[0], opt)
+		if r.Kind == KindCE {
+			out.MaxWitnessDepth = r.Depth
+		}
+		return out
+	}
 	if jobs > len(props) {
 		jobs = len(props)
 	}
 	if jobs > 1 {
 		opt.Log = par.SyncWriter(opt.Log)
+	}
+
+	// The sharing bus connects the workers' solvers when the run is
+	// eligible (no PBA tracing, no environment constraints): lemmas over
+	// frame values and EMM comparators transfer between workers even when
+	// they are solving different properties, because the shared clause
+	// database is property-independent. Forward and backward windows get
+	// separate buses (different execution sets).
+	var fwd, bwd *share.Bus
+	if opt.Share && jobs > 1 && shareEligible(n, opt) {
+		fwd = share.NewBus(jobs, shareRingCapacity)
+		if opt.Proofs {
+			bwd = share.NewBus(jobs, shareRingCapacity)
+		}
 	}
 
 	// Reusing one engine per worker across properties is a conservative
@@ -85,6 +111,7 @@ func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt 
 			wopt := opt
 			wopt.Obs = opt.Obs.With(obs.F("worker", w))
 			e = newEngine(ctx, n, props[pi], wopt)
+			attachShare(e, fwd, bwd, w)
 			engines[w] = e
 		}
 		out.Results[pi] = e.runProp(props[pi], &fwdUnsat)
@@ -95,6 +122,10 @@ func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt 
 			workerStats[w].Add(e.snapshotStats())
 		}
 		out.Stats.Add(workerStats[w])
+	}
+	addBusStats(&out.Stats, fwd, bwd)
+	if fwd != nil {
+		publishCoopObs(opt.Obs, &out.Stats)
 	}
 	out.Stats.Elapsed = time.Since(start)
 	for pi, p := range props {

@@ -11,14 +11,16 @@ import (
 )
 
 // EngineFlags bundles the solver and compile-pipeline flags shared by all
-// verification CLIs — -restart, -no-simplify, -passes, -no-passes — so
-// every frontend exposes the same knobs with the same semantics and
-// default values.
+// verification CLIs — -restart, -no-simplify, -passes, -no-passes, -share,
+// -cube — so every frontend exposes the same knobs with the same semantics
+// and default values.
 type EngineFlags struct {
 	Restart    *string
 	NoSimplify *bool
 	Passes     *string
 	NoPasses   *bool
+	Share      *bool
+	Cube       *bool
 }
 
 // RegisterEngine declares the shared engine flags on the default flag set;
@@ -32,6 +34,10 @@ func RegisterEngine() *EngineFlags {
 			"static compile pipeline: comma-separated passes from "+
 				strings.Join(pass.Names(), ",")+" (default \""+pass.SpecDefault+"\"), or none"),
 		NoPasses: flag.Bool("no-passes", false, "disable the static compile pipeline (same as -passes=none)"),
+		Share: flag.Bool("share", false,
+			"share learnt clauses between fleet workers (multi-worker runs; off under PBA or environment constraints)"),
+		Cube: flag.Bool("cube", false,
+			"cube-and-conquer: split the search over EMM address comparators across the fleet (needs -jobs > 1)"),
 	}
 }
 
@@ -72,6 +78,12 @@ func (f *EngineFlags) Values() (mode sat.RestartMode, noSimplify bool, spec stri
 	return mode, *f.NoSimplify, spec, nil
 }
 
+// ShareCube returns the cooperative-solving flag values, for callers that
+// thread them into non-bmc config structs (e.g. exp.Config).
+func (f *EngineFlags) ShareCube() (share, cube bool) {
+	return *f.Share, *f.Cube
+}
+
 // Apply validates the parsed flag values and copies them onto opt.
 func (f *EngineFlags) Apply(opt bmc.Options) (bmc.Options, error) {
 	mode, noSimplify, spec, err := f.Values()
@@ -81,5 +93,7 @@ func (f *EngineFlags) Apply(opt bmc.Options) (bmc.Options, error) {
 	opt.Restart = mode
 	opt.NoSimplify = noSimplify
 	opt.Passes = spec
+	opt.Share = *f.Share
+	opt.Cube = *f.Cube
 	return opt, nil
 }

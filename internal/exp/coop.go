@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ShareABResult is the §S4 artifact: the shared-address growth design
+// verified to MaxK by the cube-and-conquer fleet with the learnt-clause bus
+// off and on, several runs per side, compared by median wall-clock. Both
+// sides run the identical cube fleet — the only difference is Share — so
+// the speedup isolates what lemma exchange buys, not what partitioning
+// buys.
+type ShareABResult struct {
+	Config GrowthSolveConfig
+	Runs   int
+	// Off and On hold the per-run results, in run order.
+	Off, On []GrowthSolveResult
+	// OffMedian and OnMedian are the median wall-clock times per side.
+	OffMedian, OnMedian time.Duration
+	// Speedup is OffMedian / OnMedian.
+	Speedup float64
+}
+
+// DefaultShareAB is the §S4 configuration: the §S2 shared-address solve
+// shape at depth 24, split over 8 cube workers.
+func DefaultShareAB() GrowthSolveConfig {
+	cfg := DefaultGrowthSolve()
+	cfg.Jobs = 8
+	cfg.Cube = true
+	return cfg
+}
+
+// ShareAB runs the cooperative-solving A/B experiment: runs verifications
+// of cfg with the sharing bus off, runs with it on, everything else
+// identical. It fails if any run's verdict disagrees with the others —
+// sharing and cubing must never change what is proved.
+func ShareAB(cfg GrowthSolveConfig, runs int) (ShareABResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	res := ShareABResult{Config: cfg, Runs: runs}
+	off := cfg
+	off.Share = false
+	on := cfg
+	on.Share = true
+	for i := 0; i < runs; i++ {
+		res.Off = append(res.Off, GrowthSolve(off))
+		res.On = append(res.On, GrowthSolve(on))
+	}
+	want := res.Off[0].Kind
+	for i := 0; i < runs; i++ {
+		if res.Off[i].Kind != want || res.On[i].Kind != want {
+			return res, fmt.Errorf("exp: share A/B verdicts diverge: run %d off=%s on=%s want=%s",
+				i, res.Off[i].Kind, res.On[i].Kind, want)
+		}
+	}
+	res.OffMedian = medianElapsed(res.Off)
+	res.OnMedian = medianElapsed(res.On)
+	if res.OnMedian > 0 {
+		res.Speedup = float64(res.OffMedian) / float64(res.OnMedian)
+	}
+	return res, nil
+}
+
+func medianElapsed(rs []GrowthSolveResult) time.Duration {
+	ds := make([]time.Duration, len(rs))
+	for i, r := range rs {
+		ds[i] = r.Elapsed
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// RenderShareAB prints the §S4 table: per-run wall-clock and conflicts for
+// both sides, the bus traffic of the sharing runs, and the median speedup.
+func RenderShareAB(r ShareABResult) string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "cooperative solving A/B (shared-address, AW=%d DW=%d, depth %d, %d cube workers, %d runs/side)\n",
+		cfg.AW, cfg.DW, cfg.MaxK, cfg.Jobs, r.Runs)
+	fmt.Fprintf(&b, "| run | time (share off) | time (share on) | conflicts (off) | conflicts (on) | imported (on) |\n")
+	fmt.Fprintf(&b, "|-----|-----------------:|----------------:|----------------:|---------------:|--------------:|\n")
+	for i := 0; i < r.Runs; i++ {
+		fmt.Fprintf(&b, "| %d | %s | %s | %d | %d | %d |\n", i+1,
+			r.Off[i].Elapsed.Round(time.Millisecond), r.On[i].Elapsed.Round(time.Millisecond),
+			r.Off[i].Conflicts, r.On[i].Conflicts, r.On[i].Stats.SharedImported)
+	}
+	fmt.Fprintf(&b, "median: %s off vs %s on — %.2fx speedup (verdict %s on every run)\n",
+		r.OffMedian.Round(time.Millisecond), r.OnMedian.Round(time.Millisecond),
+		r.Speedup, r.Off[0].Kind)
+	return b.String()
+}

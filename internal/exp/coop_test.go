@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"emmver/internal/bmc"
+)
+
+// A tiny ShareAB must agree with the sequential verdict on both sides and
+// fill in the medians; the property is valid, so everything is NO_CE.
+func TestShareABSmoke(t *testing.T) {
+	cfg := GrowthSolveConfig{AW: 4, DW: 4, MaxK: 6, NoOpt: true, Jobs: 2, Cube: true}
+	r, err := ShareAB(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Off[0].Kind != bmc.KindNoCE || r.On[0].Kind != bmc.KindNoCE {
+		t.Fatalf("verdicts: off=%v on=%v, want NO_CE", r.Off[0].Kind, r.On[0].Kind)
+	}
+	if r.OffMedian <= 0 || r.OnMedian <= 0 || r.Speedup <= 0 {
+		t.Fatalf("medians not filled in: off=%v on=%v speedup=%v", r.OffMedian, r.OnMedian, r.Speedup)
+	}
+	out := RenderShareAB(r)
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "NO_CE") {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+}

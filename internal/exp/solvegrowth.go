@@ -39,6 +39,13 @@ type GrowthSolveConfig struct {
 	// Passes is the compile-pipeline spec for the run ("" = default
 	// pipeline, pass.SpecNone = off).
 	Passes string
+	// Jobs, Cube and Share select the cooperative fleet: Jobs > 1 with
+	// Cube splits the search over EMM address comparators across that many
+	// workers, and Share turns on the learnt-clause bus between them. The
+	// §S4 A/B holds Jobs and Cube fixed and toggles Share.
+	Jobs  int
+	Cube  bool
+	Share bool
 }
 
 // DefaultGrowthSolve is the §S2 configuration: the shared-address shape at
@@ -76,6 +83,9 @@ func GrowthSolve(cfg GrowthSolveConfig) GrowthSolveResult {
 	opt.DisableEMMMemo = cfg.NoOpt
 	opt.CollectDepthStats = true
 	opt.Passes = cfg.Passes
+	if cfg.Jobs > 1 {
+		opt = opt.WithJobs(cfg.Jobs).WithCube(cfg.Cube).WithShare(cfg.Share)
+	}
 
 	t0 := time.Now()
 	r := bmc.Check(n, 0, opt)

@@ -66,6 +66,13 @@ const (
 	MEMMInitClauses     = "emm.init_clauses"
 	MEMMMemoHits        = "emm.memo_hits"
 
+	// Cooperative solving: clause-sharing bus and cube-and-conquer.
+	MShareExported = "share.exported" // clauses published to the bus
+	MShareImported = "share.imported" // clauses replayed into a peer solver
+	MShareFiltered = "share.filtered" // clauses dropped by the canonical-coding filter
+	MCubeSplits    = "cube.split"     // cube refinements (budget-exceeded splits)
+	MCubeStolen    = "cube.stolen"    // cubes solved by a worker other than their producer
+
 	// Proof-based abstraction.
 	MPBACoreSize     = "pba.core_size"     // gauge: last UNSAT core size
 	MPBALatchReasons = "pba.latch_reasons" // gauge: |LR| after the last update

@@ -8,8 +8,10 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -31,12 +33,21 @@ func Jobs(n int) int {
 // ctx is cancelled, workers stop picking up new indices; in-flight calls
 // run to completion and are expected to poll ctx themselves when
 // long-running. ForEach returns ctx.Err().
+//
+// A panic in fn does not crash the process: the panicking worker's error
+// (with the panic value and stack) is returned after the pool drains, the
+// shared context is cancelled so the surviving workers wind down, and the
+// remaining indices go undispatched. The first panic wins; ctx.Err() is
+// only reported when no worker panicked.
 func ForEach(ctx context.Context, jobs, n int, fn func(ctx context.Context, worker, i int)) error {
 	jobs = Jobs(jobs)
 	if jobs > n {
 		jobs = n
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var next atomic.Int64
+	var panicErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
@@ -47,12 +58,32 @@ func ForEach(ctx context.Context, jobs, n int, fn func(ctx context.Context, work
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				fn(ctx, worker, i)
+				if !protect(ctx, worker, i, fn, &panicErr, cancel) {
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if ep := panicErr.Load(); ep != nil {
+		return *ep
+	}
 	return ctx.Err()
+}
+
+// protect runs one fn invocation, converting a panic into the pool's error
+// and reporting whether the worker may continue.
+func protect(ctx context.Context, worker, i int, fn func(context.Context, int, int), panicErr *atomic.Pointer[error], cancel context.CancelFunc) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("par: worker %d panicked on index %d: %v\n%s", worker, i, r, debug.Stack())
+			panicErr.CompareAndSwap(nil, &err)
+			cancel()
+			ok = false
+		}
+	}()
+	fn(ctx, worker, i)
+	return true
 }
 
 // ForEachObs is ForEach with span tracing: when o has a sink attached,

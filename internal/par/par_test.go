@@ -3,6 +3,7 @@ package par
 import (
 	"context"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -128,5 +129,60 @@ func TestFirstPrefersLowestIndexOnTie(t *testing.T) {
 		if win != 0 {
 			t.Fatalf("tie broke to %d, want 0", win)
 		}
+	}
+}
+
+func TestForEachRecoversPanic(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 4, 100, func(ctx context.Context, w, i int) {
+		if i == 7 {
+			panic("worker exploded")
+		}
+		ran.Add(1)
+	})
+	if err == nil {
+		t.Fatalf("panicking pool returned nil error")
+	}
+	if !strings.Contains(err.Error(), "worker exploded") || !strings.Contains(err.Error(), "index 7") {
+		t.Fatalf("error lacks panic context: %v", err)
+	}
+	// The panic cancels the pool: not every index needs to run, but the
+	// process must survive and the pool must have drained (we got here).
+	if ran.Load() == 0 {
+		t.Fatalf("no indices ran before the panic")
+	}
+}
+
+func TestForEachPanicCancelsSurvivors(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	err := ForEach(context.Background(), 2, 4, func(ctx context.Context, w, i int) {
+		switch i {
+		case 0:
+			<-started // wait until the sibling is in flight
+			panic("boom")
+		case 1:
+			close(started)
+			select {
+			case <-ctx.Done(): // the sibling's panic must cancel us
+			case <-release:
+				t.Errorf("survivor was not cancelled after sibling panic")
+			}
+		}
+	})
+	close(release)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want the panic error", err)
+	}
+}
+
+func TestForEachObsRecoversPanic(t *testing.T) {
+	err := ForEachObs(context.Background(), nil, "pool", 2, 10, func(ctx context.Context, w, i int) {
+		if i == 3 {
+			panic("traced worker exploded")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "traced worker exploded") {
+		t.Fatalf("err = %v, want the panic error", err)
 	}
 }

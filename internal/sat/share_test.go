@@ -1,0 +1,117 @@
+package sat
+
+import "testing"
+
+// TestImportFilter exercises importLearnt's normalization and safety rules:
+// unknown and eliminated variables are dropped (never a panic), tautologies
+// and level-0-satisfied clauses are dropped, false-at-0 literals are
+// strengthened away, units are enqueued, and ordinary clauses land in the
+// learnt database with the carried glue.
+func TestImportFilter(t *testing.T) {
+	s := New()
+	addVars(s, 4)
+	// Eliminate variable 4 via Simplify: make it pure so elimination fires.
+	s.AddClause(lits(1, 4)...)
+	s.AddClause(lits(2, 4)...)
+	s.Freeze(Var(0))
+	s.Freeze(Var(1))
+	s.Freeze(Var(2))
+	if err := s.Simplify(); err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	if !s.elimed[Var(3)] {
+		t.Skip("variable 4 not eliminated; elimination heuristics changed")
+	}
+
+	inject := [][]Lit{
+		lits(1, 9),     // unknown variable: drop
+		lits(1, 4),     // eliminated variable: drop
+		lits(1, -1, 2), // tautology: drop
+		lits(1, 1, 2),  // duplicate literal: kept, deduped
+		lits(-2),       // unit: enqueued at level 0
+		lits(2, 3),     // satisfied at level 0 once -2... no: -2 makes 2 false, clause strengthens to unit 3
+	}
+	want := []bool{false, false, false, true, true, true}
+	got := make([]bool, 0, len(inject))
+	s.Import = func(add func([]Lit, int) bool) {
+		for _, cl := range inject {
+			got = append(got, add(cl, 2))
+		}
+		s.Import = nil // one-shot
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("Solve = %v, want Sat", st)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("import[%d] (%v) = %v, want %v", i, inject[i], got[i], want[i])
+		}
+	}
+	if s.Stats().ImportedClauses != 3 {
+		t.Errorf("ImportedClauses = %d, want 3", s.Stats().ImportedClauses)
+	}
+	// The imports must actually constrain the model: -2 was imported as a
+	// unit, and (2|3) strengthened to unit 3.
+	if s.Value(Var(1)) != False {
+		t.Errorf("imported unit -2 not reflected in model")
+	}
+	if s.Value(Var(2)) != True {
+		t.Errorf("strengthened unit 3 not reflected in model")
+	}
+}
+
+// TestImportConflict checks that importing a clause whose literals are all
+// false at level 0 makes the database UNSAT.
+func TestImportConflict(t *testing.T) {
+	s := New()
+	addVars(s, 2)
+	s.AddClause(lits(1)...)
+	s.AddClause(lits(2)...)
+	s.Import = func(add func([]Lit, int) bool) {
+		if !add(lits(-1, -2), 1) {
+			t.Errorf("conflicting import not incorporated")
+		}
+		s.Import = nil
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Solve = %v, want Unsat after conflicting import", st)
+	}
+}
+
+// TestExportFilter checks that learnt clauses passing the LBD/size filter
+// reach the Export hook and are counted.
+func TestExportFilter(t *testing.T) {
+	s := New()
+	addVars(s, 8)
+	// Pigeonhole 3 pigeons / 2 holes: UNSAT, forces real conflict analysis.
+	p := func(pi, h int) int { return pi*2 + h + 1 }
+	for pi := 0; pi < 3; pi++ {
+		s.AddClause(lits(p(pi, 0), p(pi, 1))...)
+	}
+	for h := 0; h < 2; h++ {
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				s.AddClause(lits(-p(a, h), -p(b, h))...)
+			}
+		}
+	}
+	exported := 0
+	s.Export = func(cl []Lit, lbd int) {
+		exported++
+		if len(cl) > shareMaxLits {
+			t.Errorf("exported clause of %d lits exceeds cap %d", len(cl), shareMaxLits)
+		}
+		if lbd > shareLBD && len(cl) > 2 {
+			t.Errorf("exported clause lbd=%d len=%d fails filter", lbd, len(cl))
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", st)
+	}
+	if exported == 0 {
+		t.Fatalf("no clauses exported on an UNSAT instance with conflicts")
+	}
+	if s.Stats().ExportedClauses != int64(exported) {
+		t.Errorf("ExportedClauses = %d, want %d", s.Stats().ExportedClauses, exported)
+	}
+}

@@ -1,0 +1,170 @@
+// Package share is the learnt-clause sharing bus of the cooperative
+// parallel solving layer. Each worker in a fleet owns a bounded broadcast
+// ring it pushes exported lemmas into; every other worker drains the peers'
+// rings at its own restart boundaries through a per-worker Inbox. Clauses
+// travel in a solver-independent canonical literal coding (assigned by the
+// BMC layer from time-frame/node coordinates), so a clause learnt in one
+// worker's CNF numbering can be replayed into another's.
+//
+// The rings are lock-free and lossy by design: a slow consumer loses the
+// oldest entries instead of stalling a producer, and a concurrently
+// overwritten slot is simply skipped. Both are safe because shared clauses
+// are sound lemmas — losing one costs only an opportunity, never
+// correctness — and the sequence-stamped slots guarantee a clause is
+// delivered to a given inbox at most once.
+package share
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clause is one shared lemma. Lits holds canonical literal codes (opaque to
+// this package; the BMC bridge assigns and resolves them), LBD the glue the
+// exporting solver recorded. Clauses are immutable once published.
+type Clause struct {
+	Lits []uint64
+	LBD  int
+}
+
+// entry is one ring slot: the clause plus the sequence number it was
+// published under, so consumers can tell a fresh entry from a stale or
+// overwritten one.
+type entry struct {
+	seq uint64
+	c   *Clause
+}
+
+// Ring is a bounded, lossy, multi-producer multi-consumer broadcast ring.
+// Push never blocks; when the ring wraps, the oldest entries are
+// overwritten. Consumers keep their own cursors (see Inbox) and observe
+// each published clause at most once.
+type Ring struct {
+	slots []atomic.Pointer[entry]
+	head  atomic.Uint64 // next sequence number to publish
+}
+
+// NewRing creates a ring with the given capacity (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[entry], capacity)}
+}
+
+// Push publishes c. The slot index is claimed with an atomic increment, so
+// concurrent producers never publish under the same sequence number; a
+// producer lapped between claiming and storing overwrites harmlessly (its
+// entry, or the one it displaced, is dropped by the seq check on read).
+func (r *Ring) Push(c *Clause) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&entry{seq: i, c: c})
+}
+
+// Drain invokes fn for every clause published since cursor that is still
+// resident, and returns the new cursor. When the consumer has fallen more
+// than a full ring behind, the lost prefix is skipped.
+func (r *Ring) Drain(cursor uint64, fn func(*Clause)) uint64 {
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	if head > cursor+n {
+		cursor = head - n // overrun: the older entries are gone
+	}
+	for ; cursor < head; cursor++ {
+		e := r.slots[cursor%n].Load()
+		if e == nil || e.seq != cursor {
+			continue // not yet stored, or already overwritten by a later lap
+		}
+		fn(e.c)
+	}
+	return cursor
+}
+
+// Bus wires a fleet of workers together: one ring per worker plus the
+// fleet-wide sharing tallies and the comparator intern table the BMC layer
+// uses to give EMM address comparators a cross-worker canonical identity.
+type Bus struct {
+	rings []*Ring
+
+	exported atomic.Int64
+	imported atomic.Int64
+	filtered atomic.Int64
+
+	mu     sync.Mutex
+	intern map[string]uint64
+}
+
+// NewBus creates a bus for the given number of workers, each with a ring of
+// the given capacity.
+func NewBus(workers, capacity int) *Bus {
+	b := &Bus{rings: make([]*Ring, workers), intern: make(map[string]uint64)}
+	for i := range b.rings {
+		b.rings[i] = NewRing(capacity)
+	}
+	return b
+}
+
+// Workers returns the fleet size the bus was created for.
+func (b *Bus) Workers() int { return len(b.rings) }
+
+// Publish pushes c onto worker w's ring and counts it as exported.
+func (b *Bus) Publish(w int, c *Clause) {
+	b.rings[w].Push(c)
+	b.exported.Add(1)
+}
+
+// Intern assigns a stable fleet-wide id to key, returning the existing id
+// when the key was seen before (by any worker). Ids start at 0 and are
+// dense, so callers can offset them into their own code namespace.
+func (b *Bus) Intern(key string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id, ok := b.intern[key]; ok {
+		return id
+	}
+	id := uint64(len(b.intern))
+	b.intern[key] = id
+	return id
+}
+
+// AddImported counts clauses successfully replayed into a solver.
+func (b *Bus) AddImported(n int64) { b.imported.Add(n) }
+
+// AddFiltered counts clauses dropped by the canonical-coding filter on
+// either side (export-side unmappable variables, import-side codes the
+// receiving worker has not built).
+func (b *Bus) AddFiltered(n int64) { b.filtered.Add(n) }
+
+// Exported returns the fleet-wide count of clauses published to the bus.
+func (b *Bus) Exported() int64 { return b.exported.Load() }
+
+// Imported returns the fleet-wide count of clauses replayed into solvers.
+func (b *Bus) Imported() int64 { return b.imported.Load() }
+
+// Filtered returns the fleet-wide count of clauses dropped by the filter.
+func (b *Bus) Filtered() int64 { return b.filtered.Load() }
+
+// Inbox is one worker's consuming endpoint: per-peer cursors over every
+// other worker's ring. Not safe for concurrent use (each worker drains its
+// own inbox from its own solver's import hook).
+type Inbox struct {
+	bus     *Bus
+	self    int
+	cursors []uint64
+}
+
+// Inbox creates the consuming endpoint for worker self.
+func (b *Bus) Inbox(self int) *Inbox {
+	return &Inbox{bus: b, self: self, cursors: make([]uint64, len(b.rings))}
+}
+
+// Drain invokes fn for every not-yet-seen clause on every peer's ring
+// (skipping the worker's own).
+func (in *Inbox) Drain(fn func(*Clause)) {
+	for p, r := range in.bus.rings {
+		if p == in.self {
+			continue
+		}
+		in.cursors[p] = r.Drain(in.cursors[p], fn)
+	}
+}

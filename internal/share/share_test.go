@@ -1,0 +1,121 @@
+package share
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingDeliversInOrder(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Push(&Clause{Lits: []uint64{uint64(i)}})
+	}
+	var got []uint64
+	cur := r.Drain(0, func(c *Clause) { got = append(got, c.Lits[0]) })
+	if cur != 5 {
+		t.Fatalf("cursor = %d, want 5", cur)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+	// A second drain from the returned cursor sees nothing new.
+	n := 0
+	if cur = r.Drain(cur, func(*Clause) { n++ }); n != 0 || cur != 5 {
+		t.Fatalf("re-drain delivered %d clauses, cursor %d", n, cur)
+	}
+}
+
+func TestRingOverrunSkipsLostPrefix(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Push(&Clause{Lits: []uint64{uint64(i)}})
+	}
+	var got []uint64
+	r.Drain(0, func(c *Clause) { got = append(got, c.Lits[0]) })
+	// Only the newest capacity-many survive, each delivered exactly once.
+	if len(got) != 4 {
+		t.Fatalf("delivered %d clauses, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(7+i) {
+			t.Fatalf("got[%d] = %d, want %d", i, v, 7+i)
+		}
+	}
+}
+
+// TestRingAtMostOnceUnderRace hammers one ring from several producers and
+// consumers; under -race this checks the atomics discipline, and the seq
+// stamps must prevent any clause reaching one consumer twice.
+func TestRingAtMostOnceUnderRace(t *testing.T) {
+	r := NewRing(16)
+	const producers, perProducer, consumers = 4, 500, 3
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r.Push(&Clause{Lits: []uint64{uint64(p*perProducer + i)}})
+			}
+		}(p)
+	}
+	seen := make([]map[uint64]int, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			seen[c] = map[uint64]int{}
+			cur := uint64(0)
+			for j := 0; j < 2000; j++ {
+				cur = r.Drain(cur, func(cl *Clause) { seen[c][cl.Lits[0]]++ })
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, m := range seen {
+		for v, n := range m {
+			if n > 1 {
+				t.Fatalf("consumer %d saw clause %d %d times", c, v, n)
+			}
+		}
+	}
+}
+
+func TestBusInboxSkipsSelf(t *testing.T) {
+	b := NewBus(3, 8)
+	b.Publish(0, &Clause{Lits: []uint64{100}})
+	b.Publish(1, &Clause{Lits: []uint64{101}})
+	b.Publish(2, &Clause{Lits: []uint64{102}})
+	in := b.Inbox(1)
+	var got []uint64
+	in.Drain(func(c *Clause) { got = append(got, c.Lits[0]) })
+	if len(got) != 2 {
+		t.Fatalf("inbox drained %d clauses, want 2 (own ring skipped)", len(got))
+	}
+	for _, v := range got {
+		if v == 101 {
+			t.Fatalf("inbox 1 received its own clause")
+		}
+	}
+	if b.Exported() != 3 {
+		t.Fatalf("Exported = %d, want 3", b.Exported())
+	}
+}
+
+func TestBusInternIsStable(t *testing.T) {
+	b := NewBus(2, 4)
+	a := b.Intern("cmp:a=b")
+	c := b.Intern("cmp:c=d")
+	if a == c {
+		t.Fatalf("distinct keys interned to same id")
+	}
+	if got := b.Intern("cmp:a=b"); got != a {
+		t.Fatalf("re-intern = %d, want %d", got, a)
+	}
+	// Dense from zero, so callers can offset into their own namespace.
+	if a != 0 || c != 1 {
+		t.Fatalf("ids not dense from 0: %d, %d", a, c)
+	}
+}
