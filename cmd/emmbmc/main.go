@@ -28,12 +28,14 @@ import (
 	"emmver/internal/bmc"
 	"emmver/internal/cliobs"
 	"emmver/internal/designs"
+	"emmver/internal/exp"
 	"emmver/internal/expmem"
+	"emmver/internal/obs"
 	"emmver/internal/vcd"
 )
 
 func main() {
-	design := flag.String("design", "quicksort", "quicksort, filter, or lookup")
+	design := flag.String("design", "quicksort", "quicksort, filter, lookup, or growth (the shared-address experiment shape)")
 	n := flag.Int("n", 3, "quicksort array size")
 	reduced := flag.Bool("reduced", true, "use reduced memory widths (fast); false = paper widths")
 	prop := flag.String("prop", "p1", "property: p1/p2 (quicksort), inv or index (lookup), index (filter)")
@@ -93,6 +95,11 @@ func main() {
 	}
 	observer, obsStop := obsFlags.Setup()
 	defer obsStop()
+	if engFlags.DistActive() && observer.Registry() == nil {
+		// The sharenet frame counters live in the obs registry; give the
+		// distributed path one even when no -trace/-progress flag asked.
+		observer = obs.New(obs.NewRegistry(), nil)
+	}
 	opt.Obs = observer
 	opt.Jobs = *jobs
 	switch *engine {
@@ -135,12 +142,27 @@ func main() {
 	if *explicit {
 		opt.UseEMM = false
 	}
-	r := bmc.Check(netlist, pi, opt)
+	var r *bmc.Result
+	if engFlags.DistActive() {
+		// Distributed fleet: this process brokers (-listen) or joins
+		// (-connect) a cross-process cube-and-conquer run.
+		r, err = engFlags.RunDist(netlist, pi, opt)
+		if err != nil {
+			fail(err.Error())
+		}
+	} else {
+		r = bmc.Check(netlist, pi, opt)
+	}
 	fmt.Printf("verdict: %s\n", r)
 	if r.Kind == bmc.KindProof {
 		fmt.Printf("proved by %s termination at depth %d\n", r.ProofSide, r.Depth)
 	}
-	if r.Kind == bmc.KindCE {
+	if r.Kind == bmc.KindCE && r.Witness == nil {
+		// A distributed peer found the counter-example; the witness lives in
+		// that worker's process.
+		fmt.Println("counter-example found by a remote fleet worker (no local witness)")
+	}
+	if r.Kind == bmc.KindCE && r.Witness != nil {
 		fmt.Printf("counter-example of length %d (validated on the concrete design: %v)\n",
 			r.Witness.Length, !*explicit)
 		if !*explicit {
@@ -165,6 +187,16 @@ func main() {
 	if r.Stats.Simplifies > 0 {
 		fmt.Printf("inprocessing: %d passes, %d clauses subsumed, %d strengthened, %d vars eliminated\n",
 			r.Stats.Simplifies, r.Stats.SubsumedClauses, r.Stats.StrengthenedClauses, r.Stats.EliminatedVars)
+	}
+	if r.Stats.SharedExported > 0 || r.Stats.SharedImported > 0 || r.Stats.SharedDropped > 0 {
+		fmt.Printf("sharing: %d clauses exported, %d imported, %d filtered, %d dropped\n",
+			r.Stats.SharedExported, r.Stats.SharedImported, r.Stats.SharedFiltered, r.Stats.SharedDropped)
+	}
+	if engFlags.DistActive() {
+		reg := observer.Registry()
+		fmt.Printf("sharenet: %d frames sent, %d received, %d dropped, %d reconnects\n",
+			reg.Counter(obs.MNetSent).Value(), reg.Counter(obs.MNetReceived).Value(),
+			reg.Counter(obs.MNetDropped).Value(), reg.Counter(obs.MNetReconnects).Value())
 	}
 	if r.Stats.EMM.Clauses() > 0 {
 		fmt.Printf("emm constraints: %s\n", r.Stats.EMM)
@@ -214,8 +246,12 @@ func buildDesign(name string, n int, reduced bool, prop string) (*aig.Netlist, i
 			fail("lookup properties are inv or 0..7")
 		}
 		return l.Netlist(), l.ReachIndices[idx]
+	case "growth":
+		// The §S2/§S5 experiment shape: one memory, one write port, two read
+		// ports on a shared address bus, one valid read-consistency property.
+		return exp.GrowthSolveNetlist(exp.DefaultGrowthSolve()), 0
 	}
-	fail("designs are quicksort, filter, and lookup")
+	fail("designs are quicksort, filter, lookup, and growth")
 	return nil, 0
 }
 

@@ -78,7 +78,20 @@ func main() {
 	// unrolling across every bad property.
 	props := allProps(len(n.Props))
 	var mr *bmc.ManyResult
-	if *jobs > 1 {
+	if engFlags.DistActive() {
+		// Distributed fleet: one property per fleet, brokered (-listen) or
+		// joined (-connect).
+		if len(props) != 1 {
+			fmt.Fprintf(os.Stderr, "distributed mode verifies one property per fleet; model has %d\n", len(props))
+			os.Exit(2)
+		}
+		r, err := engFlags.RunDist(n, 0, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		mr = &bmc.ManyResult{Results: []*bmc.Result{r}}
+	} else if *jobs > 1 {
 		mr = bmc.CheckManyParallel(n, props, opt, *jobs)
 	} else {
 		mr = bmc.CheckMany(n, props, opt)

@@ -7,6 +7,7 @@
 //	emmtables -exp f1            constraint-growth validation ("figure")
 //	emmtables -exp s3            compile-pipeline A/B (§S3)
 //	emmtables -exp s4            cooperative-solving A/B (§S4)
+//	emmtables -exp s5            distributed-solving A/B (§S5)
 //	emmtables -exp all           everything
 //
 // By default experiments run at the reduced scale (small memory widths,
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, s4, all")
+	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, s4, s5, all")
 	runs := flag.Int("runs", 3, "runs per side of the s4 A/B (median is reported)")
 	scale := flag.String("scale", "reduced", "design sizing: reduced or paper")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-run timeout (the paper used 3h)")
@@ -108,6 +109,14 @@ func main() {
 				os.Exit(2)
 			}
 			fmt.Println(exp.RenderShareAB(ab))
+		case "s5":
+			fmt.Printf("## Experiment S5 (distributed solving A/B, %d socket workers)\n\n", *engFlags.Workers)
+			ab, err := exp.DistAB(exp.DefaultDistAB(), *engFlags.Workers, *runs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(exp.RenderDistAB(ab))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -115,7 +124,7 @@ func main() {
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"t1", "t2", "i1", "i2", "f1", "s3", "s4"} {
+		for _, name := range []string{"t1", "t2", "i1", "i2", "f1", "s3", "s4", "s5"} {
 			run(name)
 		}
 		return

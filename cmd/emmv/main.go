@@ -138,7 +138,21 @@ func main() {
 	results := make([]*bmc.Result, len(n.Props))
 	abstractions := make([]string, len(n.Props))
 	var depthStats []bmc.DepthStat
-	if *engine == "pba" {
+	if engFlags.DistActive() {
+		// Distributed fleet: one property per fleet (the cube partition is
+		// property-specific), brokered (-listen) or joined (-connect).
+		if len(n.Props) != 1 {
+			fatal(fmt.Errorf("distributed mode verifies one property per fleet; %s asserts %d", topName, len(n.Props)))
+		}
+		if *engine == "pba" {
+			fatal(fmt.Errorf("distributed mode excludes -engine pba"))
+		}
+		r, err := engFlags.RunDist(n, 0, opt)
+		if err != nil {
+			fatal(err)
+		}
+		results[0] = r
+	} else if *engine == "pba" {
 		par.ForEach(context.Background(), *jobs, len(n.Props), func(_ context.Context, _, pi int) {
 			res := bmc.ProveWithPBA(n, pi, opt)
 			if res.Proof != nil {
@@ -186,6 +200,10 @@ func main() {
 		fmt.Printf("  [%s] %s\n", p.Name, r)
 		if r.Kind == bmc.KindCE {
 			fails++
+			if r.Witness == nil {
+				// A distributed peer holds the witness.
+				continue
+			}
 			if !*explicit {
 				r.Witness.Minimize(n, pi)
 			}

@@ -157,6 +157,17 @@ type Options struct {
 	// when a cube exceeds its conflict budget. Same eligibility rules as
 	// Share. Equivalent builder: WithCube.
 	Cube bool
+	// ShareCap overrides the per-worker clause ring capacity (0 keeps the
+	// default 4096). Larger rings tolerate burstier export rates before
+	// overrun drops clauses (Stats.SharedDropped); smaller rings bound the
+	// staleness of what a restart imports. Equivalent builder: WithShareCap.
+	ShareCap int
+	// ShareLBD and ShareSize override the solvers' clause-export filter
+	// (0 keeps the defaults: glue <= 6 or binary, <= 30 literals). A
+	// distributed fleet tightens them to trade socket traffic against lemma
+	// reach. Equivalent builder: WithShareFilter.
+	ShareLBD  int
+	ShareSize int
 }
 
 // Kind classifies a Result.
@@ -219,6 +230,7 @@ type Stats struct {
 	SharedExported int64
 	SharedImported int64
 	SharedFiltered int64
+	SharedDropped  int64
 	CubeSplits     int64
 	CubeStolen     int64
 }
@@ -242,6 +254,7 @@ func (s *Stats) Add(o Stats) {
 	s.SharedExported += o.SharedExported
 	s.SharedImported += o.SharedImported
 	s.SharedFiltered += o.SharedFiltered
+	s.SharedDropped += o.SharedDropped
 	s.CubeSplits += o.CubeSplits
 	s.CubeStolen += o.CubeStolen
 	if o.PeakHeapMB > s.PeakHeapMB {
@@ -379,6 +392,7 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 	}
 	e.fs = sat.New()
 	e.fs.Restart = opt.Restart
+	e.fs.ShareLBD, e.fs.ShareMaxLits = opt.ShareLBD, opt.ShareSize
 	if opt.PBA {
 		e.fs.EnableProofTracing()
 		e.tracker = pba.NewTracker()
@@ -416,6 +430,7 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 	if opt.Proofs {
 		e.bs = sat.New()
 		e.bs.Restart = opt.Restart
+		e.bs.ShareLBD, e.bs.ShareMaxLits = opt.ShareLBD, opt.ShareSize
 		e.bs.AttachObs(opt.Obs)
 		e.bu = unroll.New(n, e.bs, unroll.Free)
 		e.bu.NoStrash = opt.DisableStrash || opt.PBA

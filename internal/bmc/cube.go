@@ -45,9 +45,17 @@ var cubeConflictBudget int64 = 2000
 // cubeMaxInitialWidth caps the initial split width (2^w seed cubes).
 const cubeMaxInitialWidth = 10
 
-// shareRingCapacity is the per-worker clause ring size; see share.Ring for
-// why overrun is harmless.
+// shareRingCapacity is the default per-worker clause ring size
+// (Options.ShareCap overrides); see share.Ring for why overrun is harmless.
 const shareRingCapacity = 4096
+
+// ringCapacity resolves the effective ring size for an option set.
+func ringCapacity(opt Options) int {
+	if opt.ShareCap > 0 {
+		return opt.ShareCap
+	}
+	return shareRingCapacity
+}
 
 // cubeJob is one queue entry: comparator polarities for indices
 // [0, len(signs)) plus the worker that produced it (-1 for seed cubes), so
@@ -163,9 +171,9 @@ func checkCubed(ctx context.Context, n *aig.Netlist, prop int, opt Options, jobs
 
 	var fwd, bwd *share.Bus
 	if opt.Share {
-		fwd = share.NewBus(jobs, shareRingCapacity)
+		fwd = share.NewBus(jobs, ringCapacity(opt))
 		if opt.Proofs {
-			bwd = share.NewBus(jobs, shareRingCapacity)
+			bwd = share.NewBus(jobs, ringCapacity(opt))
 		}
 	}
 	engines := make([]*engine, jobs)
@@ -374,6 +382,7 @@ func addBusStats(st *Stats, buses ...*share.Bus) {
 		st.SharedExported += b.Exported()
 		st.SharedImported += b.Imported()
 		st.SharedFiltered += b.Filtered()
+		st.SharedDropped += b.Dropped()
 	}
 }
 
@@ -387,6 +396,7 @@ func publishCoopObs(o *obs.Observer, st *Stats) {
 	reg.Counter(obs.MShareExported).Add(st.SharedExported)
 	reg.Counter(obs.MShareImported).Add(st.SharedImported)
 	reg.Counter(obs.MShareFiltered).Add(st.SharedFiltered)
+	reg.Counter(obs.MShareDropped).Add(st.SharedDropped)
 	reg.Counter(obs.MCubeSplits).Add(st.CubeSplits)
 	reg.Counter(obs.MCubeStolen).Add(st.CubeStolen)
 }

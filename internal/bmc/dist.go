@@ -1,0 +1,268 @@
+package bmc
+
+// Distributed cube-and-conquer: this process runs ONE worker engine of a
+// multi-process fleet, with the cube queue and clause bus of cube.go
+// replaced by a sharenet broker. Depths advance in fleet-wide lockstep
+// (the broker releases a depth only when every cube is refuted), the
+// broker-assigned worker 0 runs the termination proofs its peers skip, and
+// the first decisive answer — a SAT cube, a proof, a timeout — finishes
+// everyone, exactly mirroring the in-process first-wins decide.
+//
+// Soundness is inherited wholesale: the cubes the broker leases are the
+// same exhaustive comparator-prefix partition cubeCECheck seeds (the
+// broker reuses the seed-width formula with the fleet size as the job
+// count), a cube result is a deterministic fact about the shared formula
+// (so lease reassignment after a worker death can at worst duplicate
+// work), and clauses cross processes in the same canonical coding they
+// cross goroutines in — the wire adds loss, never invention.
+
+import (
+	"context"
+	"fmt"
+
+	"emmver/internal/aig"
+	"emmver/internal/obs"
+	"emmver/internal/sat"
+	"emmver/internal/share"
+	"emmver/internal/sharenet"
+)
+
+// DistEligible reports whether a run can join a distributed fleet: one
+// property, no PBA tracing, no environment constraints — the same rules as
+// in-process sharing/cubing, which the socket changes nothing about.
+func DistEligible(n *aig.Netlist, opt Options) error {
+	if opt.PBA {
+		return fmt.Errorf("bmc: distributed solving excludes PBA (imported clauses have no proof derivation)")
+	}
+	if len(n.Constraints) > 0 {
+		return fmt.Errorf("bmc: distributed solving excludes designs with environment constraints")
+	}
+	return nil
+}
+
+// CheckDist runs property prop of n as this process's share of a
+// distributed fleet, pulling cubes from (and pushing lemmas through) the
+// given client. Every process of the fleet must run the same netlist,
+// property, and options. The returned result carries a witness only in the
+// process whose engine found the counter-example; the others report the
+// fleet verdict with a nil Witness.
+func CheckDist(n *aig.Netlist, prop int, opt Options, cl *sharenet.Client) (*Result, error) {
+	return CheckDistCtx(context.Background(), n, prop, opt, cl)
+}
+
+// CheckDistCtx is CheckDist under a cancellation context.
+func CheckDistCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options, cl *sharenet.Client) (*Result, error) {
+	c := compileModel(n, []int{prop}, &opt)
+	if err := DistEligible(c.n, opt); err != nil {
+		return nil, err
+	}
+	r, err := checkDist(ctx, c.n, c.props[0], opt, cl)
+	if err != nil {
+		return nil, err
+	}
+	return c.finish(r, prop, opt), nil
+}
+
+// checkDist is the distributed engine loop on the compiled netlist.
+func checkDist(ctx context.Context, n *aig.Netlist, prop int, opt Options, cl *sharenet.Client) (*Result, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if opt.Timeout > 0 {
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(runCtx, opt.Timeout)
+		defer tcancel()
+		opt.Timeout = 0
+	}
+	// A fleet verdict (wherever it was found) interrupts this worker's
+	// in-flight solve at its next poll.
+	cl.OnVerdict(func(sharenet.Verdict) { cancel() })
+
+	var fwd, bwd *share.Bus
+	if opt.Share {
+		fwd = share.NewBus(1, ringCapacity(opt))
+		cl.AttachBus(0, fwd)
+		if opt.Proofs {
+			bwd = share.NewBus(1, ringCapacity(opt))
+			cl.AttachBus(1, bwd)
+		}
+	}
+	e := newEngine(runCtx, n, prop, opt)
+	if e.fg != nil {
+		e.fg.TrackComparators = true
+	}
+	attachShare(e, fwd, bwd, 0)
+	self := cl.WorkerID()
+	proofWorker := opt.Proofs && self == 0
+
+	finish := func(r *Result) *Result {
+		r.Prop = prop
+		st := e.snapshotStats()
+		addBusStats(&st, fwd, bwd)
+		publishCoopObs(opt.Obs, &st)
+		r.Stats = st
+		r.DepthStats = e.depthStats
+		r.Tracker = e.tracker
+		return r
+	}
+	// remoteResult maps the fleet verdict onto a local Result once the
+	// decisive answer happened (here or elsewhere).
+	remoteResult := func(depth int) *Result {
+		v, ok := cl.Verdict()
+		if !ok {
+			// Transport gone (or broker closed verdict-less): this worker
+			// can only report how far it got.
+			return &Result{Kind: KindTimeout, Depth: depth}
+		}
+		switch v.Kind {
+		case sharenet.VerdictCE:
+			return &Result{Kind: KindCE, Depth: v.Depth}
+		case sharenet.VerdictNoCE:
+			return &Result{Kind: KindNoCE, Depth: v.Depth}
+		case sharenet.VerdictProof:
+			return &Result{Kind: KindProof, Depth: v.Depth, ProofSide: v.Side}
+		default:
+			return &Result{Kind: KindTimeout, Depth: v.Depth}
+		}
+	}
+
+	depth := 0
+	for depth <= opt.MaxDepth {
+		if e.timedOut() {
+			if _, ok := cl.Verdict(); !ok {
+				cl.SendVerdict(sharenet.Verdict{Kind: sharenet.VerdictTimeout, Depth: depth})
+			}
+			return finish(remoteResult(max(depth-1, 0))), nil
+		}
+		sp := e.obs.Span("bmc.depth", obs.F("depth", depth), obs.F("prop", prop))
+		e.prepareDepth(depth)
+		if proofWorker {
+			// An Unknown from either check means this worker was interrupted
+			// (fleet verdict or local timeout); the cube loop below notices
+			// and reports, so proofs just fall through.
+			var r *Result
+			switch e.forwardCheck(depth) {
+			case sat.Unsat:
+				e.logf("depth %d: forward termination", depth)
+				r = &Result{Kind: KindProof, Depth: depth, ProofSide: "forward"}
+			case sat.Sat:
+				if e.backwardCheck(prop, depth) == sat.Unsat {
+					e.logf("depth %d: backward termination", depth)
+					r = &Result{Kind: KindProof, Depth: depth, ProofSide: "backward"}
+				}
+			}
+			if r != nil {
+				cl.SendVerdict(sharenet.Verdict{Kind: sharenet.VerdictProof, Depth: depth, Side: r.ProofSide})
+				sp.End(obs.F("decided", true))
+				e.obsResolved(r.Kind)
+				return finish(r), nil
+			}
+		}
+		nComp := 0
+		if e.fg != nil {
+			nComp = len(e.fg.CompLits())
+		}
+		next, r, err := distCubeLoop(e, cl, prop, depth, nComp, remoteResult)
+		e.publishObs(depth)
+		if opt.CollectDepthStats {
+			e.collectDepthStat(depth)
+		}
+		sp.End(obs.F("emm_clauses", e.emmClausesCum()),
+			obs.F("clauses", e.fs.NumClauses()),
+			obs.F("decided", r != nil))
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			e.obsResolved(r.Kind)
+			return finish(r), nil
+		}
+		e.simplifyStep(depth)
+		depth = next
+	}
+	// The broker finishes the fleet at MaxDepth; falling out of the loop
+	// means an advance raced the finish frame — the verdict tells the story.
+	return finish(remoteResult(opt.MaxDepth)), nil
+}
+
+// distCubeLoop runs one depth's lease/solve/report cycle. It returns the
+// next depth to prepare (on a fleet advance), or a decisive local Result.
+func distCubeLoop(e *engine, cl *sharenet.Client, prop, depth, nComp int, remoteResult func(int) *Result) (int, *Result, error) {
+	for {
+		if _, ok := cl.Verdict(); ok {
+			return 0, remoteResult(depth), nil
+		}
+		resp, err := cl.RequestWork(depth, nComp)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bmc: fleet link lost at depth %d: %w", depth, err)
+		}
+		switch resp.Kind {
+		case sharenet.WorkAdvance:
+			if resp.Depth <= depth {
+				return 0, nil, fmt.Errorf("bmc: broker advanced %d -> %d", depth, resp.Depth)
+			}
+			return resp.Depth, nil, nil
+		case sharenet.WorkFinish:
+			return 0, remoteResult(depth), nil
+		case sharenet.WorkLease:
+			signs, err := parseSigns(resp.Signs)
+			if err != nil {
+				return 0, nil, err
+			}
+			st := e.solveCube(prop, depth, signs, cubeConflictBudget)
+			if st == sat.Unknown && !e.timedOut() {
+				if len(signs) < nComp {
+					if err := cl.SendResult(depth, resp.Signs, true); err != nil {
+						return 0, nil, err
+					}
+					continue
+				}
+				st = e.solveCube(prop, depth, signs, 0)
+			}
+			switch st {
+			case sat.Unsat:
+				if err := cl.SendResult(depth, resp.Signs, false); err != nil {
+					return 0, nil, err
+				}
+			case sat.Sat:
+				// Extract before anything else touches this solver: the
+				// model lives here, and only here — peers get the verdict.
+				wit := e.extractWitness(depth)
+				e.validateWitness(wit, prop)
+				e.logf("depth %d: counter-example (distributed worker %d)", depth, cl.WorkerID())
+				cl.SendVerdict(sharenet.Verdict{Kind: sharenet.VerdictCE, Depth: depth})
+				return 0, &Result{Kind: KindCE, Depth: depth, Witness: wit}, nil
+			default:
+				// Interrupted: a fleet verdict cancelled us, or this
+				// worker's own budget expired. First verdict wins.
+				if _, ok := cl.Verdict(); !ok {
+					cl.SendVerdict(sharenet.Verdict{Kind: sharenet.VerdictTimeout, Depth: depth})
+				}
+				return 0, remoteResult(depth), nil
+			}
+		default:
+			return 0, nil, fmt.Errorf("bmc: unknown work response kind %d", resp.Kind)
+		}
+	}
+}
+
+// parseSigns decodes a broker cube key ('0'/'1' per comparator index).
+func parseSigns(s string) ([]bool, error) {
+	signs := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			signs[i] = true
+		default:
+			return nil, fmt.Errorf("bmc: corrupt cube key %q", s)
+		}
+	}
+	return signs, nil
+}
+
+// DistWorkerHello builds the client hello for a CheckDist run: the broker
+// learns the bound (for the NO_CE depth) and whether this worker would run
+// termination proofs if assigned slot 0.
+func DistWorkerHello(opt Options) (maxDepth int, proofs bool) {
+	return opt.MaxDepth, opt.Proofs
+}

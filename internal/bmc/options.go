@@ -88,6 +88,22 @@ func (o Options) WithCube(on bool) Options {
 	return o
 }
 
+// WithShareCap returns a copy of o whose per-worker clause ring holds n
+// entries (0 restores the default 4096). Equivalent field: Options.ShareCap.
+func (o Options) WithShareCap(n int) Options {
+	o.ShareCap = n
+	return o
+}
+
+// WithShareFilter returns a copy of o whose solvers export learnt clauses
+// of glue <= lbd (or binary) and at most size literals; 0 keeps the
+// respective default (6 / 30). Equivalent fields: Options.ShareLBD,
+// Options.ShareSize.
+func (o Options) WithShareFilter(lbd, size int) Options {
+	o.ShareLBD, o.ShareSize = lbd, size
+	return o
+}
+
 // WithPasses returns a copy of o whose static compile pipeline is spec:
 // "" for the default pipeline, pass.SpecNone ("none") to disable it, or an
 // explicit comma-separated pass list such as "coi,dedup". Equivalent

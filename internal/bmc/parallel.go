@@ -79,9 +79,9 @@ func CheckManyParallelCtx(ctx context.Context, n *aig.Netlist, props []int, opt 
 	// separate buses (different execution sets).
 	var fwd, bwd *share.Bus
 	if opt.Share && jobs > 1 && shareEligible(n, opt) {
-		fwd = share.NewBus(jobs, shareRingCapacity)
+		fwd = share.NewBus(jobs, ringCapacity(opt))
 		if opt.Proofs {
-			bwd = share.NewBus(jobs, shareRingCapacity)
+			bwd = share.NewBus(jobs, ringCapacity(opt))
 		}
 	}
 

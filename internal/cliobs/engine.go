@@ -1,19 +1,23 @@
 package cliobs
 
 import (
+	"errors"
 	"flag"
 	"strings"
+	"time"
 
 	"emmver/internal/aig"
 	"emmver/internal/bmc"
 	"emmver/internal/pass"
 	"emmver/internal/sat"
+	"emmver/internal/sharenet"
 )
 
 // EngineFlags bundles the solver and compile-pipeline flags shared by all
 // verification CLIs — -restart, -no-simplify, -passes, -no-passes, -share,
-// -cube — so every frontend exposes the same knobs with the same semantics
-// and default values.
+// -cube, the sharing tunables, and the distributed-fleet endpoints — so
+// every frontend exposes the same knobs with the same semantics and default
+// values.
 type EngineFlags struct {
 	Restart    *string
 	NoSimplify *bool
@@ -21,6 +25,12 @@ type EngineFlags struct {
 	NoPasses   *bool
 	Share      *bool
 	Cube       *bool
+	ShareCap   *int
+	ShareLBD   *int
+	ShareSize  *int
+	Listen     *string
+	Connect    *string
+	Workers    *int
 }
 
 // RegisterEngine declares the shared engine flags on the default flag set;
@@ -38,6 +48,18 @@ func RegisterEngine() *EngineFlags {
 			"share learnt clauses between fleet workers (multi-worker runs; off under PBA or environment constraints)"),
 		Cube: flag.Bool("cube", false,
 			"cube-and-conquer: split the search over EMM address comparators across the fleet (needs -jobs > 1)"),
+		ShareCap: flag.Int("share-cap", 0,
+			"clause-sharing ring capacity per worker (0 = default 4096)"),
+		ShareLBD: flag.Int("share-lbd", 0,
+			"export learnt clauses of glue <= this (0 = default 6; binaries always export)"),
+		ShareSize: flag.Int("share-size", 0,
+			"export learnt clauses of at most this many literals (0 = default 30)"),
+		Listen: flag.String("listen", "",
+			"broker a distributed fleet on this address (unix:/path, tcp:host:port, or a socket path) and solve as worker 0"),
+		Connect: flag.String("connect", "",
+			"join a distributed fleet brokered at this address"),
+		Workers: flag.Int("workers", 2,
+			"fleet size for -listen, including this process"),
 	}
 }
 
@@ -95,5 +117,77 @@ func (f *EngineFlags) Apply(opt bmc.Options) (bmc.Options, error) {
 	opt.Passes = spec
 	opt.Share = *f.Share
 	opt.Cube = *f.Cube
+	opt.ShareCap = *f.ShareCap
+	opt.ShareLBD = *f.ShareLBD
+	opt.ShareSize = *f.ShareSize
 	return opt, nil
+}
+
+// DistActive reports whether the command line selected a distributed role
+// (-listen or -connect).
+func (f *EngineFlags) DistActive() bool {
+	return *f.Listen != "" || *f.Connect != ""
+}
+
+// ParseNetAddr splits a -listen/-connect value into the (network, address)
+// pair net.Listen/net.Dial expect: an explicit "unix:" or "tcp:" prefix
+// wins, a value containing a path separator is a unix socket, anything else
+// is a TCP host:port.
+func ParseNetAddr(s string) (network, addr string) {
+	switch {
+	case strings.HasPrefix(s, "unix:"):
+		return "unix", s[len("unix:"):]
+	case strings.HasPrefix(s, "tcp:"):
+		return "tcp", s[len("tcp:"):]
+	case strings.Contains(s, "/"):
+		return "unix", s
+	default:
+		return "tcp", s
+	}
+}
+
+// RunDist executes property prop of n as this process's share of a
+// cross-process fleet. With -listen it starts the broker, then dials it and
+// solves as a regular worker (broker-assigned slot 0 runs the termination
+// proofs); with -connect it just joins. The result mirrors bmc.CheckDist:
+// only the worker whose engine found the counter-example holds a witness.
+func (f *EngineFlags) RunDist(n *aig.Netlist, prop int, opt bmc.Options) (*bmc.Result, error) {
+	if *f.Listen != "" && *f.Connect != "" {
+		return nil, errors.New("-listen and -connect are mutually exclusive")
+	}
+	endpoint := *f.Listen
+	if endpoint == "" {
+		endpoint = *f.Connect
+	}
+	network, addr := ParseNetAddr(endpoint)
+	var br *sharenet.Broker
+	if *f.Listen != "" {
+		if *f.Workers < 1 {
+			return nil, errors.New("-listen needs -workers >= 1")
+		}
+		var err error
+		br, err = sharenet.Listen(network, addr, sharenet.BrokerOptions{Workers: *f.Workers, Obs: opt.Obs})
+		if err != nil {
+			return nil, err
+		}
+	}
+	maxDepth, proofs := bmc.DistWorkerHello(opt)
+	cl, err := sharenet.Dial(network, addr, sharenet.ClientOptions{MaxDepth: maxDepth, Proofs: proofs, Obs: opt.Obs})
+	if err != nil {
+		if br != nil {
+			br.Close()
+		}
+		return nil, err
+	}
+	r, rerr := bmc.CheckDist(n, prop, opt, cl)
+	cl.Close()
+	if br != nil {
+		// The fleet verdict is broadcast when Done closes; the short grace
+		// lets remote workers drain their finish frames before the broker
+		// severs the links.
+		br.Wait(10 * time.Second)
+		time.Sleep(250 * time.Millisecond)
+		br.Close()
+	}
+	return r, rerr
 }

@@ -72,6 +72,13 @@ const (
 	MShareFiltered = "share.filtered" // clauses dropped by the canonical-coding filter
 	MCubeSplits    = "cube.split"     // cube refinements (budget-exceeded splits)
 	MCubeStolen    = "cube.stolen"    // cubes solved by a worker other than their producer
+	MShareDropped  = "share.dropped"  // clause deliveries lost to ring overrun
+
+	// Distributed solving: cross-process transport (package sharenet).
+	MNetSent       = "sharenet.sent"       // frames written to the socket
+	MNetReceived   = "sharenet.received"   // frames read from the socket
+	MNetDropped    = "sharenet.dropped"    // clause frames dropped on a full peer queue
+	MNetReconnects = "sharenet.reconnects" // dial retries before the link came up
 
 	// Proof-based abstraction.
 	MPBACoreSize     = "pba.core_size"     // gauge: last UNSAT core size

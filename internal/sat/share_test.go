@@ -115,3 +115,52 @@ func TestExportFilter(t *testing.T) {
 		t.Errorf("ExportedClauses = %d, want %d", s.Stats().ExportedClauses, exported)
 	}
 }
+
+// TestExportFilterOverride checks that per-solver ShareLBD/ShareMaxLits
+// replace the package defaults: a maximally strict override (glue 1, 2
+// lits) must export strictly fewer clauses than the default filter on the
+// same instance, and everything it does export must satisfy the override.
+func TestExportFilterOverride(t *testing.T) {
+	build := func() *Solver {
+		s := New()
+		addVars(s, 12)
+		p := func(pi, h int) int { return pi*3 + h + 1 }
+		for pi := 0; pi < 4; pi++ {
+			s.AddClause(lits(p(pi, 0), p(pi, 1), p(pi, 2))...)
+		}
+		for h := 0; h < 3; h++ {
+			for a := 0; a < 4; a++ {
+				for b := a + 1; b < 4; b++ {
+					s.AddClause(lits(-p(a, h), -p(b, h))...)
+				}
+			}
+		}
+		return s
+	}
+	run := func(lbd, maxLits int) int {
+		s := build()
+		s.ShareLBD, s.ShareMaxLits = lbd, maxLits
+		n := 0
+		s.Export = func(cl []Lit, gotLBD int) {
+			n++
+			if maxLits > 0 && len(cl) > maxLits {
+				t.Errorf("override maxLits=%d: exported %d-lit clause", maxLits, len(cl))
+			}
+			if lbd > 0 && gotLBD > lbd && len(cl) > 2 {
+				t.Errorf("override lbd=%d: exported lbd=%d len=%d", lbd, gotLBD, len(cl))
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("Solve = %v, want Unsat", st)
+		}
+		return n
+	}
+	def := run(0, 0)
+	strict := run(1, 2)
+	if def == 0 {
+		t.Fatalf("default filter exported nothing")
+	}
+	if strict >= def {
+		t.Errorf("strict override exported %d clauses, default %d — override not applied", strict, def)
+	}
+}

@@ -104,6 +104,13 @@ type Solver struct {
 	Export func(lits []Lit, lbd int)
 	Import func(add func(lits []Lit, lbd int) bool)
 
+	// ShareLBD and ShareMaxLits override the package-default export filter
+	// for this solver instance when positive (0 keeps the defaults: glue <=
+	// 6 or binary, at most 30 literals). Tunable from the engine so a
+	// distributed fleet can trade bus traffic against lemma quality.
+	ShareLBD     int
+	ShareMaxLits int
+
 	interrupted bool   // propagate observed Interrupt firing mid-queue
 	pollTick    uint32 // search-loop iterations since the last Interrupt poll
 
@@ -804,9 +811,18 @@ func (s *Solver) recordLearnt(lits []Lit, chain []int32) (cref, int) {
 		s.attach(c)
 		s.bumpClause(c)
 	}
-	if s.Export != nil && len(lits) <= shareMaxLits && (lbd <= shareLBD || len(lits) <= 2) {
-		s.stats.ExportedClauses++
-		s.Export(lits, lbd)
+	if s.Export != nil {
+		maxLits, maxLBD := shareMaxLits, shareLBD
+		if s.ShareMaxLits > 0 {
+			maxLits = s.ShareMaxLits
+		}
+		if s.ShareLBD > 0 {
+			maxLBD = s.ShareLBD
+		}
+		if len(lits) <= maxLits && (lbd <= maxLBD || len(lits) <= 2) {
+			s.stats.ExportedClauses++
+			s.Export(lits, lbd)
+		}
 	}
 	return c, lbd
 }

@@ -42,6 +42,12 @@ type entry struct {
 type Ring struct {
 	slots []atomic.Pointer[entry]
 	head  atomic.Uint64 // next sequence number to publish
+	// dropped counts delivery misses: clauses a consumer's cursor skipped
+	// because the ring wrapped past them (or a slot was overwritten between
+	// the producer's claim and the consumer's read). A clause lost to two
+	// consumers counts twice — the figure measures undelivered work, which
+	// is what matters when tuning ring capacity against publish rate.
+	dropped atomic.Int64
 }
 
 // NewRing creates a ring with the given capacity (minimum 1).
@@ -68,31 +74,62 @@ func (r *Ring) Drain(cursor uint64, fn func(*Clause)) uint64 {
 	head := r.head.Load()
 	n := uint64(len(r.slots))
 	if head > cursor+n {
+		lost := head - n - cursor
 		cursor = head - n // overrun: the older entries are gone
+		r.dropped.Add(int64(lost))
 	}
 	for ; cursor < head; cursor++ {
 		e := r.slots[cursor%n].Load()
 		if e == nil || e.seq != cursor {
-			continue // not yet stored, or already overwritten by a later lap
+			// Not yet stored, or already overwritten by a later lap. Either
+			// way this consumer's cursor moves past it for good.
+			r.dropped.Add(1)
+			continue
 		}
 		fn(e.c)
 	}
 	return cursor
 }
 
+// Dropped returns the cumulative delivery misses on this ring.
+func (r *Ring) Dropped() int64 { return r.dropped.Load() }
+
 // Bus wires a fleet of workers together: one ring per worker plus the
 // fleet-wide sharing tallies and the comparator intern table the BMC layer
 // uses to give EMM address comparators a cross-worker canonical identity.
+//
+// A bus can additionally be uplinked to a cross-process transport
+// (internal/sharenet): foreign clauses arriving over the wire enter through
+// PushRemote onto a dedicated remote ring every local inbox drains, local
+// publishes leave through an Outbox cursor, and SetInterner delegates the
+// canonical-id authority to a fleet-wide broker. None of this changes the
+// in-process API — the BMC bridge publishes, drains, and interns exactly as
+// it would on a purely local bus.
 type Bus struct {
 	rings []*Ring
+	// remote carries clauses received from other processes. Local inboxes
+	// drain it like a peer's ring; the Outbox never does (a clause must not
+	// be re-broadcast to the transport it arrived from).
+	remote *Ring
 
 	exported atomic.Int64
 	imported atomic.Int64
 	filtered atomic.Int64
 
-	mu     sync.Mutex
-	intern map[string]uint64
+	mu       sync.Mutex
+	intern   map[string]uint64
+	interner func(key string) (uint64, bool)
+	// privateNext coins fallback ids when a remote interner fails (dead
+	// transport); see Intern.
+	privateNext uint64
 }
+
+// privateInternBase is the first id of the local-fallback intern namespace.
+// Broker-assigned ids are dense from 0 and can never reach it, so a private
+// id cannot collide with a fleet-wide one. Private ids are only ever held
+// locally: a worker whose transport died exports nothing, so they never
+// cross a process boundary.
+const privateInternBase = uint64(1) << 40
 
 // NewBus creates a bus for the given number of workers, each with a ring of
 // the given capacity.
@@ -101,6 +138,7 @@ func NewBus(workers, capacity int) *Bus {
 	for i := range b.rings {
 		b.rings[i] = NewRing(capacity)
 	}
+	b.remote = NewRing(capacity)
 	return b
 }
 
@@ -116,15 +154,53 @@ func (b *Bus) Publish(w int, c *Clause) {
 // Intern assigns a stable fleet-wide id to key, returning the existing id
 // when the key was seen before (by any worker). Ids start at 0 and are
 // dense, so callers can offset them into their own code namespace.
+//
+// With a remote interner attached the authority is the fleet broker: the
+// first sighting of a key pays one request/reply round trip, every later
+// one hits the local cache. When the transport has died the key gets a
+// private fallback id (>= privateInternBase) — locally consistent, unable
+// to collide with any broker id, and never exported.
 func (b *Bus) Intern(key string) uint64 {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if id, ok := b.intern[key]; ok {
+		b.mu.Unlock()
 		return id
 	}
-	id := uint64(len(b.intern))
+	if b.interner == nil {
+		id := uint64(len(b.intern))
+		b.intern[key] = id
+		b.mu.Unlock()
+		return id
+	}
+	remote := b.interner
+	b.mu.Unlock() // the round trip must not serialize the whole bus
+	id, ok := remote(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cached, dup := b.intern[key]; dup {
+		return cached // a racing worker interned it meanwhile
+	}
+	if !ok {
+		id = privateInternBase + b.privateNext
+		b.privateNext++
+	}
 	b.intern[key] = id
 	return id
+}
+
+// SetInterner delegates fleet-wide id assignment to fn (the cross-process
+// broker). Must be called before the first Intern.
+func (b *Bus) SetInterner(fn func(key string) (uint64, bool)) {
+	b.mu.Lock()
+	b.interner = fn
+	b.mu.Unlock()
+}
+
+// PushRemote delivers a clause received from another process to every local
+// worker's inbox. It is not counted as exported — the exporting process
+// already did — and never re-broadcast by the Outbox.
+func (b *Bus) PushRemote(c *Clause) {
+	b.remote.Push(c)
 }
 
 // AddImported counts clauses successfully replayed into a solver.
@@ -144,27 +220,61 @@ func (b *Bus) Imported() int64 { return b.imported.Load() }
 // Filtered returns the fleet-wide count of clauses dropped by the filter.
 func (b *Bus) Filtered() int64 { return b.filtered.Load() }
 
+// Dropped returns the fleet-wide count of clause deliveries lost to ring
+// overrun (including the remote ring), the signal for tuning ring and
+// socket capacities against publish rate.
+func (b *Bus) Dropped() int64 {
+	var n int64
+	for _, r := range b.rings {
+		n += r.Dropped()
+	}
+	return n + b.remote.Dropped()
+}
+
 // Inbox is one worker's consuming endpoint: per-peer cursors over every
-// other worker's ring. Not safe for concurrent use (each worker drains its
-// own inbox from its own solver's import hook).
+// other worker's ring plus the remote ring. Not safe for concurrent use
+// (each worker drains its own inbox from its own solver's import hook).
 type Inbox struct {
 	bus     *Bus
 	self    int
-	cursors []uint64
+	cursors []uint64 // one per local ring, then the remote ring last
 }
 
 // Inbox creates the consuming endpoint for worker self.
 func (b *Bus) Inbox(self int) *Inbox {
-	return &Inbox{bus: b, self: self, cursors: make([]uint64, len(b.rings))}
+	return &Inbox{bus: b, self: self, cursors: make([]uint64, len(b.rings)+1)}
 }
 
 // Drain invokes fn for every not-yet-seen clause on every peer's ring
-// (skipping the worker's own).
+// (skipping the worker's own) and on the remote ring.
 func (in *Inbox) Drain(fn func(*Clause)) {
 	for p, r := range in.bus.rings {
 		if p == in.self {
 			continue
 		}
 		in.cursors[p] = r.Drain(in.cursors[p], fn)
+	}
+	last := len(in.cursors) - 1
+	in.cursors[last] = in.bus.remote.Drain(in.cursors[last], fn)
+}
+
+// Outbox is the transport's consuming endpoint: cursors over every local
+// worker's ring (never the remote ring, which holds what the transport
+// itself delivered). The cross-process uplink drains it periodically and
+// forwards the clauses to the broker. Not safe for concurrent use.
+type Outbox struct {
+	bus     *Bus
+	cursors []uint64
+}
+
+// Outbox creates the transport's consuming endpoint.
+func (b *Bus) Outbox() *Outbox {
+	return &Outbox{bus: b, cursors: make([]uint64, len(b.rings))}
+}
+
+// Drain invokes fn for every not-yet-forwarded locally published clause.
+func (o *Outbox) Drain(fn func(*Clause)) {
+	for p, r := range o.bus.rings {
+		o.cursors[p] = r.Drain(o.cursors[p], fn)
 	}
 }

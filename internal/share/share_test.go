@@ -104,6 +104,125 @@ func TestBusInboxSkipsSelf(t *testing.T) {
 	}
 }
 
+func TestRingDroppedCountsOverrun(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Push(&Clause{Lits: []uint64{uint64(i)}})
+	}
+	r.Drain(0, func(*Clause) {})
+	// 11 published, 4 resident: 7 lost to this consumer.
+	if got := r.Dropped(); got != 7 {
+		t.Fatalf("Dropped = %d, want 7", got)
+	}
+	// A second, independent consumer loses the same prefix again.
+	r.Drain(0, func(*Clause) {})
+	if got := r.Dropped(); got != 14 {
+		t.Fatalf("Dropped after second consumer = %d, want 14", got)
+	}
+}
+
+func TestBusDroppedSumsRings(t *testing.T) {
+	b := NewBus(2, 2)
+	for i := 0; i < 6; i++ {
+		b.Publish(0, &Clause{Lits: []uint64{uint64(i)}})
+		b.PushRemote(&Clause{Lits: []uint64{uint64(100 + i)}})
+	}
+	in := b.Inbox(1)
+	in.Drain(func(*Clause) {})
+	// Ring capacity 2, 6 pushed on worker 0's ring and 6 on the remote ring:
+	// 4 lost on each.
+	if got := b.Dropped(); got != 8 {
+		t.Fatalf("Bus.Dropped = %d, want 8", got)
+	}
+}
+
+func TestInboxDrainsRemoteRing(t *testing.T) {
+	b := NewBus(2, 8)
+	b.Publish(0, &Clause{Lits: []uint64{1}})
+	b.PushRemote(&Clause{Lits: []uint64{2}})
+	for self := 0; self < 2; self++ {
+		in := b.Inbox(self)
+		var got []uint64
+		in.Drain(func(c *Clause) { got = append(got, c.Lits[0]) })
+		want := 2
+		if self == 0 {
+			want = 1 // own ring skipped, remote still delivered
+		}
+		if len(got) != want {
+			t.Fatalf("inbox %d drained %d clauses, want %d", self, len(got), want)
+		}
+		seen := false
+		for _, v := range got {
+			if v == 2 {
+				seen = true
+			}
+		}
+		if !seen {
+			t.Fatalf("inbox %d missed the remote clause", self)
+		}
+	}
+}
+
+func TestOutboxNeverEchoesRemote(t *testing.T) {
+	b := NewBus(2, 8)
+	b.Publish(0, &Clause{Lits: []uint64{10}})
+	b.Publish(1, &Clause{Lits: []uint64{11}})
+	b.PushRemote(&Clause{Lits: []uint64{99}})
+	o := b.Outbox()
+	var got []uint64
+	o.Drain(func(c *Clause) { got = append(got, c.Lits[0]) })
+	if len(got) != 2 {
+		t.Fatalf("outbox drained %d clauses, want 2", len(got))
+	}
+	for _, v := range got {
+		if v == 99 {
+			t.Fatalf("outbox echoed a remote clause back to the transport")
+		}
+	}
+	// Incremental: a later local publish is picked up, the old ones are not.
+	b.Publish(0, &Clause{Lits: []uint64{12}})
+	got = got[:0]
+	o.Drain(func(c *Clause) { got = append(got, c.Lits[0]) })
+	if len(got) != 1 || got[0] != 12 {
+		t.Fatalf("second drain = %v, want [12]", got)
+	}
+}
+
+func TestBusInternDelegatesToRemote(t *testing.T) {
+	b := NewBus(1, 4)
+	calls := 0
+	b.SetInterner(func(key string) (uint64, bool) {
+		calls++
+		return 7000 + uint64(len(key)), true
+	})
+	a := b.Intern("abc")
+	if a != 7003 {
+		t.Fatalf("Intern = %d, want broker id 7003", a)
+	}
+	if got := b.Intern("abc"); got != a {
+		t.Fatalf("re-intern = %d, want cached %d", got, a)
+	}
+	if calls != 1 {
+		t.Fatalf("remote interner called %d times, want 1 (cache hit after)", calls)
+	}
+}
+
+func TestBusInternPrivateFallback(t *testing.T) {
+	b := NewBus(1, 4)
+	b.SetInterner(func(string) (uint64, bool) { return 0, false })
+	a := b.Intern("x")
+	c := b.Intern("y")
+	if a < privateInternBase || c < privateInternBase {
+		t.Fatalf("fallback ids %d, %d below private base", a, c)
+	}
+	if a == c {
+		t.Fatalf("distinct keys got same private id")
+	}
+	if got := b.Intern("x"); got != a {
+		t.Fatalf("private id not cached: %d vs %d", got, a)
+	}
+}
+
 func TestBusInternIsStable(t *testing.T) {
 	b := NewBus(2, 4)
 	a := b.Intern("cmp:a=b")

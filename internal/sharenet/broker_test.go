@@ -1,0 +1,294 @@
+package sharenet
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"emmver/internal/share"
+)
+
+// pair starts a broker for two workers on a unix socket and dials both.
+func pair(t *testing.T, bopts BrokerOptions) (*Broker, *Client, *Client) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "fleet.sock")
+	bopts.Workers = 2
+	b, err := Listen("unix", sock, bopts)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	copts := ClientOptions{MaxDepth: bopts.Workers} // overwritten below
+	copts.MaxDepth = 0
+	a, err := Dial("unix", sock, copts)
+	if err != nil {
+		t.Fatalf("Dial a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	c, err := Dial("unix", sock, copts)
+	if err != nil {
+		t.Fatalf("Dial c: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if a.WorkerID() == c.WorkerID() {
+		t.Fatalf("both clients got worker id %d", a.WorkerID())
+	}
+	return b, a, c
+}
+
+// TestInternAuthority: both workers interning the same key get the same
+// fleet-wide id; distinct keys get distinct dense ids; the bus cache means
+// one round trip per key.
+func TestInternAuthority(t *testing.T) {
+	_, a, c := pair(t, BrokerOptions{})
+	busA, busC := share.NewBus(1, 8), share.NewBus(1, 8)
+	a.AttachBus(0, busA)
+	c.AttachBus(0, busC)
+	k1a := busA.Intern("cmp:x=y")
+	k1c := busC.Intern("cmp:x=y")
+	if k1a != k1c {
+		t.Fatalf("same key interned to %d and %d", k1a, k1c)
+	}
+	k2 := busA.Intern("cmp:p=q")
+	if k2 == k1a {
+		t.Fatalf("distinct keys share id %d", k2)
+	}
+	if k1a >= 1<<40 || k2 >= 1<<40 {
+		t.Fatalf("broker ids %d, %d reached the private fallback namespace", k1a, k2)
+	}
+	// The backward bus has its own table: ids restart from 0.
+	busAb := share.NewBus(1, 8)
+	a.AttachBus(1, busAb)
+	if id := busAb.Intern("cmp:backward"); id != 0 {
+		t.Fatalf("backward bus first id = %d, want 0", id)
+	}
+}
+
+// TestClauseRelay: a clause published on one worker's bus reaches the
+// peer's bus through the broker, and is not echoed back to the sender.
+func TestClauseRelay(t *testing.T) {
+	_, a, c := pair(t, BrokerOptions{})
+	busA, busC := share.NewBus(1, 64), share.NewBus(1, 64)
+	a.AttachBus(0, busA)
+	c.AttachBus(0, busC)
+	busA.Publish(0, &share.Clause{Lits: []uint64{3, 5, 1 << 52}, LBD: 2})
+
+	inC := busC.Inbox(0)
+	var got []*share.Clause
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) == 0 && time.Now().Before(deadline) {
+		inC.Drain(func(cl *share.Clause) { got = append(got, cl) })
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(got) != 1 {
+		t.Fatalf("peer received %d clauses, want 1", len(got))
+	}
+	if got[0].LBD != 2 || len(got[0].Lits) != 3 || got[0].Lits[2] != 1<<52 {
+		t.Fatalf("clause mangled in transit: %+v", got[0])
+	}
+	// The sender's own inbox must not see an echo (its inbox skips its own
+	// ring, and the broker never relays back to the source).
+	time.Sleep(50 * time.Millisecond)
+	inA := busA.Inbox(0)
+	echoes := 0
+	inA.Drain(func(*share.Clause) { echoes++ })
+	if echoes != 0 {
+		t.Fatalf("sender received %d echoed clauses", echoes)
+	}
+}
+
+// drainCubes pulls work for one client until advance/finish, reporting
+// every leased cube UNSAT. Returns the terminal response. Runs on worker
+// goroutines, so failures use Errorf (a zero WorkResp fails the caller's
+// kind check).
+func drainCubes(t *testing.T, c *Client, depth, nComp int) WorkResp {
+	t.Helper()
+	for {
+		resp, err := c.RequestWork(depth, nComp)
+		if err != nil {
+			t.Errorf("worker %d RequestWork: %v", c.WorkerID(), err)
+			return WorkResp{}
+		}
+		if resp.Kind != WorkLease {
+			return resp
+		}
+		if err := c.SendResult(depth, resp.Signs, false); err != nil {
+			t.Errorf("worker %d SendResult: %v", c.WorkerID(), err)
+			return WorkResp{}
+		}
+	}
+}
+
+// TestCubeProtocolCompletes: two workers drain the seeded cubes of the only
+// depth; the broker concludes NO_CE and finishes both.
+func TestCubeProtocolCompletes(t *testing.T) {
+	b, a, c := pair(t, BrokerOptions{})
+	done := make(chan WorkResp, 2)
+	go func() { done <- drainCubes(t, a, 0, 3) }()
+	go func() { done <- drainCubes(t, c, 0, 3) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-done:
+			if r.Kind != WorkFinish {
+				t.Fatalf("terminal response kind %d, want finish", r.Kind)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("fleet did not finish")
+		}
+	}
+	v, ok := b.Verdict()
+	if !ok || v.Kind != VerdictNoCE || v.Depth != 0 {
+		t.Fatalf("broker verdict = %+v (ok=%v), want NoCE at depth 0", v, ok)
+	}
+	if va, ok := a.Verdict(); !ok || va.Kind != VerdictNoCE {
+		t.Fatalf("worker a verdict = %+v (ok=%v)", va, ok)
+	}
+}
+
+// TestCubeSplitRefines: a split result turns one cube into two children,
+// both of which must then be leased and refuted before the fleet finishes.
+func TestCubeSplitRefines(t *testing.T) {
+	_, a, c := pair(t, BrokerOptions{})
+	go drainCubes(t, c, 0, 4)
+	seen := map[string]bool{}
+	split := false
+	for {
+		resp, err := a.RequestWork(0, 4)
+		if err != nil {
+			t.Fatalf("RequestWork: %v", err)
+		}
+		if resp.Kind == WorkFinish {
+			break
+		}
+		if resp.Kind != WorkLease {
+			t.Fatalf("unexpected response kind %d", resp.Kind)
+		}
+		seen[resp.Signs] = true
+		if !split {
+			split = true
+			a.SendResult(0, resp.Signs, true) // children signs+"0", signs+"1"
+		} else {
+			a.SendResult(0, resp.Signs, false)
+		}
+	}
+	// At least one child cube (length > seed width 2) must have been solved
+	// by someone; with worker c refuting blindly we can only check that our
+	// own split produced deeper cubes somewhere in the fleet — the broker
+	// finishing at all proves the children were retired.
+	if !split {
+		t.Fatalf("never got a cube to split")
+	}
+}
+
+// TestVerdictCancelsFleet: one worker reports a counter-example; the peer's
+// OnVerdict fires and its next work request finishes.
+func TestVerdictCancelsFleet(t *testing.T) {
+	b, a, c := pair(t, BrokerOptions{})
+	fired := make(chan Verdict, 1)
+	c.OnVerdict(func(v Verdict) { fired <- v })
+	if err := a.SendVerdict(Verdict{Kind: VerdictCE, Depth: 0}); err != nil {
+		t.Fatalf("SendVerdict: %v", err)
+	}
+	select {
+	case v := <-fired:
+		if v.Kind != VerdictCE {
+			t.Fatalf("peer verdict kind %d, want CE", v.Kind)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("peer OnVerdict never fired")
+	}
+	resp, err := c.RequestWork(0, 2)
+	if err != nil || resp.Kind != WorkFinish {
+		t.Fatalf("post-verdict RequestWork = %+v, %v; want finish", resp, err)
+	}
+	if v, ok := b.Verdict(); !ok || v.Kind != VerdictCE {
+		t.Fatalf("broker verdict = %+v (ok=%v)", v, ok)
+	}
+}
+
+// TestLeaseReassignedAfterWorkerDeath is the satellite's death test: a
+// worker leases a cube and dies without answering; the broker requeues the
+// cube (disconnect-triggered, no TTL wait) and the survivor still drives
+// the run to the correct NO_CE verdict. The dead worker held the fleet's
+// worker-0 slot, so this also covers the proof-gate release on death.
+func TestLeaseReassignedAfterWorkerDeath(t *testing.T) {
+	b, a, c := pair(t, BrokerOptions{LeaseTTL: time.Hour}) // TTL can't save us; only death handling can
+	// Worker a takes a lease and dies holding it.
+	resp, err := a.RequestWork(0, 1) // nComp 1 → seed width 1 → cubes "0","1"
+	if err != nil || resp.Kind != WorkLease {
+		t.Fatalf("initial lease = %+v, %v", resp, err)
+	}
+	heldByA := resp.Signs
+	a.nc.Close() // simulated kill -9: no goodbye, no result
+
+	// The survivor must eventually be leased the dead worker's cube and
+	// complete the depth.
+	sawOrphan := false
+	for {
+		resp, err := c.RequestWork(0, 1)
+		if err != nil {
+			t.Fatalf("survivor RequestWork: %v", err)
+		}
+		if resp.Kind == WorkFinish {
+			break
+		}
+		if resp.Kind != WorkLease {
+			t.Fatalf("survivor got response kind %d", resp.Kind)
+		}
+		if resp.Signs == heldByA {
+			sawOrphan = true
+		}
+		c.SendResult(0, resp.Signs, false)
+	}
+	if !sawOrphan {
+		t.Fatalf("dead worker's cube %q never re-leased", heldByA)
+	}
+	if v, ok := b.Verdict(); !ok || v.Kind != VerdictNoCE {
+		t.Fatalf("fleet verdict after death = %+v (ok=%v), want NoCE", v, ok)
+	}
+}
+
+// TestLeaseExpiryRequeues: a lease whose TTL passes is reassigned even
+// though the holder is still connected (it might be wedged, not dead).
+func TestLeaseExpiryRequeues(t *testing.T) {
+	_, a, c := pair(t, BrokerOptions{LeaseTTL: 100 * time.Millisecond})
+	resp, err := a.RequestWork(0, 1)
+	if err != nil || resp.Kind != WorkLease {
+		t.Fatalf("initial lease = %+v, %v", resp, err)
+	}
+	wedged := resp.Signs // a never answers, but stays connected
+	seen := map[string]bool{}
+	for {
+		resp, err := c.RequestWork(0, 1)
+		if err != nil {
+			t.Fatalf("RequestWork: %v", err)
+		}
+		if resp.Kind == WorkFinish {
+			break
+		}
+		seen[resp.Signs] = true
+		c.SendResult(0, resp.Signs, false)
+	}
+	if !seen[wedged] {
+		t.Fatalf("expired lease %q never reassigned (saw %v)", wedged, seen)
+	}
+}
+
+// TestDeadTransportInternFallsBack: Intern on a bus whose client link died
+// coins private ids instead of hanging or panicking.
+func TestDeadTransportInternFallsBack(t *testing.T) {
+	b, a, _ := pair(t, BrokerOptions{})
+	bus := share.NewBus(1, 8)
+	a.AttachBus(0, bus)
+	b.Close() // broker gone
+	done := make(chan uint64, 1)
+	go func() { done <- bus.Intern("cmp:orphan") }()
+	select {
+	case id := <-done:
+		if id < 1<<40 {
+			t.Fatalf("dead-transport intern returned broker-namespace id %d", id)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("intern hung on dead transport")
+	}
+}

@@ -1,0 +1,397 @@
+package sharenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emmver/internal/obs"
+	"emmver/internal/share"
+)
+
+// ClientOptions configures Dial.
+type ClientOptions struct {
+	// MaxDepth and Proofs describe this worker's run; the broker takes the
+	// fleet MaxDepth as the max over hellos and enables the proof gate when
+	// worker 0 runs proofs.
+	MaxDepth int
+	Proofs   bool
+	// DialTimeout bounds the retry loop waiting for the broker to come up
+	// (0 = default 10s). Retries are counted as sharenet.reconnects.
+	DialTimeout time.Duration
+	Heartbeat   time.Duration
+	PeerTO      time.Duration
+	Obs         *obs.Observer
+}
+
+// ErrLinkDown reports a dead transport: operations that need the broker
+// fail with it instead of hanging.
+var ErrLinkDown = errors.New("sharenet: link to broker is down")
+
+// Client is one worker process's endpoint on the fleet. It uplinks up to
+// two share buses (forward/backward), answers the bus's Intern calls with
+// broker round trips, and runs the cube work loop's socket half.
+type Client struct {
+	nc   net.Conn
+	opts ClientOptions
+
+	workerID int
+	workers  int
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	sent       *obs.Counter
+	received   *obs.Counter
+	reconnects *obs.Counter
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan uint64
+	seq     atomic.Uint64
+
+	busMu sync.Mutex
+	buses [2]*share.Bus
+	outs  [2]*share.Outbox
+
+	workCh chan WorkResp
+
+	vmu       sync.Mutex
+	verdict   Verdict
+	hasVerd   bool
+	onVerdict func(Verdict)
+
+	down     chan struct{} // closed when the transport dies
+	downOnce sync.Once
+	decided  chan struct{} // closed when a verdict arrives
+	decOnce  sync.Once
+	wg       sync.WaitGroup
+}
+
+// Dial connects to a broker, retrying with backoff until DialTimeout (so a
+// -connect worker can start before its -listen peer), performs the hello
+// handshake, and starts the receive, heartbeat, and bus-flush loops.
+func Dial(network, addr string, opts ClientOptions) (*Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = defaultHeartbeat
+	}
+	if opts.PeerTO <= 0 {
+		opts.PeerTO = defaultPeerTO
+	}
+	reg := opts.Obs.Registry()
+	reconnects := reg.Counter(obs.MNetReconnects)
+	deadline := time.Now().Add(opts.DialTimeout)
+	backoff := 20 * time.Millisecond
+	var nc net.Conn
+	var err error
+	for {
+		nc, err = net.DialTimeout(network, addr, opts.DialTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("sharenet: dial %s %s: %w", network, addr, err)
+		}
+		reconnects.Add(1)
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+	c := &Client{
+		nc:         nc,
+		opts:       opts,
+		sent:       reg.Counter(obs.MNetSent),
+		received:   reg.Counter(obs.MNetReceived),
+		reconnects: reconnects,
+		pending:    make(map[uint64]chan uint64),
+		workCh:     make(chan WorkResp, 4),
+		down:       make(chan struct{}),
+		decided:    make(chan struct{}),
+	}
+	if err := c.write(&frame{typ: fHello, version: protocolVersion, maxDepth: opts.MaxDepth, proofs: opts.Proofs}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetReadDeadline(time.Now().Add(opts.PeerTO))
+	welcome, err := readFrame(nc)
+	if err != nil || welcome.typ != fWelcome {
+		nc.Close()
+		if err == nil {
+			err = errors.New("sharenet: broker did not welcome")
+		}
+		return nil, err
+	}
+	c.workerID = welcome.workerID
+	c.workers = welcome.workers
+	c.wg.Add(3)
+	go c.recvLoop()
+	go c.heartbeatLoop()
+	go c.flushLoop()
+	return c, nil
+}
+
+// WorkerID is this process's broker-assigned fleet index (0 runs proofs).
+func (c *Client) WorkerID() int { return c.workerID }
+
+// Workers is the configured fleet size.
+func (c *Client) Workers() int { return c.workers }
+
+// Down is closed when the transport dies.
+func (c *Client) Down() <-chan struct{} { return c.down }
+
+// AttachBus uplinks a share bus (busID 0 = forward, 1 = backward): its
+// Intern becomes a broker round trip with local caching, locally published
+// clauses are flushed to the broker, and broker-relayed clauses land on the
+// bus's remote ring. Call before the first depth is unrolled.
+func (c *Client) AttachBus(busID int, b *share.Bus) {
+	if busID < 0 || busID > 1 || b == nil {
+		return
+	}
+	c.busMu.Lock()
+	c.buses[busID] = b
+	c.outs[busID] = b.Outbox()
+	c.busMu.Unlock()
+	id := byte(busID)
+	b.SetInterner(func(key string) (uint64, bool) { return c.intern(id, key) })
+}
+
+// OnVerdict registers fn to run (once, from the receive loop) when the
+// fleet verdict arrives; workers use it to cancel their run context so
+// in-flight solves stop at the next interrupt poll.
+func (c *Client) OnVerdict(fn func(Verdict)) {
+	c.vmu.Lock()
+	c.onVerdict = fn
+	v, has := c.verdict, c.hasVerd
+	c.vmu.Unlock()
+	if has && fn != nil {
+		fn(v)
+	}
+}
+
+// Verdict returns the fleet verdict, if one has arrived.
+func (c *Client) Verdict() (Verdict, bool) {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	return c.verdict, c.hasVerd
+}
+
+// RequestWork asks the broker for a cube at depth (nComp comparators are
+// splittable there) and blocks for the response. A fleet verdict arriving
+// while parked surfaces as a WorkFinish.
+func (c *Client) RequestWork(depth, nComp int) (WorkResp, error) {
+	if err := c.write(&frame{typ: fWorkReq, depth: depth, nComp: nComp}); err != nil {
+		return WorkResp{}, err
+	}
+	select {
+	case r := <-c.workCh:
+		return r, nil
+	case <-c.decided:
+		return WorkResp{Kind: WorkFinish, Depth: depth}, nil
+	case <-c.down:
+		return WorkResp{}, ErrLinkDown
+	}
+}
+
+// SendResult reports a leased cube as refuted (split=false) or asks the
+// broker to enqueue its two children (split=true).
+func (c *Client) SendResult(depth int, signs string, split bool) error {
+	kind := ResultUnsat
+	if split {
+		kind = ResultSplit
+	}
+	return c.write(&frame{typ: fResult, kind: kind, depth: depth, signs: signs})
+}
+
+// SendVerdict reports a decisive answer. First verdict wins at the broker.
+func (c *Client) SendVerdict(v Verdict) error {
+	return c.write(&frame{typ: fVerdict, kind: v.Kind, depth: v.Depth, side: v.Side})
+}
+
+// Close leaves the fleet (best-effort goodbye) and stops the loops.
+func (c *Client) Close() error {
+	c.write(&frame{typ: fGoodbye})
+	c.markDown()
+	err := c.nc.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Kill severs the link immediately — no goodbye, no waiting for the loops
+// to drain. It simulates a worker crash (the death tests use it): the
+// broker notices through the broken socket and requeues this worker's
+// leases.
+func (c *Client) Kill() {
+	c.markDown()
+	c.nc.Close()
+}
+
+func (c *Client) markDown() {
+	c.downOnce.Do(func() {
+		close(c.down)
+		c.pendMu.Lock()
+		for seq, ch := range c.pending {
+			close(ch)
+			delete(c.pending, seq)
+		}
+		c.pendMu.Unlock()
+	})
+}
+
+// write encodes and sends one frame (serialized: net.Conn writes from
+// multiple goroutines must not interleave).
+func (c *Client) write(f *frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	select {
+	case <-c.down:
+		return ErrLinkDown
+	default:
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.opts.PeerTO))
+	c.wbuf = appendFrame(c.wbuf[:0], f)
+	if _, err := c.nc.Write(c.wbuf); err != nil {
+		c.markDown()
+		return err
+	}
+	c.sent.Add(1)
+	return nil
+}
+
+// intern is the share.Bus interner: one request/reply round trip per novel
+// key (the bus caches the answer). ok=false on a dead transport — the bus
+// then coins a private id, which is locally sound.
+func (c *Client) intern(busID byte, key string) (uint64, bool) {
+	seq := c.seq.Add(1)
+	ch := make(chan uint64, 1)
+	c.pendMu.Lock()
+	c.pending[seq] = ch
+	c.pendMu.Unlock()
+	if err := c.write(&frame{typ: fInternReq, busID: busID, seq: seq, key: key}); err != nil {
+		c.pendMu.Lock()
+		delete(c.pending, seq)
+		c.pendMu.Unlock()
+		return 0, false
+	}
+	select {
+	case id, ok := <-ch:
+		return id, ok
+	case <-c.down:
+		return 0, false
+	case <-time.After(c.opts.PeerTO):
+		c.pendMu.Lock()
+		delete(c.pending, seq)
+		c.pendMu.Unlock()
+		return 0, false
+	}
+}
+
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	defer c.markDown()
+	for {
+		c.nc.SetReadDeadline(time.Now().Add(c.opts.PeerTO))
+		f, err := readFrame(c.nc)
+		if err != nil {
+			return
+		}
+		c.received.Add(1)
+		switch f.typ {
+		case fHeartbeat:
+			// deadline already refreshed
+		case fClause:
+			c.busMu.Lock()
+			b := c.buses[f.busID&1]
+			c.busMu.Unlock()
+			if b != nil {
+				b.PushRemote(&share.Clause{Lits: f.lits, LBD: f.lbd})
+			}
+		case fInternRep:
+			c.pendMu.Lock()
+			if ch, ok := c.pending[f.seq]; ok {
+				delete(c.pending, f.seq)
+				ch <- f.id
+			}
+			c.pendMu.Unlock()
+		case fWorkResp:
+			r := WorkResp{Kind: f.kind, Depth: f.depth, Signs: f.signs}
+			select {
+			case c.workCh <- r:
+			default:
+				// Only finish responses can coincide with an undelivered
+				// earlier response; the decided channel carries that signal.
+			}
+		case fVerdict:
+			c.vmu.Lock()
+			first := !c.hasVerd
+			if first {
+				c.verdict = Verdict{Kind: f.kind, Depth: f.depth, Side: f.side}
+				c.hasVerd = true
+			}
+			fn := c.onVerdict
+			v := c.verdict
+			c.vmu.Unlock()
+			if first {
+				c.decOnce.Do(func() { close(c.decided) })
+				if fn != nil {
+					fn(v)
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (c *Client) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.down:
+			return
+		case <-t.C:
+			if c.write(&frame{typ: fHeartbeat}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// flushLoop forwards locally published clauses to the broker every few
+// milliseconds — latency well under a restart interval, batching well above
+// per-clause syscall cost.
+func (c *Client) flushLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.down:
+			return
+		case <-t.C:
+			c.flushOnce()
+		}
+	}
+}
+
+func (c *Client) flushOnce() {
+	for id := 0; id < 2; id++ {
+		c.busMu.Lock()
+		out := c.outs[id]
+		c.busMu.Unlock()
+		if out == nil {
+			continue
+		}
+		bid := byte(id)
+		out.Drain(func(cl *share.Clause) {
+			c.write(&frame{typ: fClause, busID: bid, lbd: cl.LBD, lits: cl.Lits})
+		})
+	}
+}

@@ -1,0 +1,306 @@
+// Package sharenet extends the cooperative solving fleet across OS
+// processes: the learnt-clause bus (internal/share) and the cube queue
+// (internal/bmc) speak length-prefixed binary frames over a TCP or unix
+// socket. A Broker owns the fleet — it fans published clauses out to every
+// other worker (the socket analogue of the self-skipping ring cursors),
+// holds the authoritative comparator intern table, leases cubes with
+// deadline-based reassignment when a worker dies, and turns the first
+// decisive answer into a fleet-wide finish exactly as the in-process
+// cube engine's first-wins decide does. A Client is one worker process's
+// endpoint.
+//
+// The wire format carries share.Clause literals verbatim: the canonical
+// coding built by the BMC bridge is machine-independent by construction
+// (frame codes are (node, time) coordinates, comparator codes are
+// broker-interned), so no per-host translation happens here.
+package sharenet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame types.
+const (
+	fHello     byte = iota + 1 // c→b: version, maxDepth, proofs
+	fWelcome                   // b→c: workerID, fleet size
+	fClause                    // both: busID, lbd, lits
+	fInternReq                 // c→b: busID, seq, key
+	fInternRep                 // b→c: seq, id
+	fWorkReq                   // c→b: depth, nComp
+	fWorkResp                  // b→c: kind, depth, signs
+	fResult                    // c→b: kind, depth, signs
+	fVerdict                   // both: kind, depth, side
+	fHeartbeat                 // both: keepalive, no payload
+	fGoodbye                   // c→b: orderly leave, no payload
+)
+
+// protocolVersion guards against mixed-build fleets: a Hello with a
+// different version is rejected at accept time.
+const protocolVersion = 1
+
+// maxFramePayload bounds a single frame. The largest legitimate payload is
+// a clause (tens of literals) or an intern key (a few hundred bytes); a
+// megabyte rejects corrupt length prefixes before they turn into huge
+// allocations.
+const maxFramePayload = 1 << 20
+
+// WorkResp kinds.
+const (
+	WorkLease   byte = 1 // solve the cube in Signs at Depth
+	WorkAdvance byte = 2 // depth complete fleet-wide; move to Depth
+	WorkFinish  byte = 3 // run decided; stop
+)
+
+// Result kinds.
+const (
+	ResultUnsat byte = 1 // cube refuted
+	ResultSplit byte = 2 // budget exceeded; broker enqueues the two children
+)
+
+// Verdict kinds. These mirror bmc.ResultKind without importing it (the
+// dependency runs the other way).
+const (
+	VerdictCE      byte = 1
+	VerdictNoCE    byte = 2
+	VerdictProof   byte = 3
+	VerdictTimeout byte = 4
+)
+
+// Verdict is the fleet-wide decisive answer. The counter-example witness
+// itself never crosses the wire — it stays with the worker that found it;
+// peers learn only the kind and depth.
+type Verdict struct {
+	Kind  byte
+	Depth int
+	Side  string // proof side ("forward"/"backward") for VerdictProof
+}
+
+// WorkResp is the broker's answer to a work request.
+type WorkResp struct {
+	Kind  byte
+	Depth int
+	Signs string // cube polarities, '0'/'1' per comparator index, for WorkLease
+}
+
+// frame is the decoded wire unit: one fat struct rather than a type per
+// frame keeps the codec flat; only the fields of the given typ are
+// meaningful.
+type frame struct {
+	typ byte
+
+	version  int // fHello
+	maxDepth int
+	proofs   bool
+
+	workerID int // fWelcome
+	workers  int
+
+	busID byte // fClause, fInternReq
+	lbd   int
+	lits  []uint64
+
+	seq uint64 // fInternReq, fInternRep
+	key string
+	id  uint64
+
+	depth int  // fWorkReq, fWorkResp, fResult, fVerdict
+	nComp int  // fWorkReq
+	kind  byte // fWorkResp, fResult, fVerdict
+	signs string
+	side  string // fVerdict
+}
+
+var errFrameTruncated = errors.New("sharenet: truncated frame")
+
+// appendFrame encodes f after dst (length prefix included).
+func appendFrame(dst []byte, f *frame) []byte {
+	p := make([]byte, 0, 64)
+	p = append(p, f.typ)
+	switch f.typ {
+	case fHello:
+		p = putUvarint(p, uint64(f.version))
+		p = putUvarint(p, uint64(f.maxDepth))
+		p = putBool(p, f.proofs)
+	case fWelcome:
+		p = putUvarint(p, uint64(f.workerID))
+		p = putUvarint(p, uint64(f.workers))
+	case fClause:
+		p = append(p, f.busID)
+		p = putUvarint(p, uint64(f.lbd))
+		p = putUvarint(p, uint64(len(f.lits)))
+		for _, l := range f.lits {
+			p = putUvarint(p, l)
+		}
+	case fInternReq:
+		p = append(p, f.busID)
+		p = putUvarint(p, f.seq)
+		p = putString(p, f.key)
+	case fInternRep:
+		p = putUvarint(p, f.seq)
+		p = putUvarint(p, f.id)
+	case fWorkReq:
+		p = putUvarint(p, uint64(f.depth))
+		p = putUvarint(p, uint64(f.nComp))
+	case fWorkResp, fResult:
+		p = append(p, f.kind)
+		p = putUvarint(p, uint64(f.depth))
+		p = putString(p, f.signs)
+	case fVerdict:
+		p = append(p, f.kind)
+		p = putUvarint(p, uint64(f.depth))
+		p = putString(p, f.side)
+	case fHeartbeat, fGoodbye:
+		// no payload
+	default:
+		panic(fmt.Sprintf("sharenet: encoding unknown frame type %d", f.typ))
+	}
+	dst = putUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// parseFrame decodes one payload (the length prefix already stripped by the
+// transport read loop). Truncated, oversized, or otherwise corrupt payloads
+// return an error — never a panic — so a misbehaving peer cannot take the
+// process down.
+func parseFrame(p []byte) (*frame, error) {
+	if len(p) == 0 {
+		return nil, errFrameTruncated
+	}
+	r := reader{buf: p[1:]}
+	f := &frame{typ: p[0]}
+	var err error
+	switch f.typ {
+	case fHello:
+		f.version, err = r.intField(err)
+		f.maxDepth, err = r.intField(err)
+		f.proofs, err = r.boolField(err)
+	case fWelcome:
+		f.workerID, err = r.intField(err)
+		f.workers, err = r.intField(err)
+	case fClause:
+		f.busID, err = r.byteField(err)
+		f.lbd, err = r.intField(err)
+		var n int
+		n, err = r.intField(err)
+		if err == nil && n > maxFramePayload/2 {
+			return nil, fmt.Errorf("sharenet: clause of %d literals rejected", n)
+		}
+		if err == nil {
+			f.lits = make([]uint64, n)
+			for i := range f.lits {
+				f.lits[i], err = r.uvarintField(err)
+			}
+		}
+	case fInternReq:
+		f.busID, err = r.byteField(err)
+		f.seq, err = r.uvarintField(err)
+		f.key, err = r.stringField(err)
+	case fInternRep:
+		f.seq, err = r.uvarintField(err)
+		f.id, err = r.uvarintField(err)
+	case fWorkReq:
+		f.depth, err = r.intField(err)
+		f.nComp, err = r.intField(err)
+	case fWorkResp, fResult:
+		f.kind, err = r.byteField(err)
+		f.depth, err = r.intField(err)
+		f.signs, err = r.stringField(err)
+	case fVerdict:
+		f.kind, err = r.byteField(err)
+		f.depth, err = r.intField(err)
+		f.side, err = r.stringField(err)
+	case fHeartbeat, fGoodbye:
+		// no payload
+	default:
+		return nil, fmt.Errorf("sharenet: unknown frame type %d", f.typ)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("sharenet: %d trailing bytes after frame type %d", len(r.buf)-r.off, f.typ)
+	}
+	return f, nil
+}
+
+func putUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func putBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = putUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// reader walks a payload with sticky-error field accessors, so the decode
+// switch reads as a flat field list.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errFrameTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) uvarintField(err error) (uint64, error) {
+	if err != nil {
+		return 0, err
+	}
+	return r.uvarint()
+}
+
+func (r *reader) intField(err error) (int, error) {
+	v, err := r.uvarintField(err)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(maxFramePayload) {
+		return 0, fmt.Errorf("sharenet: integer field %d out of range", v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) byteField(err error) (byte, error) {
+	if err != nil {
+		return 0, err
+	}
+	if r.off >= len(r.buf) {
+		return 0, errFrameTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) boolField(err error) (bool, error) {
+	b, err := r.byteField(err)
+	return b != 0, err
+}
+
+func (r *reader) stringField(err error) (string, error) {
+	n, err := r.intField(err)
+	if err != nil {
+		return "", err
+	}
+	if r.off+n > len(r.buf) {
+		return "", errFrameTruncated
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}

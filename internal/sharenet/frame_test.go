@@ -1,0 +1,140 @@
+package sharenet
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randFrame builds a random frame of a random type, exercising every field
+// the codec carries.
+func randFrame(rng *rand.Rand) *frame {
+	letters := func(n int) string {
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	signs := func() string {
+		b := make([]byte, rng.Intn(12))
+		for i := range b {
+			b[i] = byte('0' + rng.Intn(2))
+		}
+		return string(b)
+	}
+	switch 1 + byte(rng.Intn(int(fGoodbye))) {
+	case fHello:
+		return &frame{typ: fHello, version: rng.Intn(10), maxDepth: rng.Intn(1000), proofs: rng.Intn(2) == 0}
+	case fWelcome:
+		return &frame{typ: fWelcome, workerID: rng.Intn(64), workers: 1 + rng.Intn(64)}
+	case fClause:
+		lits := make([]uint64, rng.Intn(40))
+		for i := range lits {
+			lits[i] = rng.Uint64() >> uint(rng.Intn(64)) // mix of small and huge codes
+		}
+		return &frame{typ: fClause, busID: byte(rng.Intn(2)), lbd: rng.Intn(30), lits: lits}
+	case fInternReq:
+		return &frame{typ: fInternReq, busID: byte(rng.Intn(2)), seq: rng.Uint64() >> 16, key: letters(200)}
+	case fInternRep:
+		return &frame{typ: fInternRep, seq: rng.Uint64() >> 16, id: rng.Uint64() >> 12}
+	case fWorkReq:
+		return &frame{typ: fWorkReq, depth: rng.Intn(500), nComp: rng.Intn(10000)}
+	case fWorkResp:
+		return &frame{typ: fWorkResp, kind: 1 + byte(rng.Intn(3)), depth: rng.Intn(500), signs: signs()}
+	case fResult:
+		return &frame{typ: fResult, kind: 1 + byte(rng.Intn(2)), depth: rng.Intn(500), signs: signs()}
+	case fVerdict:
+		return &frame{typ: fVerdict, kind: 1 + byte(rng.Intn(4)), depth: rng.Intn(500), side: letters(10)}
+	case fHeartbeat:
+		return &frame{typ: fHeartbeat}
+	default:
+		return &frame{typ: fGoodbye}
+	}
+}
+
+// TestFrameRoundTripFuzz encodes random frames and decodes them through the
+// real transport read path, requiring byte-exact field recovery.
+func TestFrameRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var wire []byte
+	var sent []*frame
+	for i := 0; i < 2000; i++ {
+		f := randFrame(rng)
+		sent = append(sent, f)
+		wire = appendFrame(wire, f)
+	}
+	r := bytes.NewReader(wire)
+	for i, want := range sent {
+		got, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d (type %d): %v", i, want.typ, err)
+		}
+		// Normalize: empty slices decode as nil or empty interchangeably.
+		if len(want.lits) == 0 {
+			want.lits, got.lits = nil, got.lits[:0:0]
+			if len(got.lits) == 0 {
+				got.lits = nil
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left on the wire", r.Len())
+	}
+}
+
+// TestFrameRejectsTruncated feeds every proper prefix of a valid stream to
+// the decoder: all must error, none may panic.
+func TestFrameRejectsTruncated(t *testing.T) {
+	f := &frame{typ: fClause, busID: 1, lbd: 4, lits: []uint64{1, 99, 1 << 53}}
+	wire := appendFrame(nil, f)
+	for n := 0; n < len(wire); n++ {
+		if _, err := readFrame(bytes.NewReader(wire[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(wire))
+		}
+	}
+}
+
+// TestFrameRejectsOversized checks the length-prefix bound: a frame
+// claiming more than maxFramePayload bytes is refused before allocation.
+func TestFrameRejectsOversized(t *testing.T) {
+	wire := putUvarint(nil, maxFramePayload+1)
+	wire = append(wire, make([]byte, 64)...) // some bytes, far fewer than claimed
+	if _, err := readFrame(bytes.NewReader(wire)); err == nil {
+		t.Fatalf("oversized frame accepted")
+	}
+	// A clause whose literal count would exceed the payload bound is also
+	// rejected even when the outer frame length lies about it.
+	p := []byte{fClause, 0 /* busID */, 3 /* lbd */}
+	p = putUvarint(p, maxFramePayload) // absurd literal count
+	if _, err := parseFrame(p); err == nil {
+		t.Fatalf("clause with absurd literal count accepted")
+	}
+}
+
+// TestFrameRejectsCorrupt checks unknown types, trailing garbage, and
+// random byte soup: always an error, never a panic.
+func TestFrameRejectsCorrupt(t *testing.T) {
+	if _, err := parseFrame([]byte{0xEE, 1, 2, 3}); err == nil {
+		t.Fatalf("unknown frame type accepted")
+	}
+	if _, err := parseFrame(nil); err == nil {
+		t.Fatalf("empty payload accepted")
+	}
+	valid := appendFrame(nil, &frame{typ: fWorkReq, depth: 3, nComp: 9})
+	corrupt := append(valid[:len(valid)-1], valid[len(valid)-1], 0xFF)
+	corrupt[0]++ // length now claims one extra byte: trailing garbage
+	if _, err := readFrame(bytes.NewReader(corrupt)); err == nil {
+		t.Fatalf("frame with trailing bytes accepted")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		p := make([]byte, rng.Intn(40))
+		rng.Read(p)
+		parseFrame(p) // must not panic; error or (luckily) a frame both fine
+	}
+}
