@@ -47,6 +47,16 @@ import (
 // namespace. Frame bases are bounded by frames*nodes, far below 2^52.
 const compCanonBase = uint64(1) << 52
 
+// compPrivateBase is the first comparator base in the private intern
+// range: ids the bus coined locally after its transport died. Such an id
+// is meaningless to any other process (a peer's n-th private id names a
+// different comparator), so clauses carrying one must never be exported,
+// and an imported clause carrying one must be dropped — the exporter broke
+// the invariant, and resolving the code through this worker's comps map
+// would silently import a wrong lemma. The transport already stops
+// flushing on intern failure; these two filters are the bridge's backstop.
+const compPrivateBase = compCanonBase + share.PrivateInternBase
+
 // shareEligible reports whether the fleet may share clauses (and split
 // cubes) for this compiled model and option set; see the package comment
 // above for why PBA and environment constraints disqualify a run.
@@ -176,12 +186,13 @@ func appendCode(buf []byte, c uint64) []byte {
 
 // export is the solver's Export hook: translate the learnt clause to
 // canonical codes and publish it, or count it filtered when any literal
-// has no canonical identity (depth-local auxiliaries).
+// has no canonical identity (depth-local auxiliaries) or carries a
+// private-range comparator code (meaningless outside this process).
 func (b *shareBridge) export(lits []sat.Lit, lbd int) {
 	codes := b.outBuf[:0]
 	for _, l := range lits {
 		c := b.u.CanonLit(l)
-		if c == 0 {
+		if c == 0 || c>>1 >= compPrivateBase {
 			b.outBuf = codes[:0]
 			b.bus.AddFiltered(1)
 			return
@@ -226,6 +237,12 @@ func (b *shareBridge) runImport(add func(lits []sat.Lit, lbd int) bool) {
 
 func (b *shareBridge) decode(code uint64) (sat.Lit, bool) {
 	if base := code >> 1; base >= compCanonBase {
+		if base >= compPrivateBase {
+			// A private id is only meaningful in the process that coined it;
+			// this worker's comps map may hold the same base for a different
+			// comparator, so looking it up would import a wrong lemma.
+			return sat.LitUndef, false
+		}
 		e, ok := b.comps[base]
 		if !ok {
 			return sat.LitUndef, false

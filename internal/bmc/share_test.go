@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"emmver/internal/designs"
+	"emmver/internal/sat"
+	"emmver/internal/share"
+	"emmver/internal/unroll"
 )
 
 // assertSameVerdict checks the deterministic result fields agree between a
@@ -115,5 +118,52 @@ func TestShareIneligiblePBA(t *testing.T) {
 	}
 	if (base.Tracker == nil) != (coop.Tracker == nil) {
 		t.Errorf("pba-gate: tracker presence differs")
+	}
+}
+
+// TestShareBridgePrivateRangeGuards pins the bridge's backstop against
+// private intern ids crossing a process boundary: a clause whose comparator
+// code is in the private range (coined locally after the transport died)
+// must not be exported, and an imported clause carrying one must be dropped
+// even when this worker's comps map holds the same base — for its own,
+// different, private comparator.
+func TestShareBridgePrivateRangeGuards(t *testing.T) {
+	n := mod5Counter(3).N
+	s := sat.New()
+	u := unroll.New(n, s, unroll.Initialized)
+	bus := share.NewBus(1, 8)
+	bus.SetInterner(func(string) (uint64, bool) { return 0, false }) // dead transport: every id is private
+	b := newShareBridge(bus, u, 0)
+
+	priv := sat.MkLit(s.NewVar(), false)
+	privBase := compCanonBase + bus.Intern("cmp:orphan")
+	if privBase < compPrivateBase {
+		t.Fatalf("dead-transport intern produced base %d below the private range", privBase)
+	}
+	u.SetCanon(priv, privBase)
+	b.comps[privBase] = priv
+
+	pub := sat.MkLit(s.NewVar(), false)
+	pubBase := compCanonBase + 5
+	u.SetCanon(pub, pubBase)
+	b.comps[pubBase] = pub
+
+	b.export([]sat.Lit{priv}, 2)
+	if got := bus.Exported(); got != 0 {
+		t.Fatalf("clause with private comparator code was exported (%d)", got)
+	}
+	if got := bus.Filtered(); got != 1 {
+		t.Fatalf("private-code export not counted filtered (%d)", got)
+	}
+	b.export([]sat.Lit{pub}, 2)
+	if got := bus.Exported(); got != 1 {
+		t.Fatalf("broker-coded clause was not exported (%d)", got)
+	}
+
+	if _, ok := b.decode(privBase << 1); ok {
+		t.Fatalf("private-range comparator code decoded on import")
+	}
+	if l, ok := b.decode(pubBase << 1); !ok || l != pub {
+		t.Fatalf("broker-range comparator code failed to decode (%v, %v)", l, ok)
 	}
 }

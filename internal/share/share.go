@@ -124,12 +124,16 @@ type Bus struct {
 	privateNext uint64
 }
 
-// privateInternBase is the first id of the local-fallback intern namespace.
+// PrivateInternBase is the first id of the local-fallback intern namespace.
 // Broker-assigned ids are dense from 0 and can never reach it, so a private
-// id cannot collide with a fleet-wide one. Private ids are only ever held
-// locally: a worker whose transport died exports nothing, so they never
-// cross a process boundary.
-const privateInternBase = uint64(1) << 40
+// id cannot collide with a fleet-wide one. Private ids must never cross a
+// process boundary — two processes coining their n-th private id for
+// different keys would alias, and an imported clause would decode to the
+// wrong signal. Two mechanisms enforce that: the transport treats a failed
+// intern round trip as link death (sharenet.Client stops flushing, so a
+// worker holding private ids exports nothing), and the BMC bridge refuses
+// to export or import comparator codes in the private range as a backstop.
+const PrivateInternBase = uint64(1) << 40
 
 // NewBus creates a bus for the given number of workers, each with a ring of
 // the given capacity.
@@ -158,7 +162,7 @@ func (b *Bus) Publish(w int, c *Clause) {
 // With a remote interner attached the authority is the fleet broker: the
 // first sighting of a key pays one request/reply round trip, every later
 // one hits the local cache. When the transport has died the key gets a
-// private fallback id (>= privateInternBase) — locally consistent, unable
+// private fallback id (>= PrivateInternBase) — locally consistent, unable
 // to collide with any broker id, and never exported.
 func (b *Bus) Intern(key string) uint64 {
 	b.mu.Lock()
@@ -181,7 +185,7 @@ func (b *Bus) Intern(key string) uint64 {
 		return cached // a racing worker interned it meanwhile
 	}
 	if !ok {
-		id = privateInternBase + b.privateNext
+		id = PrivateInternBase + b.privateNext
 		b.privateNext++
 	}
 	b.intern[key] = id

@@ -212,7 +212,7 @@ func TestBusInternPrivateFallback(t *testing.T) {
 	b.SetInterner(func(string) (uint64, bool) { return 0, false })
 	a := b.Intern("x")
 	c := b.Intern("y")
-	if a < privateInternBase || c < privateInternBase {
+	if a < PrivateInternBase || c < PrivateInternBase {
 		t.Fatalf("fallback ids %d, %d below private base", a, c)
 	}
 	if a == c {

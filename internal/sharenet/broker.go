@@ -288,8 +288,13 @@ func (b *Broker) serve(nc net.Conn) {
 	b.dropConn(c)
 }
 
-// writeLoop drains the conn's queues (control before relay) and keeps the
-// link warm with heartbeats.
+// writeLoop drains the conn's queues and keeps the link warm with
+// heartbeats. Control frames get strict priority: a Go select picks ready
+// cases uniformly at random, so before each (and instead of any) relay
+// write the ctrl queue is polled and emptied — under clause-relay backlog,
+// intern replies and work responses must not share bandwidth 50/50 with
+// lossy traffic, or intern round trips stretch toward the PeerTO timeout
+// that severs the link.
 func (b *Broker) writeLoop(c *brokerConn) {
 	defer b.wg.Done()
 	hb := time.NewTicker(b.opts.Heartbeat)
@@ -305,6 +310,20 @@ func (b *Broker) writeLoop(c *brokerConn) {
 		b.sent.Add(1)
 		return true
 	}
+	// drainCtrl empties the control queue without blocking; returns false
+	// only on a write failure.
+	drainCtrl := func() bool {
+		for {
+			select {
+			case f := <-c.ctrl:
+				if !write(f) {
+					return false
+				}
+			default:
+				return true
+			}
+		}
+	}
 	for {
 		select {
 		case <-c.dead:
@@ -314,6 +333,9 @@ func (b *Broker) writeLoop(c *brokerConn) {
 				return
 			}
 		case f := <-c.relay:
+			if !drainCtrl() {
+				return
+			}
 			if !write(f) {
 				return
 			}
@@ -555,7 +577,12 @@ func (b *Broker) finishLocked(v Verdict) []outMsg {
 // handleResult retires (or splits) a cube. Results are deterministic facts
 // about the formula, so duplicates — a lease that expired and was solved
 // twice — are ignored harmlessly; an UNSAT additionally prunes any queued
-// or leased descendants a concurrent split may have produced.
+// or leased descendants a concurrent split may have produced. An UNSAT for
+// a cube that is itself no longer tracked still prunes: when an expired
+// lease was reassigned and the original holder's late split re-enqueued
+// the children, the new holder's refutation of the parent subsumes that
+// whole subtree (sub-cubes of an UNSAT cube are UNSAT), and dropping it as
+// stale would leave the fleet re-solving pruned work.
 func (b *Broker) handleResult(kind byte, depth int, signs string) {
 	b.mu.Lock()
 	if b.done || depth != b.depth {
@@ -570,7 +597,7 @@ func (b *Broker) handleResult(kind byte, depth int, signs string) {
 			break
 		}
 	}
-	if !leased && queued < 0 {
+	if !leased && queued < 0 && kind != ResultUnsat {
 		b.mu.Unlock()
 		return // stale: already resolved (or pruned) through another path
 	}
@@ -625,6 +652,9 @@ func (b *Broker) handleVerdict(v Verdict) {
 // dropConn severs a worker: its leases are requeued immediately (no TTL
 // wait), and if it was the proof worker the advance gate opens — the
 // survivors can still conclude soundly, they just lose termination proofs.
+// A death before the fleet ever assembled instead aborts the run: the
+// start gate (joined < Workers) would otherwise hold the survivors' parked
+// requests forever, since a dead worker is never replaced.
 func (b *Broker) dropConn(c *brokerConn) {
 	c.kill()
 	c.nc.Close()
@@ -647,7 +677,9 @@ func (b *Broker) dropConn(c *brokerConn) {
 		b.proofsOn = false
 	}
 	var out []outMsg
-	if len(b.conns) > 0 {
+	if !b.done && b.joined < b.opts.Workers {
+		out = b.finishLocked(Verdict{Kind: VerdictTimeout, Depth: 0})
+	} else if len(b.conns) > 0 {
 		out = b.wakeLocked()
 	} else if !b.done {
 		// Whole fleet gone without a verdict: unblock Wait.

@@ -1,6 +1,7 @@
 package sharenet
 
 import (
+	"net"
 	"path/filepath"
 	"testing"
 	"time"
@@ -271,6 +272,143 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 	}
 	if !seen[wedged] {
 		t.Fatalf("expired lease %q never reassigned (saw %v)", wedged, seen)
+	}
+}
+
+// TestInternTimeoutSeversLink: an intern round trip that misses PeerTO must
+// kill the whole link, not just fail softly. A worker whose bus coins
+// private ids while its transport keeps flushing would put private
+// comparator codes on the wire, where a peer holding the same private base
+// for a different key would decode them as the wrong comparator. The fake
+// broker keeps the link warm with heartbeats but never answers the intern
+// request, isolating the timeout path from ordinary silence detection.
+func TestInternTimeoutSeversLink(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "fake.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		if f, err := readFrame(nc); err != nil || f.typ != fHello {
+			return
+		}
+		nc.Write(appendFrame(nil, &frame{typ: fWelcome, workerID: 0, workers: 1}))
+		hb := appendFrame(nil, &frame{typ: fHeartbeat})
+		go func() {
+			for {
+				if _, err := nc.Write(hb); err != nil {
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}()
+		for {
+			if _, err := readFrame(nc); err != nil {
+				return
+			}
+		}
+	}()
+	cl, err := Dial("unix", sock, ClientOptions{PeerTO: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	bus := share.NewBus(1, 8)
+	cl.AttachBus(0, bus)
+	if id := bus.Intern("cmp:unanswered"); id < share.PrivateInternBase {
+		t.Fatalf("timed-out intern returned broker-namespace id %d", id)
+	}
+	select {
+	case <-cl.Down():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("intern timeout did not sever the link")
+	}
+}
+
+// TestWorkerDeathBeforeFleetAssemblyAborts: the start gate never opens once
+// a worker dies pre-assembly (joined is never decremented and the dead slot
+// is never refilled), so the broker must abort the run rather than park the
+// survivors' work requests forever.
+func TestWorkerDeathBeforeFleetAssemblyAborts(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "fleet.sock")
+	b, err := Listen("unix", sock, BrokerOptions{Workers: 3})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer b.Close()
+	a, err := Dial("unix", sock, ClientOptions{})
+	if err != nil {
+		t.Fatalf("Dial a: %v", err)
+	}
+	defer a.Close()
+	c, err := Dial("unix", sock, ClientOptions{})
+	if err != nil {
+		t.Fatalf("Dial c: %v", err)
+	}
+	defer c.Close()
+	done := make(chan WorkResp, 1)
+	go func() {
+		r, err := a.RequestWork(0, 2) // parks: 2 of 3 workers joined
+		if err != nil {
+			t.Errorf("RequestWork: %v", err)
+		}
+		done <- r
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request park behind the gate
+	c.Kill()                          // crash before the third worker ever joins
+	select {
+	case r := <-done:
+		if r.Kind != WorkFinish {
+			t.Fatalf("survivor got response kind %d, want finish", r.Kind)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("parked request hung after pre-assembly worker death")
+	}
+	if v, ok := b.Verdict(); !ok || v.Kind != VerdictTimeout {
+		t.Fatalf("broker verdict = %+v (ok=%v), want timeout abort", v, ok)
+	}
+}
+
+// TestLateParentUnsatPrunesRequeuedChildren reproduces the reassignment
+// interleaving where a lease expires, the cube is re-leased, the original
+// holder's late split re-enqueues the children, and the new holder then
+// refutes the parent. The parent itself is no longer tracked at that point,
+// but its UNSAT subsumes the whole subtree — dropping it as stale would
+// leave the fleet re-solving pruned work.
+func TestLateParentUnsatPrunesRequeuedChildren(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "fleet.sock")
+	b, err := Listen("unix", sock, BrokerOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer b.Close()
+	b.mu.Lock()
+	b.seeded = true
+	b.nComp = 2
+	b.queue = []string{"1"} // sibling keeps the depth open
+	b.leases["0"] = &lease{expires: time.Now().Add(time.Hour)}
+	b.mu.Unlock()
+
+	b.handleResult(ResultSplit, 0, "0") // original holder's late split
+	b.mu.Lock()
+	qlen := len(b.queue)
+	b.mu.Unlock()
+	if qlen != 3 {
+		t.Fatalf("split enqueued %d cubes, want 3 (sibling + two children)", qlen)
+	}
+
+	b.handleResult(ResultUnsat, 0, "0") // new holder refutes the parent
+	b.mu.Lock()
+	queue := append([]string(nil), b.queue...)
+	b.mu.Unlock()
+	if len(queue) != 1 || queue[0] != "1" {
+		t.Fatalf("late parent UNSAT left descendants queued: %v", queue)
 	}
 }
 

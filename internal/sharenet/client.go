@@ -264,8 +264,13 @@ func (c *Client) write(f *frame) error {
 }
 
 // intern is the share.Bus interner: one request/reply round trip per novel
-// key (the bus caches the answer). ok=false on a dead transport — the bus
-// then coins a private id, which is locally sound.
+// key (the bus caches the answer). ok=false only ever means the transport
+// is dead — the bus then coins a private id, which is sound precisely
+// because a downed link exports nothing (the flush loop exits before any
+// clause carrying the private code could reach the wire, where a peer
+// holding its own n-th private id for a different key would decode it as
+// the wrong comparator). A reply that misses the silence threshold is
+// therefore treated as link death, never as a soft failure.
 func (c *Client) intern(busID byte, key string) (uint64, bool) {
 	seq := c.seq.Add(1)
 	ch := make(chan uint64, 1)
@@ -287,6 +292,11 @@ func (c *Client) intern(busID byte, key string) (uint64, bool) {
 		c.pendMu.Lock()
 		delete(c.pending, seq)
 		c.pendMu.Unlock()
+		// Sever the socket too (not just the down flag): the broker then
+		// notices the break and requeues this worker's leases instead of
+		// waiting out the heartbeat lapse.
+		c.markDown()
+		c.nc.Close()
 		return 0, false
 	}
 }
