@@ -18,9 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
-	"time"
 
 	"emmver/internal/aig"
 	"emmver/internal/aiger"
@@ -31,6 +29,7 @@ import (
 	"emmver/internal/exp"
 	"emmver/internal/expmem"
 	"emmver/internal/obs"
+	"emmver/internal/spec"
 	"emmver/internal/vcd"
 )
 
@@ -39,19 +38,20 @@ func main() {
 	n := flag.Int("n", 3, "quicksort array size")
 	reduced := flag.Bool("reduced", true, "use reduced memory widths (fast); false = paper widths")
 	prop := flag.String("prop", "p1", "property: p1/p2 (quicksort), inv or index (lookup), index (filter)")
-	engine := flag.String("engine", "bmc3", "bmc1, bmc2, bmc3, pba, or bdd")
-	depth := flag.Int("depth", 200, "maximum analysis depth")
-	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "solver parallelism; >1 races the per-depth proof checks (bmc1/bmc3)")
 	explicit := flag.Bool("explicit", false, "expand memories into latches first")
 	bddNodes := flag.Int("bddnodes", 500000, "BDD node budget for -engine bdd")
 	vcdOut := flag.String("vcd", "", "write a counter-example waveform to this file")
 	aigerOut := flag.String("aiger", "", "write the (memory-free) model as AIGER to this file and exit")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes")
 	verbose := flag.Bool("v", false, "log per-depth progress")
-	engFlags := cliobs.RegisterEngine()
+	// The schema's flags with this tool's deeper default bound; "bdd" is an
+	// extra engine value handled here before the spec conversion.
+	def := spec.Default()
+	def.Depth = 200
+	engFlags := cliobs.RegisterEngineFor(def)
 	obsFlags := cliobs.Register()
 	flag.Parse()
+	engine := engFlags.Request().Canonical().Engine
 
 	netlist, pi := buildDesign(*design, *n, *reduced, *prop)
 	if *explicit {
@@ -78,52 +78,9 @@ func main() {
 		return
 	}
 
-	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
-	opt, err := engFlags.Apply(opt)
-	if err != nil {
-		fail(err.Error())
-	}
-	if s := cliobs.DescribeCompile(netlist, []int{pi}, opt.Passes); s != "" {
-		fmt.Printf("compile: %s\n", s)
-	}
-	opt.CollectDepthStats = *stats
-	// With more than one job the engine races forward/backward termination
-	// on separate goroutines at each depth (only meaningful with proofs).
-	opt.Portfolio = *jobs > 1
-	if *verbose {
-		opt.Log = os.Stderr
-	}
-	observer, obsStop := obsFlags.Setup()
-	defer obsStop()
-	if engFlags.DistActive() && observer.Registry() == nil {
-		// The sharenet frame counters live in the obs registry; give the
-		// distributed path one even when no -trace/-progress flag asked.
-		observer = obs.New(obs.NewRegistry(), nil)
-	}
-	opt.Obs = observer
-	opt.Jobs = *jobs
-	switch *engine {
-	case "bmc1":
-		opt.Proofs = true
-	case "bmc2":
-		opt.UseEMM = true
-	case "bmc3":
-		opt.UseEMM = true
-		opt.Proofs = true
-	case "pba":
-		opt.UseEMM = len(netlist.Memories) > 0
-		opt.StabilityDepth = 10
-		res := bmc.ProveWithPBA(netlist, pi, opt)
-		fmt.Printf("phase 1: %s (%.1fs)\n", res.Phase1, res.AbstractionTime.Seconds())
-		if res.Abs != nil {
-			fmt.Printf("abstraction: %s\n", res.Abs)
-		}
-		if res.Proof != nil {
-			fmt.Printf("phase 2: %s\n", res.Proof)
-		}
-		fmt.Printf("verdict: %s\n", res.Kind())
-		return
-	case "bdd":
+	if engine == "bdd" {
+		// BDD reachability sits outside the request schema (no depth, no
+		// solver); dispatch before the Spec conversion.
 		if len(netlist.Memories) > 0 {
 			fmt.Fprintln(os.Stderr, "the BDD engine needs -explicit")
 			os.Exit(2)
@@ -135,9 +92,41 @@ func main() {
 		}
 		fmt.Printf("verdict: %s\n", r)
 		return
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
+	}
+	opt, err := engFlags.Options()
+	if err != nil {
+		fail(err.Error())
+	}
+	opt.ValidateWitness = !*explicit
+	if s := cliobs.DescribeCompile(netlist, []int{pi}, opt.Passes); s != "" {
+		fmt.Printf("compile: %s\n", s)
+	}
+	opt.CollectDepthStats = *stats
+	// With more than one job the engine races forward/backward termination
+	// on separate goroutines at each depth (only meaningful with proofs).
+	opt.Portfolio = opt.Portfolio || opt.Jobs != 1
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	observer, obsStop := obsFlags.Setup()
+	defer obsStop()
+	if engFlags.DistActive() && observer.Registry() == nil {
+		// The sharenet frame counters live in the obs registry; give the
+		// distributed path one even when no -trace/-progress flag asked.
+		observer = obs.New(obs.NewRegistry(), nil)
+	}
+	opt.Obs = observer
+	if engine == "pba" {
+		res := bmc.ProveWithPBA(netlist, pi, opt)
+		fmt.Printf("phase 1: %s (%.1fs)\n", res.Phase1, res.AbstractionTime.Seconds())
+		if res.Abs != nil {
+			fmt.Printf("abstraction: %s\n", res.Abs)
+		}
+		if res.Proof != nil {
+			fmt.Printf("phase 2: %s\n", res.Proof)
+		}
+		fmt.Printf("verdict: %s\n", res.Kind())
+		return
 	}
 	if *explicit {
 		opt.UseEMM = false

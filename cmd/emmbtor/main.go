@@ -14,20 +14,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"emmver/internal/bmc"
 	"emmver/internal/btor2"
 	"emmver/internal/cliobs"
+	"emmver/internal/spec"
 )
 
 func main() {
-	engine := flag.String("engine", "bmc3", "bmc1, bmc2, or bmc3")
-	depth := flag.Int("depth", 100, "maximum analysis depth")
-	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
-	jobs := flag.Int("jobs", 1, "how many bad properties are checked concurrently")
 	verbose := flag.Bool("v", false, "log per-depth progress")
-	engFlags := cliobs.RegisterEngine()
+	// Schema flags with this tool's sequential default; the PBA flow has no
+	// BTOR2 driver, so that engine value is rejected below.
+	def := spec.Default()
+	def.Jobs = 1
+	engFlags := cliobs.RegisterEngineFor(def)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: emmbtor [flags] model.btor2")
@@ -49,26 +49,18 @@ func main() {
 		return
 	}
 
-	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: true}
-	opt, err = engFlags.Apply(opt)
+	if engFlags.Request().Canonical().Engine == spec.EnginePBA {
+		fmt.Fprintln(os.Stderr, "emmbtor engines are bmc1, bmc2, bmc3, and portfolio")
+		os.Exit(2)
+	}
+	opt, err := engFlags.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	opt.ValidateWitness = true
 	if *verbose {
 		opt.Log = os.Stderr
-	}
-	switch *engine {
-	case "bmc1":
-		opt.Proofs = true
-	case "bmc2":
-		opt.UseEMM = len(n.Memories) > 0
-	case "bmc3":
-		opt.UseEMM = len(n.Memories) > 0
-		opt.Proofs = true
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
 	}
 	if s := cliobs.DescribeCompile(n, allProps(len(n.Props)), opt.Passes); s != "" {
 		fmt.Printf("compile: %s\n", s)
@@ -91,8 +83,8 @@ func main() {
 			os.Exit(2)
 		}
 		mr = &bmc.ManyResult{Results: []*bmc.Result{r}}
-	} else if *jobs > 1 {
-		mr = bmc.CheckManyParallel(n, props, opt, *jobs)
+	} else if opt.Jobs != 1 {
+		mr = bmc.CheckManyParallel(n, props, opt, opt.Jobs)
 	} else {
 		mr = bmc.CheckMany(n, props, opt)
 	}

@@ -20,26 +20,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"emmver/internal/cliobs"
 	"emmver/internal/exp"
+	"emmver/internal/spec"
 )
 
 func main() {
 	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, s4, s5, all")
 	runs := flag.Int("runs", 3, "runs per side of the s4 A/B (median is reported)")
 	scale := flag.String("scale", "reduced", "design sizing: reduced or paper")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-run timeout (the paper used 3h)")
 	sizes := flag.String("n", "3,4,5", "quicksort array sizes for t1/t2")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "how many verification runs execute concurrently per experiment")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
-	engFlags := cliobs.RegisterEngine()
+	// Each experiment fixes its own engines and depths, so those schema
+	// flags stay unregistered; -timeout and -jobs come from the schema with
+	// this tool's tighter budget as the default.
+	def := spec.Default()
+	def.Timeout = spec.Duration(2 * time.Minute)
+	engFlags := cliobs.RegisterEngineFor(def, "engine", "depth")
 	obsFlags := cliobs.Register()
 	flag.Parse()
+	timeout := time.Duration(engFlags.Spec.Timeout)
 
 	restart, noSimplify, passes, err := engFlags.Values()
 	if err != nil {
@@ -49,7 +53,7 @@ func main() {
 	observer, obsStop := obsFlags.Setup()
 	defer obsStop()
 	cfg := exp.Config{
-		Timeout: *timeout, Jobs: *jobs, Obs: observer,
+		Timeout: timeout, Jobs: engFlags.Spec.Jobs, Obs: observer,
 		Restart: restart, NoSimplify: noSimplify, Passes: passes,
 	}
 	cfg.Share, cfg.Cube = engFlags.ShareCube()
@@ -79,16 +83,16 @@ func main() {
 	run := func(name string) {
 		switch name {
 		case "t1":
-			fmt.Printf("## Experiment T1 (scale=%s, timeout=%s)\n\n", cfg.Scale, *timeout)
+			fmt.Printf("## Experiment T1 (scale=%s, timeout=%s)\n\n", cfg.Scale, timeout)
 			fmt.Println(exp.RenderTable1(exp.Table1(cfg, ns)))
 		case "t2":
-			fmt.Printf("## Experiment T2 (scale=%s, timeout=%s)\n\n", cfg.Scale, *timeout)
+			fmt.Printf("## Experiment T2 (scale=%s, timeout=%s)\n\n", cfg.Scale, timeout)
 			fmt.Println(exp.RenderTable2(exp.Table2(cfg, ns)))
 		case "i1":
-			fmt.Printf("## Experiment I1 (scale=%s, timeout=%s)\n\n", cfg.Scale, *timeout)
+			fmt.Printf("## Experiment I1 (scale=%s, timeout=%s)\n\n", cfg.Scale, timeout)
 			fmt.Println(exp.RenderIndustry1(exp.Industry1(cfg)))
 		case "i2":
-			fmt.Printf("## Experiment I2 (scale=%s, timeout=%s)\n\n", cfg.Scale, *timeout)
+			fmt.Printf("## Experiment I2 (scale=%s, timeout=%s)\n\n", cfg.Scale, timeout)
 			fmt.Println(exp.RenderIndustry2(exp.Industry2(cfg)))
 		case "f1":
 			fmt.Printf("## Experiment F1 (constraint growth)\n\n")

@@ -9,6 +9,7 @@
 //	emmv -engine pba design.v                    # prove with abstraction
 //	emmv -explicit design.v                      # Explicit Modeling baseline
 //	emmv -vcd bug.vcd design.v                   # dump counter-examples
+//	emmv -remote unix:/tmp/emmserved.sock d.v    # solve on an emmserved server
 package main
 
 import (
@@ -16,15 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
-	"time"
 
 	"emmver/internal/bmc"
 	"emmver/internal/cliobs"
 	"emmver/internal/expmem"
 	"emmver/internal/par"
+	"emmver/internal/serve"
 	"emmver/internal/vcd"
 	"emmver/internal/verilog"
 )
@@ -47,10 +47,8 @@ func (p paramFlags) Set(s string) error {
 
 func main() {
 	top := flag.String("top", "", "top module (default: the last module in the file)")
-	engine := flag.String("engine", "bmc3", "bmc1, bmc2, bmc3, or pba")
-	depth := flag.Int("depth", 100, "maximum analysis depth")
-	timeout := flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "how many assertions are checked concurrently")
+	remote := flag.String("remote", "",
+		"submit to an emmserved job server at this address (unix:/path, tcp:host:port, or a socket path) instead of solving locally")
 	explicit := flag.Bool("explicit", false, "expand memories into latches first")
 	vcdOut := flag.String("vcd", "", "write the first counter-example waveform here")
 	stats := flag.Bool("stats", false, "print per-depth solver stats and EMM sizes (forces a sequential run)")
@@ -87,6 +85,46 @@ func main() {
 		fmt.Println("nothing to verify (no assert() items)")
 		return
 	}
+	if *remote != "" {
+		// Client mode: the server parses, keys, caches, and solves; this
+		// process only renders verdicts. One job per assertion.
+		if *explicit || engFlags.DistActive() {
+			fatal(fmt.Errorf("-remote excludes -explicit, -listen, and -connect"))
+		}
+		cl := serve.NewClient(*remote)
+		req := engFlags.Request()
+		fails := 0
+		for pi, p := range n.Props {
+			st, err := cl.Submit(serve.Request{
+				Format: "verilog", Source: string(src), Top: topName,
+				Params: params, Prop: pi, Spec: req,
+			}, true)
+			if err != nil {
+				fatal(err)
+			}
+			if st.State != "done" {
+				fatal(fmt.Errorf("[%s] job %s %s: %s", p.Name, st.ID, st.State, st.Error))
+			}
+			note := ""
+			if st.Cached {
+				note = " (cached)"
+			} else if st.WarmStart > 0 {
+				note = fmt.Sprintf(" (warm-started at depth %d)", st.WarmStart)
+			}
+			v := st.Verdict
+			fmt.Printf("  [%s] %s depth=%d t=%dms%s\n", p.Name, v.Kind, v.Depth, v.ElapsedMS, note)
+			if v.Kind == "CE" {
+				fails++
+				if v.Witness != nil {
+					fmt.Printf("  [%s] counter-example of length %d\n", p.Name, v.Witness.Length)
+				}
+			}
+		}
+		if fails > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *explicit {
 		var err error
 		n, _, err = expmem.Expand(n)
@@ -96,11 +134,15 @@ func main() {
 		fmt.Printf("explicit model: %s\n", n.Stats())
 	}
 
-	opt := bmc.Options{MaxDepth: *depth, Timeout: *timeout, ValidateWitness: !*explicit}
-	opt, err = engFlags.Apply(opt)
+	// The -engine/-depth/-timeout/-jobs/... flags all live in the request
+	// schema; one conversion yields the engine configuration.
+	req := engFlags.Request()
+	engine := req.Canonical().Engine
+	opt, err := engFlags.Options()
 	if err != nil {
 		fatal(err)
 	}
+	opt.ValidateWitness = !*explicit
 	opt.CollectDepthStats = *stats
 	if *verbose {
 		allProps := make([]int, len(n.Props))
@@ -116,21 +158,9 @@ func main() {
 	}
 	observer, obsStop := obsFlags.Setup()
 	opt.Obs = observer
-	opt.Jobs = *jobs
-	useEMM := !*explicit && len(n.Memories) > 0
-	switch *engine {
-	case "bmc1":
-		opt.Proofs = true
-	case "bmc2":
-		opt.UseEMM = useEMM
-	case "bmc3":
-		opt.UseEMM = useEMM
-		opt.Proofs = true
-	case "pba":
-		opt.UseEMM = useEMM
-		opt.StabilityDepth = 10
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+	if *explicit {
+		// The memories were expanded away; solve the latch-level model.
+		opt.UseEMM = false
 	}
 
 	// Check every assertion concurrently, then render in declaration
@@ -144,7 +174,7 @@ func main() {
 		if len(n.Props) != 1 {
 			fatal(fmt.Errorf("distributed mode verifies one property per fleet; %s asserts %d", topName, len(n.Props)))
 		}
-		if *engine == "pba" {
+		if engine == "pba" {
 			fatal(fmt.Errorf("distributed mode excludes -engine pba"))
 		}
 		r, err := engFlags.RunDist(n, 0, opt)
@@ -152,8 +182,8 @@ func main() {
 			fatal(err)
 		}
 		results[0] = r
-	} else if *engine == "pba" {
-		par.ForEach(context.Background(), *jobs, len(n.Props), func(_ context.Context, _, pi int) {
+	} else if engine == "pba" {
+		par.ForEach(context.Background(), opt.Jobs, len(n.Props), func(_ context.Context, _, pi int) {
 			res := bmc.ProveWithPBA(n, pi, opt)
 			if res.Proof != nil {
 				results[pi] = res.Proof
@@ -175,7 +205,7 @@ func main() {
 			// order, so the run is sequential.
 			mr = bmc.CheckMany(n, props, opt)
 		} else {
-			mr = bmc.CheckManyParallel(n, props, opt, *jobs)
+			mr = bmc.CheckManyParallel(n, props, opt, opt.Jobs)
 		}
 		copy(results, mr.Results)
 		depthStats = mr.DepthStats

@@ -38,6 +38,8 @@
 //	internal/sim     concrete-memory simulation and witness replay
 //	internal/designs the paper's case studies (quicksort, filter, lookup)
 //	internal/exp     the Table 1 / Table 2 / case-study harness
+//	internal/spec    the serializable request schema (engine + options)
+//	internal/serve   the verification job server and verdict cache
 package emmver
 
 import (
@@ -53,6 +55,7 @@ import (
 	"emmver/internal/pass"
 	"emmver/internal/rtl"
 	"emmver/internal/sim"
+	"emmver/internal/spec"
 	"emmver/internal/verilog"
 )
 
@@ -104,9 +107,9 @@ func MkBit(n aig.NodeID) Bit { return aig.MkLit(n, false) }
 // Verification aliases.
 type (
 	// Options configures a verification run; see BMC1/BMC2/BMC3 for the
-	// paper's algorithm presets. Every field has an equivalent With*
-	// builder (WithTimeout, WithJobs, WithTrace, ...) for incremental
-	// composition.
+	// paper's algorithm presets. For a serializable, cache-keyable
+	// description of a run, use Spec (OptionsSpec converts between the
+	// two).
 	Options = bmc.Options
 	// Result is a verification outcome.
 	Result = bmc.Result
@@ -187,6 +190,38 @@ func Verify(n *Netlist, prop int, opt Options) *Result {
 // reports TimedOut. An already-cancelled ctx returns immediately.
 func VerifyCtx(ctx context.Context, n *Netlist, prop int, opt Options) *Result {
 	return bmc.CheckCtx(ctx, n, prop, opt)
+}
+
+// Spec is the serializable request schema: a plain JSON-marshalable
+// description of a verification run (engine, depth, passes, performance
+// knobs) with a canonical form and stable cache keys. It is the wire
+// format of the emmserved job server and the single source of truth for
+// the CLI engine flags.
+type Spec = spec.Spec
+
+// DefaultSpec is the schema's default request: BMC-3 at the default
+// depth with the full compile pipeline.
+func DefaultSpec() Spec { return spec.Default() }
+
+// OptionsSpec lifts an engine configuration into the request schema —
+// the inverse of Spec.Options. Fields outside the schema (observers,
+// writers, callbacks) are dropped; round-tripping an Options produced
+// by a Spec is lossless.
+func OptionsSpec(o Options) Spec { return spec.FromOptions(o) }
+
+// VerifySpec model-checks one safety property as described by a request
+// spec — Verify with the configuration coming from the serializable
+// schema instead of an Options struct. Invalid specs report an error
+// instead of panicking.
+func VerifySpec(n *Netlist, prop int, s Spec) (*Result, error) {
+	return VerifySpecCtx(context.Background(), n, prop, s)
+}
+
+// VerifySpecCtx is VerifySpec under a cancellation context; see
+// VerifyCtx. The run starts at depth 0; servers resuming from a cached
+// NO_CE frontier use spec.Spec.RunCtx directly.
+func VerifySpecCtx(ctx context.Context, n *Netlist, prop int, s Spec) (*Result, error) {
+	return s.RunCtx(ctx, n, prop, 0, nil)
 }
 
 // VerifyAll model-checks many properties of one design. With Options.Jobs

@@ -168,6 +168,21 @@ type Options struct {
 	// reach. Equivalent builder: WithShareFilter.
 	ShareLBD  int
 	ShareSize int
+	// StartDepth warm-starts the BMC loop: the unrolling and EMM
+	// constraints are still built from frame 0 (they are cumulative), but
+	// the per-depth solver checks — forward/backward termination and the
+	// counter-example query — only begin at this depth. The caller asserts
+	// that every depth below StartDepth is already known counter-example
+	// free, e.g. from a cached verdict of an identical run at a shallower
+	// bound; the emmserved verdict cache sets it when a resubmission asks
+	// for a deeper bound than a stored NO_CE. Skipping a depth's checks
+	// can never flip a verdict (each depth's queries are self-contained
+	// assumptions), and because a NO_CE cache entry implies the skipped
+	// termination checks were SAT, a warm-started run reaches the same
+	// verdict at the same depth as a cold one. Honored by Check/CheckCtx
+	// (including the cube-and-conquer path); the multi-property and
+	// distributed entry points ignore it.
+	StartDepth int
 }
 
 // Kind classifies a Result.
@@ -748,7 +763,13 @@ func checkCompiled(ctx context.Context, n *aig.Netlist, prop int, opt Options) *
 		}
 		sp := e.obs.Span("bmc.depth", obs.F("depth", i), obs.F("prop", prop))
 		e.prepareDepth(i)
-		r := e.depthStep(i)
+		var r *Result
+		if i >= opt.StartDepth {
+			// Below the warm-start frontier only the (cumulative) unrolling
+			// and EMM constraints are built; the depth's checks are already
+			// answered by the caller's cached shallower verdict.
+			r = e.depthStep(i)
+		}
 		e.publishObs(i)
 		if opt.CollectDepthStats {
 			e.collectDepthStat(i)

@@ -215,7 +215,7 @@ func checkCubed(ctx context.Context, n *aig.Netlist, prop int, opt Options, jobs
 			e.prepareDepth(i)
 		}
 		var r *Result
-		if opt.Proofs {
+		if opt.Proofs && i >= opt.StartDepth {
 			switch e0.forwardCheck(i) {
 			case sat.Unsat:
 				e0.logf("depth %d: forward termination", i)
@@ -233,7 +233,9 @@ func checkCubed(ctx context.Context, n *aig.Netlist, prop int, opt Options, jobs
 				}
 			}
 		}
-		if r == nil {
+		if r == nil && i >= opt.StartDepth {
+			// Depths below the warm-start frontier (Options.StartDepth) only
+			// extend the unrollings; see checkCompiled.
 			r = cubeCECheck(runCtx, cancel, engines, prop, i, &splits, &stolen)
 		}
 		for _, e := range engines {

@@ -19,6 +19,15 @@ import (
 // Every builder is exactly equivalent to setting the corresponding struct
 // field directly; they exist so callers composing Options incrementally
 // (facades, CLIs, experiment drivers) never mutate a shared value.
+//
+// Deprecated: for everything a remote caller could ask for — engine,
+// depth, timeout, passes, restart, the cooperative-solving tunables — new
+// code should build an internal/spec.Spec (a plain serializable struct)
+// and convert once through Spec.Options(), the single schema the CLIs,
+// the emmserved job server, and the verdict cache all share. The builders
+// remain as thin aliases so existing callers and examples keep compiling;
+// only the knobs a Spec cannot express (observability handles, witness
+// validation, ablation switches) still warrant direct field access.
 
 // WithTimeout returns a copy of o whose wall-clock budget is d.
 // Equivalent field: Options.Timeout.

@@ -11,65 +11,68 @@ import (
 	"emmver/internal/pass"
 	"emmver/internal/sat"
 	"emmver/internal/sharenet"
+	"emmver/internal/spec"
 )
 
-// EngineFlags bundles the solver and compile-pipeline flags shared by all
-// verification CLIs — -restart, -no-simplify, -passes, -no-passes, -share,
-// -cube, the sharing tunables, and the distributed-fleet endpoints — so
-// every frontend exposes the same knobs with the same semantics and default
-// values.
+// EngineFlags bundles the engine flags shared by all verification CLIs.
+// Every knob a request can carry — -engine, -depth, -timeout, -jobs,
+// -passes, -restart, -no-simplify, -share, -cube, and the sharing
+// tunables — is derived from the internal/spec.Spec field tags via
+// spec.RegisterFlags, so the tools expose exactly the schema the emmserved
+// job server and the verdict cache speak and cannot drift from it. Only
+// the knobs outside the request schema are declared here: -no-passes (a
+// CLI convenience alias for -passes=none) and the distributed-fleet
+// endpoints (-listen, -connect, -workers).
 type EngineFlags struct {
-	Restart    *string
-	NoSimplify *bool
-	Passes     *string
-	NoPasses   *bool
-	Share      *bool
-	Cube       *bool
-	ShareCap   *int
-	ShareLBD   *int
-	ShareSize  *int
-	Listen     *string
-	Connect    *string
-	Workers    *int
+	// Spec accumulates the parsed schema flags; after flag.Parse it is the
+	// verification request the command line describes.
+	Spec spec.Spec
+
+	NoPasses *bool
+	Listen   *string
+	Connect  *string
+	Workers  *int
 }
 
-// RegisterEngine declares the shared engine flags on the default flag set;
-// call it before flag.Parse.
+// RegisterEngine declares the shared engine flags on the default flag set
+// with the schema's default request (BMC-3, depth 100, 5m budget); call it
+// before flag.Parse.
 func RegisterEngine() *EngineFlags {
-	return &EngineFlags{
-		Restart: flag.String("restart", "ema", "solver restart strategy: luby or ema (adaptive)"),
-		NoSimplify: flag.Bool("no-simplify", false,
-			"disable between-depth inprocessing (subsumption + variable elimination)"),
-		Passes: flag.String("passes", "",
-			"static compile pipeline: comma-separated passes from "+
-				strings.Join(pass.Names(), ",")+" (default \""+pass.SpecDefault+"\"), or none"),
-		NoPasses: flag.Bool("no-passes", false, "disable the static compile pipeline (same as -passes=none)"),
-		Share: flag.Bool("share", false,
-			"share learnt clauses between fleet workers (multi-worker runs; off under PBA or environment constraints)"),
-		Cube: flag.Bool("cube", false,
-			"cube-and-conquer: split the search over EMM address comparators across the fleet (needs -jobs > 1)"),
-		ShareCap: flag.Int("share-cap", 0,
-			"clause-sharing ring capacity per worker (0 = default 4096)"),
-		ShareLBD: flag.Int("share-lbd", 0,
-			"export learnt clauses of glue <= this (0 = default 6; binaries always export)"),
-		ShareSize: flag.Int("share-size", 0,
-			"export learnt clauses of at most this many literals (0 = default 30)"),
-		Listen: flag.String("listen", "",
-			"broker a distributed fleet on this address (unix:/path, tcp:host:port, or a socket path) and solve as worker 0"),
-		Connect: flag.String("connect", "",
-			"join a distributed fleet brokered at this address"),
-		Workers: flag.Int("workers", 2,
-			"fleet size for -listen, including this process"),
-	}
+	return RegisterEngineFor(spec.Default())
 }
 
-// Spec resolves -passes/-no-passes to the pipeline spec string for
-// bmc.Options.Passes / pass.Options.Spec.
-func (f *EngineFlags) Spec() string {
-	if *f.NoPasses {
-		return pass.SpecNone
+// RegisterEngineFor is RegisterEngine with a caller-chosen seed request
+// (its field values become the flag defaults) and an optional list of
+// schema flags to leave unregistered, for tools whose workload fixes the
+// engine or depth.
+func RegisterEngineFor(def spec.Spec, skip ...string) *EngineFlags {
+	f := &EngineFlags{Spec: def}
+	spec.RegisterFlags(flag.CommandLine, &f.Spec, skip...)
+	f.NoPasses = flag.Bool("no-passes", false, "disable the static compile pipeline (same as -passes=none)")
+	f.Listen = flag.String("listen", "",
+		"broker a distributed fleet on this address (unix:/path, tcp:host:port, or a socket path) and solve as worker 0")
+	f.Connect = flag.String("connect", "",
+		"join a distributed fleet brokered at this address")
+	f.Workers = flag.Int("workers", 2,
+		"fleet size for -listen, including this process")
+	return f
+}
+
+// Request resolves the convenience aliases (-no-passes) into the parsed
+// Spec and returns the resulting request. Call it after flag.Parse; it is
+// the value to submit to a remote server or convert with Spec.Options.
+func (f *EngineFlags) Request() spec.Spec {
+	s := f.Spec
+	if f.NoPasses != nil && *f.NoPasses {
+		s.Passes = pass.SpecNone
 	}
-	return *f.Passes
+	return s
+}
+
+// PassSpec resolves -passes/-no-passes to the pipeline spec string for
+// bmc.Options.Passes / pass.Options.Spec.
+func (f *EngineFlags) PassSpec() string {
+	return f.Request().Canonical().Passes
 }
 
 // DescribeCompile runs the static pipeline once over n for the given
@@ -88,39 +91,29 @@ func DescribeCompile(n *aig.Netlist, props []int, spec string) string {
 // Values validates the parsed flags and returns the raw engine knobs, for
 // callers that thread them into non-bmc config structs (e.g. exp.Config).
 // The error is user-facing (bad -restart or -passes value).
-func (f *EngineFlags) Values() (mode sat.RestartMode, noSimplify bool, spec string, err error) {
-	mode, err = sat.ParseRestartMode(*f.Restart)
+func (f *EngineFlags) Values() (mode sat.RestartMode, noSimplify bool, passSpec string, err error) {
+	s := f.Request().Canonical()
+	mode, err = sat.ParseRestartMode(s.Restart)
 	if err != nil {
 		return mode, false, "", err
 	}
-	spec = f.Spec()
-	if err := pass.ValidSpec(spec); err != nil {
+	if err := pass.ValidSpec(s.Passes); err != nil {
 		return mode, false, "", err
 	}
-	return mode, *f.NoSimplify, spec, nil
+	return mode, s.NoSimplify, s.Passes, nil
 }
 
 // ShareCube returns the cooperative-solving flag values, for callers that
 // thread them into non-bmc config structs (e.g. exp.Config).
 func (f *EngineFlags) ShareCube() (share, cube bool) {
-	return *f.Share, *f.Cube
+	return f.Spec.Share, f.Spec.Cube
 }
 
-// Apply validates the parsed flag values and copies them onto opt.
-func (f *EngineFlags) Apply(opt bmc.Options) (bmc.Options, error) {
-	mode, noSimplify, spec, err := f.Values()
-	if err != nil {
-		return opt, err
-	}
-	opt.Restart = mode
-	opt.NoSimplify = noSimplify
-	opt.Passes = spec
-	opt.Share = *f.Share
-	opt.Cube = *f.Cube
-	opt.ShareCap = *f.ShareCap
-	opt.ShareLBD = *f.ShareLBD
-	opt.ShareSize = *f.ShareSize
-	return opt, nil
+// Options converts the parsed request into the engine configuration it
+// denotes, via the one Spec → bmc.Options path. The error is user-facing
+// (unknown -engine, bad -restart or -passes value).
+func (f *EngineFlags) Options() (bmc.Options, error) {
+	return f.Request().Options()
 }
 
 // DistActive reports whether the command line selected a distributed role

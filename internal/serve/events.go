@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync"
+
+	"emmver/internal/obs"
+)
+
+// eventLog is a grow-only byte log of JSONL event lines with blocking
+// tail semantics: writers append, readers snapshot from an offset and can
+// wait for more. One log backs each job's /events stream.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Write implements io.Writer for the JSONL encoder.
+func (l *eventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	l.buf = append(l.buf, p...)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return len(p), nil
+}
+
+// CloseLog marks the stream complete and wakes all tailing readers.
+func (l *eventLog) CloseLog() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Next returns the bytes past from, blocking until data arrives or the
+// log closes. The second result is the new offset; done reports that no
+// further data will come.
+func (l *eventLog) Next(from int) (chunk []byte, next int, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.buf) <= from && !l.closed {
+		l.cond.Wait()
+	}
+	if from > len(l.buf) {
+		from = len(l.buf)
+	}
+	chunk = append([]byte(nil), l.buf[from:]...)
+	return chunk, from + len(chunk), l.closed && from+len(chunk) == len(l.buf)
+}
+
+// flushSink adapts the obs JSONL encoder to the event log with per-event
+// flushing, so /events subscribers see progress live instead of in 64 KiB
+// buffered bursts.
+type flushSink struct{ j *obs.JSONL }
+
+func newJobObserver(l *eventLog) *obs.Observer {
+	return obs.New(obs.NewRegistry(), flushSink{j: obs.NewJSONL(l)})
+}
+
+func (s flushSink) Emit(e obs.Event) {
+	s.j.Emit(e)
+	s.j.Flush()
+}

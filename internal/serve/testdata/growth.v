@@ -1,0 +1,14 @@
+// The growth design in Verilog: one embedded memory with two read
+// ports sharing an address bus — the shape the EMM comparator
+// memoization and the serving cache are exercised against. The
+// assertion (both reads of one address agree) holds; the CI serving
+// smoke submits this file twice through `emmv -remote` and requires
+// the second verdict to come from the cache.
+module growth(input clk, input [3:0] addr, input [7:0] wd, input we);
+  (* init = "zero" *) reg [7:0] mem [15:0];
+  always @(posedge clk) if (we) mem[addr] <= wd;
+  reg [7:0] r0, r1;
+  always @(posedge clk) r0 <= mem[addr];
+  always @(posedge clk) r1 <= mem[addr];
+  assert(r0 == r1, "shared_addr_reads_agree");
+endmodule

@@ -1,0 +1,381 @@
+// Package spec defines the serializable, versioned verification request
+// schema shared by every surface that configures an engine run: the
+// command-line tools (flags are derived from Spec field tags, see
+// RegisterFlags), the emmserved job server (requests carry a Spec as plain
+// JSON), and the content-addressed verdict cache (CanonicalKey /
+// FamilyKey). A Spec captures exactly the knobs a remote caller may turn —
+// engine choice, depth, compile passes, restart mode, and the cooperative
+// solving tunables — and converts to and from bmc.Options with
+// Spec.Options and FromOptions, so there is one schema instead of three
+// ad-hoc flag/builder surfaces.
+//
+// The zero Spec is valid and means "defaults": Canonical normalizes it to
+// the explicit default values, and every consumer compares canonicalized
+// specs, so a request that spells a default out and one that omits it are
+// the same request.
+package spec
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"emmver/internal/aig"
+	"emmver/internal/bmc"
+	"emmver/internal/pass"
+	"emmver/internal/sat"
+)
+
+// Version is the current schema version. A Spec with Version 0 (unset) is
+// read as the current version; consumers reject anything newer.
+const Version = 1
+
+// Engine names. PBA is the two-phase prove-with-abstraction flow;
+// Portfolio is BMC-3 with the per-depth forward/backward lane race (same
+// verdicts, racing solvers).
+const (
+	EngineBMC1      = "bmc1"
+	EngineBMC2      = "bmc2"
+	EngineBMC3      = "bmc3"
+	EnginePBA       = "pba"
+	EnginePortfolio = "portfolio"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("30s", "5m") and accepts either a string or integer nanoseconds when
+// unmarshaling. It also implements flag.Value, so Spec fields of this type
+// register as -flag=5m style duration flags.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "5m30s" strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("spec: bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("spec: duration must be a string or integer nanoseconds")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// String implements flag.Value.
+func (d *Duration) String() string {
+	if d == nil {
+		return "0s"
+	}
+	return time.Duration(*d).String()
+}
+
+// Set implements flag.Value.
+func (d *Duration) Set(s string) error {
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Spec is one verification request: which engine, how deep, under which
+// compile pipeline and solver configuration. It is a plain JSON document —
+// no builders, no unexported state — and the single source of truth for
+// the engine flags every CLI registers (the flag name and help text live
+// in the field tags; RegisterFlags walks them).
+//
+// Fields are split into two groups. The semantic fields (Engine, Depth,
+// Passes) select *what* is verified and participate in CanonicalKey /
+// FamilyKey, the verdict-cache keys. The performance fields (Timeout,
+// Jobs, Restart, NoSimplify, Share, Cube, Share*) only change how fast the
+// same verdict arrives — the repo's equivalence suites pin verdict parity
+// across all of them — so two requests differing only there are cache-equal.
+type Spec struct {
+	// V is the schema version (0 reads as the current Version).
+	V int `json:"v,omitempty"`
+	// Engine selects the algorithm: bmc1, bmc2, bmc3, pba, or portfolio.
+	Engine string `json:"engine,omitempty" flag:"engine" usage:"verification engine: bmc1, bmc2, bmc3, pba, or portfolio"`
+	// Depth is the maximum analysis depth (bmc.Options.MaxDepth).
+	Depth int `json:"depth,omitempty" flag:"depth" usage:"maximum analysis depth"`
+	// Timeout bounds the wall clock of one run (0 = none).
+	Timeout Duration `json:"timeout,omitempty" flag:"timeout" usage:"wall-clock budget (0 = none)"`
+	// Jobs bounds worker fan-out (0 = NumCPU, 1 = sequential).
+	Jobs int `json:"jobs,omitempty" flag:"jobs" usage:"worker count for parallel runs (0 = all CPUs, 1 = sequential)"`
+	// Passes is the static compile pipeline spec ("" = default pipeline,
+	// "none" = off, or an explicit comma-separated pass list).
+	Passes string `json:"passes,omitempty" flag:"passes" usage:"static compile pipeline: comma-separated passes (default pipeline when empty), or none"`
+	// Restart selects the solver restart strategy: "ema" or "luby".
+	Restart string `json:"restart,omitempty" flag:"restart" usage:"solver restart strategy: luby or ema (adaptive)"`
+	// NoSimplify disables between-depth inprocessing.
+	NoSimplify bool `json:"no_simplify,omitempty" flag:"no-simplify" usage:"disable between-depth inprocessing (subsumption + variable elimination)"`
+	// Share connects fleet workers through the learnt-clause sharing bus.
+	Share bool `json:"share,omitempty" flag:"share" usage:"share learnt clauses between fleet workers (multi-worker runs; off under PBA or environment constraints)"`
+	// Cube partitions single-property search over EMM address comparators.
+	Cube bool `json:"cube,omitempty" flag:"cube" usage:"cube-and-conquer: split the search over EMM address comparators across the fleet (needs jobs > 1)"`
+	// ShareCap overrides the per-worker clause ring capacity (0 = default).
+	ShareCap int `json:"share_cap,omitempty" flag:"share-cap" usage:"clause-sharing ring capacity per worker (0 = default 4096)"`
+	// ShareLBD overrides the clause-export glue filter (0 = default).
+	ShareLBD int `json:"share_lbd,omitempty" flag:"share-lbd" usage:"export learnt clauses of glue <= this (0 = default 6; binaries always export)"`
+	// ShareSize overrides the clause-export size filter (0 = default).
+	ShareSize int `json:"share_size,omitempty" flag:"share-size" usage:"export learnt clauses of at most this many literals (0 = default 30)"`
+}
+
+// Default returns the canonical default request: BMC-3 to depth 100 under
+// a five-minute budget, default pipeline, adaptive restarts, all CPUs.
+func Default() Spec {
+	return Spec{
+		V:       Version,
+		Engine:  EngineBMC3,
+		Depth:   100,
+		Timeout: Duration(5 * time.Minute),
+		Restart: "ema",
+	}
+}
+
+// Canonical returns s with every defaulted field made explicit and every
+// alias collapsed: the version stamped, the engine lowercased (empty →
+// bmc3), the pass spec resolved ("" → the default pipeline, "off" →
+// "none", whitespace trimmed), the restart mode defaulted, and negative
+// counts clamped to 0. Two specs that mean the same request canonicalize
+// to the same value; CanonicalKey and FamilyKey hash this form.
+func (s Spec) Canonical() Spec {
+	c := s
+	c.V = Version
+	c.Engine = strings.ToLower(strings.TrimSpace(c.Engine))
+	if c.Engine == "" {
+		c.Engine = EngineBMC3
+	}
+	c.Passes = canonicalPasses(c.Passes)
+	c.Restart = strings.ToLower(strings.TrimSpace(c.Restart))
+	if c.Restart == "" {
+		c.Restart = "ema"
+	}
+	if c.Depth < 0 {
+		c.Depth = 0
+	}
+	if c.Jobs < 0 {
+		c.Jobs = 0
+	}
+	if c.Timeout < 0 {
+		c.Timeout = 0
+	}
+	for _, p := range []*int{&c.ShareCap, &c.ShareLBD, &c.ShareSize} {
+		if *p < 0 {
+			*p = 0
+		}
+	}
+	return c
+}
+
+// canonicalPasses resolves a pass spec to its explicit normal form: the
+// default pipeline spelled out, "off" collapsed to "none", list items
+// trimmed. Invalid specs are returned trimmed as-is — Validate reports
+// them; canonicalization must not mask the error.
+func canonicalPasses(spec string) string {
+	spec = strings.TrimSpace(spec)
+	switch spec {
+	case "":
+		return pass.SpecDefault
+	case pass.SpecNone, "off":
+		return pass.SpecNone
+	}
+	if err := pass.ValidSpec(spec); err != nil {
+		return spec
+	}
+	parts := strings.Split(spec, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// Validate reports the first problem with s, or nil. Options calls it; the
+// server calls it before accepting a job.
+func (s Spec) Validate() error {
+	if s.V < 0 || s.V > Version {
+		return fmt.Errorf("spec: unsupported schema version %d (this build speaks <= %d)", s.V, Version)
+	}
+	c := s.Canonical()
+	switch c.Engine {
+	case EngineBMC1, EngineBMC2, EngineBMC3, EnginePBA, EnginePortfolio:
+	default:
+		return fmt.Errorf("spec: unknown engine %q (want bmc1, bmc2, bmc3, pba, or portfolio)", c.Engine)
+	}
+	if _, err := sat.ParseRestartMode(c.Restart); err != nil {
+		return err
+	}
+	if err := pass.ValidSpec(c.Passes); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Options converts the spec into the engine configuration it denotes.
+// This is the one Spec → bmc.Options path: CLIs, the server, and tests all
+// route through it, so "engine=bmc3, depth=24" means the same Options
+// everywhere. The mapping is netlist-independent — UseEMM is set whenever
+// the engine calls for it and the engine itself ignores it on memory-free
+// models.
+func (s Spec) Options() (bmc.Options, error) {
+	if err := s.Validate(); err != nil {
+		return bmc.Options{}, err
+	}
+	c := s.Canonical()
+	restart, err := sat.ParseRestartMode(c.Restart)
+	if err != nil {
+		return bmc.Options{}, err
+	}
+	opt := bmc.Options{
+		MaxDepth:   c.Depth,
+		Timeout:    time.Duration(c.Timeout),
+		Jobs:       c.Jobs,
+		Passes:     c.Passes,
+		Restart:    restart,
+		NoSimplify: c.NoSimplify,
+		Share:      c.Share,
+		Cube:       c.Cube,
+		ShareCap:   c.ShareCap,
+		ShareLBD:   c.ShareLBD,
+		ShareSize:  c.ShareSize,
+	}
+	switch c.Engine {
+	case EngineBMC1:
+		opt.Proofs = true
+	case EngineBMC2:
+		opt.UseEMM = true
+	case EngineBMC3:
+		opt.UseEMM = true
+		opt.Proofs = true
+	case EnginePBA:
+		opt.UseEMM = true
+		opt.StabilityDepth = 10
+	case EnginePortfolio:
+		opt.UseEMM = true
+		opt.Proofs = true
+		opt.Portfolio = true
+	}
+	return opt, nil
+}
+
+// FromOptions is the inverse converter: it reads the engine choice and the
+// spec-visible knobs back out of a bmc.Options. Fields Options cannot
+// express in a Spec (abstractions, ablation switches, observability) are
+// dropped; round-tripping Default().Options() through FromOptions yields
+// the canonical default spec again (see the round-trip test).
+func FromOptions(o bmc.Options) Spec {
+	s := Spec{
+		V:          Version,
+		Depth:      o.MaxDepth,
+		Timeout:    Duration(o.Timeout),
+		Jobs:       o.Jobs,
+		Passes:     o.Passes,
+		NoSimplify: o.NoSimplify,
+		Share:      o.Share,
+		Cube:       o.Cube,
+		ShareCap:   o.ShareCap,
+		ShareLBD:   o.ShareLBD,
+		ShareSize:  o.ShareSize,
+	}
+	if o.Restart == sat.RestartLuby {
+		s.Restart = "luby"
+	} else {
+		s.Restart = "ema"
+	}
+	switch {
+	case o.PBA && !o.Proofs, o.StabilityDepth > 0 && !o.Proofs:
+		s.Engine = EnginePBA
+	case o.UseEMM && o.Proofs && o.Portfolio:
+		s.Engine = EnginePortfolio
+	case o.UseEMM && o.Proofs:
+		s.Engine = EngineBMC3
+	case o.UseEMM:
+		s.Engine = EngineBMC2
+	default:
+		s.Engine = EngineBMC1
+	}
+	return s.Canonical()
+}
+
+// FamilyKey hashes the depth-independent semantic content of the spec —
+// the engine and the compile pipeline. Two requests with the same
+// FamilyKey over the same compiled netlist are the *same verification
+// problem at different depths*: a cached NO_CE at depth k answers any
+// request up to k outright and warm-starts deeper ones from k+1. The
+// performance fields (Timeout, Jobs, Restart, NoSimplify, Share/Cube and
+// the sharing tunables) are deliberately excluded: the engine equivalence
+// suites pin that they never change verdicts, only wall-clock.
+func (s Spec) FamilyKey() string {
+	return hashKey(s.familyContent())
+}
+
+// CanonicalKey hashes the full semantic content — FamilyKey plus the
+// depth — and is the exact-match verdict-cache key: equal CanonicalKey
+// (plus equal netlist key) means the cached verdict answers the request
+// verbatim.
+func (s Spec) CanonicalKey() string {
+	c := s.Canonical()
+	return hashKey(s.familyContent() + fmt.Sprintf("|depth=%d", c.Depth))
+}
+
+func (s Spec) familyContent() string {
+	c := s.Canonical()
+	return fmt.Sprintf("emmver-spec-v%d|engine=%s|passes=%s", Version, c.Engine, c.Passes)
+}
+
+func hashKey(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(sum[:])
+}
+
+// WarmEligible reports whether the engine behind s supports warm-started
+// runs (bmc.Options.StartDepth): the single-engine BMC flows do; the
+// two-phase PBA flow re-derives its abstraction from depth 0 and does not.
+func (s Spec) WarmEligible() bool {
+	return s.Canonical().Engine != EnginePBA
+}
+
+// RunCtx executes the request against property prop of n — the one
+// engine-dispatch path shared by the facade, the CLIs' remote mode, and
+// the job server. startDepth > 0 warm-starts the BMC loop (the caller
+// asserts depths below it are known counter-example-free, e.g. from a
+// cached shallower verdict); it is ignored by the PBA flow. For EnginePBA
+// the returned Result is the final proof phase when one ran, otherwise the
+// phase-1 result — the same collapse emmv performs.
+func (s Spec) RunCtx(ctx context.Context, n *aig.Netlist, prop int, startDepth int, extend func(*bmc.Options)) (*bmc.Result, error) {
+	opt, err := s.Options()
+	if err != nil {
+		return nil, err
+	}
+	if extend != nil {
+		extend(&opt)
+	}
+	if s.Canonical().Engine == EnginePBA {
+		res := bmc.ProveWithPBACtx(ctx, n, prop, opt)
+		if res.Proof != nil {
+			return res.Proof, nil
+		}
+		return res.Phase1, nil
+	}
+	if startDepth > 0 && s.WarmEligible() {
+		opt.StartDepth = startDepth
+	}
+	return bmc.CheckCtx(ctx, n, prop, opt), nil
+}

@@ -1,0 +1,231 @@
+package spec
+
+import (
+	"encoding/json"
+	"flag"
+	"testing"
+	"time"
+
+	"emmver/internal/pass"
+	"emmver/internal/sat"
+)
+
+// Every engine's Spec must survive Spec → Options → Spec unchanged
+// (modulo canonicalization): the converters are the API contract that
+// CLIs, server, and cache speak one schema.
+func TestOptionsRoundTrip(t *testing.T) {
+	for _, engine := range []string{EngineBMC1, EngineBMC2, EngineBMC3, EnginePBA, EnginePortfolio} {
+		s := Default()
+		s.Engine = engine
+		s.Depth = 42
+		s.Timeout = Duration(90 * time.Second)
+		s.Jobs = 3
+		s.Restart = "luby"
+		s.NoSimplify = true
+		s.Share = true
+		s.Cube = true
+		s.ShareCap = 128
+		s.ShareLBD = 4
+		s.ShareSize = 12
+		opt, err := s.Options()
+		if err != nil {
+			t.Fatalf("%s: Options: %v", engine, err)
+		}
+		back := FromOptions(opt)
+		if back != s.Canonical() {
+			t.Errorf("%s: round trip drifted:\n  in:  %+v\n  out: %+v", engine, s.Canonical(), back)
+		}
+	}
+}
+
+func TestOptionsEngineMapping(t *testing.T) {
+	cases := []struct {
+		engine                              string
+		useEMM, proofs, portfolio, wantsPBA bool
+	}{
+		{EngineBMC1, false, true, false, false},
+		{EngineBMC2, true, false, false, false},
+		{EngineBMC3, true, true, false, false},
+		{EnginePortfolio, true, true, true, false},
+		{EnginePBA, true, false, false, true},
+	}
+	for _, c := range cases {
+		s := Spec{Engine: c.engine, Depth: 10}
+		opt, err := s.Options()
+		if err != nil {
+			t.Fatalf("%s: %v", c.engine, err)
+		}
+		if opt.UseEMM != c.useEMM || opt.Proofs != c.proofs || opt.Portfolio != c.portfolio {
+			t.Errorf("%s: got UseEMM=%v Proofs=%v Portfolio=%v", c.engine, opt.UseEMM, opt.Proofs, opt.Portfolio)
+		}
+		if c.wantsPBA && opt.StabilityDepth == 0 {
+			t.Errorf("%s: StabilityDepth not set", c.engine)
+		}
+		if opt.MaxDepth != 10 {
+			t.Errorf("%s: MaxDepth %d", c.engine, opt.MaxDepth)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, s := range []Spec{
+		{Engine: "bdd"},
+		{Restart: "geometric"},
+		{Passes: "coi,nosuchpass"},
+		{V: Version + 1},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a bad spec", s)
+		}
+		if _, err := s.Options(); err == nil {
+			t.Errorf("Options(%+v) accepted a bad spec", s)
+		}
+	}
+}
+
+// Permuted-but-isomorphic JSON documents — fields in any order, defaults
+// spelled out or omitted, pass-spec aliases — must canonicalize to the
+// same keys.
+func TestCanonicalKeyPermutationInvariant(t *testing.T) {
+	docs := []string{
+		`{"engine":"bmc3","depth":24,"timeout":"5m","restart":"ema","passes":"coi,sweep,ports,dedup"}`,
+		`{"passes":" coi , sweep , ports , dedup ","depth":24,"engine":"BMC3"}`,
+		`{"depth":24}`,                          // engine and passes defaulted
+		`{"v":1,"engine":"bmc3","depth":24}`,    // version explicit
+		`{"depth":24,"timeout":"30s","jobs":8}`, // performance knobs differ
+		`{"depth":24,"restart":"luby","no_simplify":true,"share":true,"cube":true,"share_cap":64}`,
+	}
+	var want string
+	for i, doc := range docs {
+		var s Spec
+		if err := json.Unmarshal([]byte(doc), &s); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		key := s.CanonicalKey()
+		if i == 0 {
+			want = key
+			continue
+		}
+		if key != want {
+			t.Errorf("doc %d canonical key %s != doc 0 key %s\ndoc: %s", i, key, want, doc)
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishesSemantics(t *testing.T) {
+	base := Spec{Engine: EngineBMC3, Depth: 24}
+	deeper := base
+	deeper.Depth = 25
+	otherEngine := base
+	otherEngine.Engine = EngineBMC2
+	noPasses := base
+	noPasses.Passes = pass.SpecNone
+	keys := map[string]string{
+		"base":       base.CanonicalKey(),
+		"deeper":     deeper.CanonicalKey(),
+		"bmc2":       otherEngine.CanonicalKey(),
+		"passes-off": noPasses.CanonicalKey(),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s share a canonical key", name, prev)
+		}
+		seen[k] = name
+	}
+	// FamilyKey folds depth away but keeps engine and passes distinct.
+	if base.FamilyKey() != deeper.FamilyKey() {
+		t.Error("family key must not depend on depth")
+	}
+	if base.FamilyKey() == otherEngine.FamilyKey() || base.FamilyKey() == noPasses.FamilyKey() {
+		t.Error("family key must depend on engine and passes")
+	}
+}
+
+func TestCanonicalNormalizesAliases(t *testing.T) {
+	a := Spec{Passes: "off"}.Canonical()
+	b := Spec{Passes: pass.SpecNone}.Canonical()
+	if a != b {
+		t.Errorf("off and none diverge: %+v vs %+v", a, b)
+	}
+	if got := (Spec{}).Canonical().Passes; got != pass.SpecDefault {
+		t.Errorf("empty passes canonicalized to %q, want %q", got, pass.SpecDefault)
+	}
+	if got := (Spec{}).Canonical().Engine; got != EngineBMC3 {
+		t.Errorf("empty engine canonicalized to %q", got)
+	}
+}
+
+// The flag surface is derived from the schema: every tagged field
+// registers, defaults match the seed Spec, and parsing writes back into
+// the same struct the Options path reads.
+func TestRegisterFlagsDerivesFromSchema(t *testing.T) {
+	s := Default()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	RegisterFlags(fs, &s)
+	for _, name := range FlagNames() {
+		if fs.Lookup(name) == nil {
+			t.Errorf("schema flag -%s not registered", name)
+		}
+	}
+	if fs.Lookup("engine").DefValue != EngineBMC3 {
+		t.Errorf("engine default %q", fs.Lookup("engine").DefValue)
+	}
+	err := fs.Parse([]string{
+		"-engine", "bmc2", "-depth", "17", "-timeout", "90s",
+		"-restart", "luby", "-no-simplify", "-share", "-cube",
+		"-share-cap", "99", "-share-lbd", "3", "-share-size", "9",
+		"-jobs", "2", "-passes", "coi,dedup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		V: Version, Engine: "bmc2", Depth: 17, Timeout: Duration(90 * time.Second),
+		Jobs: 2, Passes: "coi,dedup", Restart: "luby", NoSimplify: true,
+		Share: true, Cube: true, ShareCap: 99, ShareLBD: 3, ShareSize: 9,
+	}
+	if s != want {
+		t.Errorf("parsed spec %+v, want %+v", s, want)
+	}
+	opt, err := s.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MaxDepth != 17 || opt.Restart != sat.RestartLuby || !opt.UseEMM || opt.Proofs {
+		t.Errorf("flags did not flow into Options: %+v", opt)
+	}
+}
+
+func TestRegisterFlagsSkip(t *testing.T) {
+	s := Default()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	RegisterFlags(fs, &s, "engine", "depth")
+	if fs.Lookup("engine") != nil || fs.Lookup("depth") != nil {
+		t.Error("skipped flags were registered")
+	}
+	if fs.Lookup("passes") == nil {
+		t.Error("unskipped flag missing")
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(Spec{Timeout: Duration(90 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(s.Timeout) != 90*time.Second {
+		t.Errorf("timeout round trip: %v", s.Timeout)
+	}
+	var s2 Spec
+	if err := json.Unmarshal([]byte(`{"timeout":1500000000}`), &s2); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(s2.Timeout) != 1500*time.Millisecond {
+		t.Errorf("integer nanoseconds: %v", s2.Timeout)
+	}
+}
