@@ -190,6 +190,11 @@ func main() {
 	if r.Stats.EMM.Clauses() > 0 {
 		fmt.Printf("emm constraints: %s\n", r.Stats.EMM)
 	}
+	if r.Stats.LazyRounds > 0 || r.Stats.EMM.LazyReads > 0 {
+		fmt.Printf("lazy emm: %d reads tracked, %d axiom levels, %d completed, %d refinement rounds (%d spurious)\n",
+			r.Stats.EMM.LazyReads, r.Stats.EMM.LazyAxioms, r.Stats.EMM.LazyCompleted,
+			r.Stats.LazyRounds, r.Stats.LazySpurious)
+	}
 	for _, d := range r.DepthStats {
 		fmt.Println(d)
 	}

@@ -178,6 +178,33 @@ func main() {
 	})
 	phases = append(phases, warm)
 
+	// lazy: the same problem under demand-driven EMM. The performance knob
+	// is excluded from the cache keys, so the burst must land as exact hits
+	// on the eagerly-solved verdict; the deeper tail request then actually
+	// solves lazily on the server, warm-started from the cached frontier.
+	lz := &phase{name: "lazy", note: "lazy-spec burst + deeper lazy solve"}
+	for i := 0; i < *burst; i++ {
+		req := baseReq()
+		req.Spec.Lazy = true
+		run(lz, req, func(st *serve.JobStatus) string { return sameVerdict(st, true) })
+	}
+	lreq := baseReq()
+	lreq.Spec.Lazy = true
+	lreq.Spec.Depth = 2**depth + 4
+	run(lz, lreq, func(st *serve.JobStatus) string {
+		if st.Cached {
+			return "deeper lazy request claimed a full hit"
+		}
+		if st.WarmStart != 2**depth+1 {
+			return fmt.Sprintf("lazy warm start at %d, want %d", st.WarmStart, 2**depth+1)
+		}
+		if st.Verdict == nil || st.Verdict.Kind != "NO_CE" || st.Verdict.Depth != 2**depth+4 {
+			return fmt.Sprintf("lazy verdict: %+v", st.Verdict)
+		}
+		return ""
+	})
+	phases = append(phases, lz)
+
 	// ce: witness-bearing duplicate.
 	ce := &phase{name: "ce", note: "counter-example + identical witness"}
 	ceReq := serve.Request{Format: "verilog", Source: counterSrc, Prop: 0,

@@ -8,6 +8,7 @@
 //	emmtables -exp s3            compile-pipeline A/B (§S3)
 //	emmtables -exp s4            cooperative-solving A/B (§S4)
 //	emmtables -exp s5            distributed-solving A/B (§S5)
+//	emmtables -exp s7            lazy-EMM A/B (§S7)
 //	emmtables -exp all           everything
 //
 // By default experiments run at the reduced scale (small memory widths,
@@ -30,8 +31,8 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, s4, s5, all")
-	runs := flag.Int("runs", 3, "runs per side of the s4 A/B (median is reported)")
+	which := flag.String("exp", "all", "experiment: t1, t2, i1, i2, f1, s3, s4, s5, s7, all")
+	runs := flag.Int("runs", 3, "runs per side of the s4/s5/s7 A/Bs (median is reported)")
 	scale := flag.String("scale", "reduced", "design sizing: reduced or paper")
 	sizes := flag.String("n", "3,4,5", "quicksort array sizes for t1/t2")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
@@ -121,6 +122,14 @@ func main() {
 				os.Exit(2)
 			}
 			fmt.Println(exp.RenderDistAB(ab))
+		case "s7":
+			fmt.Printf("## Experiment S7 (lazy EMM A/B)\n\n")
+			ab, err := exp.LazyAB(exp.DefaultLazyAB(), *runs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(exp.RenderLazyAB(ab))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -128,7 +137,7 @@ func main() {
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"t1", "t2", "i1", "i2", "f1", "s3", "s4", "s5"} {
+		for _, name := range []string{"t1", "t2", "i1", "i2", "f1", "s3", "s4", "s5", "s7"} {
 			run(name)
 		}
 		return

@@ -168,6 +168,22 @@ type Options struct {
 	// reach. Equivalent builder: WithShareFilter.
 	ShareLBD  int
 	ShareSize int
+	// LazyEMM switches the counter-example path to demand-driven EMM
+	// constraint instantiation (core.Generator.EnableLazy): the CE query
+	// starts with read data unconstrained, and a refinement loop validates
+	// each SAT model against the true memory semantics, instantiating
+	// exactly the violated read-over-write axioms before re-solving
+	// incrementally. UNSAT answers on the relaxation are sound immediately
+	// (clause removal preserves UNSAT), so with Proofs on, the forward and
+	// backward termination checks keep the full eager constraint set on
+	// their own solvers and only the CE search goes lazy (on a third
+	// solver). Verdict-preserving by construction; a performance knob like
+	// Share/Cube. Ignored under PBA (cores attribute relevance to eagerly
+	// tagged clauses), under DisableExclusivity (the refinement machinery
+	// suspends the eq. 4 chains), and on the cube-and-conquer and
+	// distributed paths (both split the search over the deterministic
+	// eager comparator creation order). Equivalent builder: WithLazy.
+	LazyEMM bool
 	// StartDepth warm-starts the BMC loop: the unrolling and EMM
 	// constraints are still built from frame 0 (they are cumulative), but
 	// the per-depth solver checks — forward/backward termination and the
@@ -248,6 +264,13 @@ type Stats struct {
 	SharedDropped  int64
 	CubeSplits     int64
 	CubeStolen     int64
+	// Lazy-EMM refinement (zero unless Options.LazyEMM was active): model
+	// validations run by the semantic oracle and SAT models it rejected.
+	// The instantiated-axiom count lives in EMM.LazyAxioms — under LazyEMM
+	// the EMM tally reports the counter-example path's generator, which is
+	// where the on-demand reduction shows.
+	LazyRounds   int64
+	LazySpurious int64
 }
 
 // Add accumulates o into s. The parallel engines use it to merge
@@ -272,6 +295,8 @@ func (s *Stats) Add(o Stats) {
 	s.SharedDropped += o.SharedDropped
 	s.CubeSplits += o.CubeSplits
 	s.CubeStolen += o.CubeStolen
+	s.LazyRounds += o.LazyRounds
+	s.LazySpurious += o.LazySpurious
 	if o.PeakHeapMB > s.PeakHeapMB {
 		s.PeakHeapMB = o.PeakHeapMB
 	}
@@ -357,6 +382,20 @@ type engine struct {
 	bu *unroll.Unroller
 	bg *core.Generator
 
+	// The counter-example path's solver/unroller/generator. Aliases of
+	// fs/fu/fg normally; a dedicated third triple when LazyEMM is active
+	// together with Proofs, so the termination checks keep the full eager
+	// constraint set while the CE search runs on the lazy relaxation.
+	cs *sat.Solver
+	cu *unroll.Unroller
+	cg *core.Generator
+	// lazy reports that the CE path runs the lazy-EMM refinement loop
+	// (cg is in EnableLazy mode).
+	lazy bool
+	// Refinement tallies; only the CE-owning goroutine touches them.
+	lazyRounds   int64
+	lazySpurious int64
+
 	tracker  *pba.Tracker
 	start    time.Time
 	deadline time.Time
@@ -383,6 +422,12 @@ type engine struct {
 	obsProps    *obs.Counter
 	obsCoreSize *obs.Gauge
 	obsLR       *obs.Gauge
+	// Lazy-EMM refinement counters; obsLazyAxPub tracks the last published
+	// cumulative axiom count so deltas can be pushed after each CE check.
+	obsLazyRounds   *obs.Counter
+	obsLazyAxioms   *obs.Counter
+	obsLazySpurious *obs.Counter
+	obsLazyAxPub    int
 }
 
 // depthMark snapshots the cumulative counters at the end of a depth, so the
@@ -404,6 +449,9 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 		e.obsProps = reg.Counter(obs.MPropsResolved)
 		e.obsCoreSize = reg.Gauge(obs.MPBACoreSize)
 		e.obsLR = reg.Gauge(obs.MPBALatchReasons)
+		e.obsLazyRounds = reg.Counter(obs.MLazyRounds)
+		e.obsLazyAxioms = reg.Counter(obs.MLazyAxioms)
+		e.obsLazySpurious = reg.Counter(obs.MLazySpurious)
 	}
 	e.fs = sat.New()
 	e.fs.Restart = opt.Restart
@@ -469,6 +517,39 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 			}
 			e.applyMemAbstraction(e.bg)
 		}
+	}
+	// The counter-example path: fs/fu/fg unless lazy EMM splits it off.
+	e.cs, e.cu, e.cg = e.fs, e.fu, e.fg
+	if opt.LazyEMM && e.fg != nil && !opt.PBA && !opt.DisableExclusivity {
+		e.lazy = true
+		if opt.Proofs {
+			// Forward termination (SAT(I ∧ LFP ∧ C) — UNSAT proves) is only
+			// sound against the full constraint set: a lazily weakened
+			// formula could go UNSAT and claim a bogus proof. The CE checks
+			// therefore move to their own lazily-constrained solver and
+			// fs/bs keep the exact encoding for the termination queries.
+			e.cs = sat.New()
+			e.cs.Restart = opt.Restart
+			e.cs.ShareLBD, e.cs.ShareMaxLits = opt.ShareLBD, opt.ShareSize
+			e.cs.AttachObs(opt.Obs)
+			e.cu = unroll.New(n, e.cs, unroll.Initialized)
+			e.cu.NoStrash = opt.DisableStrash
+			e.cu.FoldInits = true
+			e.cu.MemAwareLFP = e.fu.MemAwareLFP
+			e.cu.AttachObs(opt.Obs)
+			e.applyAbstraction(e.cu)
+			e.installInterrupt(e.cs)
+			e.cg = core.NewGenerator(e.cu, false)
+			e.cg.AttachObs(opt.Obs)
+			if opt.DisableEMMMemo {
+				e.cg.DisableComparatorMemo()
+			}
+			if opt.DisableEq6 {
+				e.cg.DisableInitConsistency()
+			}
+			e.applyMemAbstraction(e.cg)
+		}
+		e.cg.EnableLazy()
 	}
 	return e
 }
@@ -544,22 +625,31 @@ func (e *engine) snapshotStats() Stats {
 	s.SubsumedClauses = fst.SubsumedClauses
 	s.StrengthenedClauses = fst.StrengthenedClauses
 	s.EliminatedVars = fst.EliminatedVars
-	if e.bs != nil {
-		s.Clauses += e.bs.NumClauses()
-		s.Vars += e.bs.NumVars()
-		bst := e.bs.Stats()
-		s.Conflicts += bst.Conflicts
-		s.Restarts += bst.Restarts
-		s.RestartsLuby += bst.RestartsLuby
-		s.RestartsEMA += bst.RestartsEMA
-		s.Simplifies += bst.Simplifies
-		s.SubsumedClauses += bst.SubsumedClauses
-		s.StrengthenedClauses += bst.StrengthenedClauses
-		s.EliminatedVars += bst.EliminatedVars
+	for _, o := range []*sat.Solver{e.bs, e.lazySolver()} {
+		if o == nil {
+			continue
+		}
+		s.Clauses += o.NumClauses()
+		s.Vars += o.NumVars()
+		ost := o.Stats()
+		s.Conflicts += ost.Conflicts
+		s.Restarts += ost.Restarts
+		s.RestartsLuby += ost.RestartsLuby
+		s.RestartsEMA += ost.RestartsEMA
+		s.Simplifies += ost.Simplifies
+		s.SubsumedClauses += ost.SubsumedClauses
+		s.StrengthenedClauses += ost.StrengthenedClauses
+		s.EliminatedVars += ost.EliminatedVars
 	}
-	if e.fg != nil {
-		s.EMM = e.fg.Sizes()
+	// Under LazyEMM the EMM tally reports the CE path's generator (cg ==
+	// fg unless the proof split is active): that is the constraint set the
+	// lazy mode reduces, and the figure the A/B harness compares against
+	// an eager run.
+	if e.cg != nil {
+		s.EMM = e.cg.Sizes()
 	}
+	s.LazyRounds = e.lazyRounds
+	s.LazySpurious = e.lazySpurious
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	s.PeakHeapMB = float64(ms.HeapAlloc) / (1 << 20)
@@ -591,12 +681,25 @@ func (e *engine) depthCumulative() depthMark {
 		m.confl += bst.Conflicts
 		m.decs += bst.Decisions
 	}
-	for _, g := range []*core.Generator{e.fg, e.bg} {
+	gens := []*core.Generator{e.fg, e.bg}
+	if e.cg != e.fg {
+		gens = append(gens, e.cg)
+	}
+	for _, g := range gens {
 		if g != nil {
 			sz := g.Sizes()
 			m.emmClauses += sz.Clauses() + sz.InitClauses
 			m.memoHits += sz.CompMemoHits
 		}
+	}
+	if e.cs != e.fs {
+		m.clauses += e.cs.NumClauses()
+		m.vars += e.cs.NumVars()
+		m.strashHits += e.cu.StrashHits
+		cst := e.cs.Stats()
+		m.props += cst.Propagations
+		m.confl += cst.Conflicts
+		m.decs += cst.Decisions
 	}
 	m.solves = int(e.solveCalls.Load())
 	return m
@@ -634,17 +737,31 @@ func (e *engine) publishObs(i int) {
 	if e.bu != nil {
 		e.bu.PublishObs()
 	}
+	if e.cu != e.fu {
+		e.cu.PublishObs()
+	}
 	e.obsDepth.Max(int64(i))
 }
 
-// emmClausesCum is the cumulative EMM clause count of the forward window
-// (Sizes().Clauses() + InitClauses), the figure per-depth trace events
-// report so a journal can be reconciled against Result.Stats.EMM.
+// lazySolver returns the dedicated CE-path solver when the lazy proof
+// split is active, nil otherwise (cs then aliases fs).
+func (e *engine) lazySolver() *sat.Solver {
+	if e.cs != e.fs {
+		return e.cs
+	}
+	return nil
+}
+
+// emmClausesCum is the cumulative EMM clause count of the counter-example
+// window (Sizes().Clauses() + InitClauses; cg aliases the forward
+// generator unless the lazy proof split is active), the figure per-depth
+// trace events report so a journal can be reconciled against
+// Result.Stats.EMM.
 func (e *engine) emmClausesCum() int {
-	if e.fg == nil {
+	if e.cg == nil {
 		return 0
 	}
-	sz := e.fg.Sizes()
+	sz := e.cg.Sizes()
 	return sz.Clauses() + sz.InitClauses
 }
 
@@ -677,6 +794,10 @@ func (e *engine) prepareDepth(i int) {
 		e.fg.AddUpTo(i)
 	}
 	e.fu.AssertConstraints(i)
+	if e.cu != e.fu {
+		e.cg.AddUpTo(i)
+		e.cu.AssertConstraints(i)
+	}
 	if e.bu != nil {
 		if e.bg != nil {
 			e.bg.AddUpTo(i)
@@ -714,11 +835,37 @@ func (e *engine) backwardCheck(prop, i int) sat.Status {
 }
 
 // ceCheck runs the counter-example check for prop at depth i:
-// SAT(I ∧ ¬P_i ∧ C_i).
+// SAT(I ∧ ¬P_i ∧ C_i). Under LazyEMM, C_i is the demand-instantiated
+// relaxation and a SAT answer enters the refinement loop: the semantic
+// oracle validates the model's memory-interface trace, instantiates the
+// violated read-over-write axioms, and the query is re-solved
+// incrementally until the model is genuine (SAT stands) or the
+// strengthened relaxation runs out of models (UNSAT — sound a fortiori).
 func (e *engine) ceCheck(prop, i int) sat.Status {
-	sp := e.obs.Span("solve.ce", obs.F("depth", i), obs.F("prop", prop))
-	st := e.solve(e.fs, e.fu.PropertyLit(prop, i).Not())
-	sp.End(obs.F("result", st.String()))
+	sp := e.obs.Span("solve.ce", obs.F("depth", i), obs.F("prop", prop),
+		obs.F("lazy", e.lazy))
+	notP := e.cu.PropertyLit(prop, i).Not()
+	st := e.solve(e.cs, notP)
+	rounds := 0
+	if e.lazy {
+		for st == sat.Sat {
+			rounds++
+			e.lazyRounds++
+			e.obsLazyRounds.Inc()
+			viol := e.cg.RefineLazy()
+			if viol == 0 {
+				break
+			}
+			e.lazySpurious++
+			e.obsLazySpurious.Inc()
+			st = e.solve(e.cs, notP)
+		}
+		if ax := e.cg.Sizes().LazyAxioms; ax > e.obsLazyAxPub {
+			e.obsLazyAxioms.Add(int64(ax - e.obsLazyAxPub))
+			e.obsLazyAxPub = ax
+		}
+	}
+	sp.End(obs.F("result", st.String()), obs.F("rounds", rounds))
 	return st
 }
 
@@ -815,9 +962,11 @@ func (e *engine) simplifyStep(i int) {
 	}
 	confl := e.fs.Stats().Conflicts
 	clauses := int64(e.fs.NumClauses())
-	if e.bs != nil {
-		confl += e.bs.Stats().Conflicts
-		clauses += int64(e.bs.NumClauses())
+	for _, o := range []*sat.Solver{e.bs, e.lazySolver()} {
+		if o != nil {
+			confl += o.Stats().Conflicts
+			clauses += int64(o.NumClauses())
+		}
 	}
 	need := simplifyMinConflicts
 	if simplifyClausesPerConfl > 0 {
@@ -828,7 +977,7 @@ func (e *engine) simplifyStep(i int) {
 	}
 	e.lastSimpConfl = confl
 	sp := e.obs.Span("bmc.simplify", obs.F("depth", i), obs.F("prop", e.prop))
-	for _, s := range []*sat.Solver{e.fs, e.bs} {
+	for _, s := range []*sat.Solver{e.fs, e.bs, e.lazySolver()} {
 		if s == nil {
 			continue
 		}
@@ -838,11 +987,13 @@ func (e *engine) simplifyStep(i int) {
 	}
 	st := e.fs.Stats()
 	sub, str, elim := st.SubsumedClauses, st.StrengthenedClauses, st.EliminatedVars
-	if e.bs != nil {
-		bst := e.bs.Stats()
-		sub += bst.SubsumedClauses
-		str += bst.StrengthenedClauses
-		elim += bst.EliminatedVars
+	for _, o := range []*sat.Solver{e.bs, e.lazySolver()} {
+		if o != nil {
+			ost := o.Stats()
+			sub += ost.SubsumedClauses
+			str += ost.StrengthenedClauses
+			elim += ost.EliminatedVars
+		}
 	}
 	sp.End(obs.F("subsumed", sub), obs.F("strengthened", str),
 		obs.F("eliminated_vars", elim))
@@ -894,41 +1045,47 @@ func (e *engine) depthStep(i int) *Result {
 	return nil
 }
 
-// extractWitness decodes the satisfying model into a replayable trace.
+// extractWitness decodes the satisfying model (on the counter-example
+// path's solver) into a replayable trace.
 func (e *engine) extractWitness(depth int) *Witness {
 	w := &Witness{Length: depth}
 	for f := 0; f <= depth; f++ {
 		in := make(map[aig.NodeID]bool)
 		for _, id := range e.n.Inputs {
-			if e.fu.Built(id, f) {
-				in[id] = e.fu.ModelBit(aig.MkLit(id, false), f)
+			if e.cu.Built(id, f) {
+				in[id] = e.cu.ModelBit(aig.MkLit(id, false), f)
 			}
 		}
 		w.Inputs = append(w.Inputs, in)
 	}
 	w.InitLatches = make(map[aig.NodeID]bool)
 	for _, l := range e.n.Latches {
-		if l.Init == aig.InitX && e.fu.Built(l.Node, 0) {
-			w.InitLatches[l.Node] = e.fu.ModelBit(aig.MkLit(l.Node, false), 0)
+		if l.Init == aig.InitX && e.cu.Built(l.Node, 0) {
+			w.InitLatches[l.Node] = e.cu.ModelBit(aig.MkLit(l.Node, false), 0)
 		}
 	}
 	// Arbitrary-init memory contents: every enabled read that hit no
 	// in-window write pins the initial word at its address.
-	if e.fg != nil {
+	if e.cg != nil && e.cg.Lazy() {
+		// The lazy generator has no per-frame N literals for pending
+		// reads; the oracle re-derives "hit no in-window write" from the
+		// just-validated model's interface trace instead.
+		w.MemInit = e.cg.LazyMemInit(depth)
+	} else if e.cg != nil {
 		for mi, m := range e.n.Memories {
 			words := make(map[int]uint64)
 			for r := range m.Reads {
-				for _, ev := range e.fg.ReadEvents(mi, r) {
+				for _, ev := range e.cg.ReadEvents(mi, r) {
 					// A reused engine may have frames beyond this CE's depth
 					// built; their read events are unconstrained here.
 					if ev.Frame > depth {
 						continue
 					}
-					if e.fs.LitValue(ev.Re) != sat.True || e.fs.LitValue(ev.N) != sat.True {
+					if e.cs.LitValue(ev.Re) != sat.True || e.cs.LitValue(ev.N) != sat.True {
 						continue
 					}
-					addr := decodeVec(e.fs, ev.Addr)
-					words[int(addr)] = decodeVec(e.fs, ev.RD)
+					addr := decodeVec(e.cs, ev.Addr)
+					words[int(addr)] = decodeVec(e.cs, ev.RD)
 				}
 			}
 			w.MemInit = append(w.MemInit, words)

@@ -159,6 +159,11 @@ func (q *cubeQueue) close() {
 // check fans out over the cube queue. Callers have verified
 // shareEligible and jobs > 1.
 func checkCubed(ctx context.Context, n *aig.Netlist, prop int, opt Options, jobs int) *Result {
+	// Cube-and-conquer splits the search over the deterministic eager
+	// comparator creation order; demand-driven instantiation would make
+	// that order model-dependent and diverge across workers. When both are
+	// requested, cubing wins and the lazy knob is dropped for this run.
+	opt.LazyEMM = false
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	if opt.Timeout > 0 {

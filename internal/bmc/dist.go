@@ -65,6 +65,10 @@ func CheckDistCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options, cl
 
 // checkDist is the distributed engine loop on the compiled netlist.
 func checkDist(ctx context.Context, n *aig.Netlist, prop int, opt Options, cl *sharenet.Client) (*Result, error) {
+	// Like the in-process cube path: the fleet's cube leases and the
+	// broker's comparator intern table assume the deterministic eager
+	// constraint order, so the lazy knob is dropped for distributed runs.
+	opt.LazyEMM = false
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	if opt.Timeout > 0 {

@@ -1,0 +1,245 @@
+package bmc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"emmver/internal/aig"
+	"emmver/internal/designs"
+	"emmver/internal/expmem"
+	"emmver/internal/rtl"
+)
+
+// The lazy-EMM equivalence suite: demand-driven instantiation relaxes the
+// counter-example query only, so every verdict, depth, proof side, and
+// witness must match the eager encoding exactly — and the relaxation must
+// never emit MORE EMM clauses than the eager run (on the CE path it should
+// emit strictly fewer whenever any read-over-write axiom goes unneeded).
+
+// assertLazyEquiv runs opt eagerly and with LazyEMM, and compares outcomes.
+func assertLazyEquiv(t *testing.T, name string, run func(opt Options) *Result, opt Options) {
+	t.Helper()
+	eager := run(opt)
+	lo := opt
+	lo.LazyEMM = true
+	lazy := run(lo)
+	if eager.Kind != lazy.Kind || eager.Depth != lazy.Depth || eager.ProofSide != lazy.ProofSide {
+		t.Errorf("%s: eager %v (%s) vs lazy %v (%s)",
+			name, eager, eager.ProofSide, lazy, lazy.ProofSide)
+	}
+	if (eager.Witness == nil) != (lazy.Witness == nil) {
+		t.Errorf("%s: witness presence differs", name)
+	} else if eager.Witness != nil && eager.Witness.Length != lazy.Witness.Length {
+		t.Errorf("%s: witness length %d vs %d", name, eager.Witness.Length, lazy.Witness.Length)
+	}
+	// Stats.EMM reports the CE-path generator in both modes; the lazy
+	// relaxation instantiates a subset of the eager axioms.
+	eagerEMM := eager.Stats.EMM.Clauses() + eager.Stats.EMM.InitClauses
+	lazyEMM := lazy.Stats.EMM.Clauses() + lazy.Stats.EMM.InitClauses
+	if lazyEMM > eagerEMM {
+		t.Errorf("%s: lazy run emitted MORE EMM clauses (%d) than eager (%d)",
+			name, lazyEMM, eagerEMM)
+	}
+	if lazy.Stats.LazyRounds < lazy.Stats.LazySpurious {
+		t.Errorf("%s: %d spurious models but only %d refinement rounds",
+			name, lazy.Stats.LazySpurious, lazy.Stats.LazyRounds)
+	}
+}
+
+func TestLazyEquivalenceQuickSort(t *testing.T) {
+	q := designs.NewQuickSort(designs.QuickSortConfig{N: 3, ArrayAW: 3, DataW: 4, StackAW: 3})
+	n := q.Netlist()
+	for _, tc := range []struct {
+		name string
+		prop int
+		opt  Options
+	}{
+		{"bmc2-p1", q.P1Index, BMC2(8)},
+		// Proofs without PBA: the CE check moves to its own lazy solver
+		// while the termination queries keep the full eager set.
+		{"proofs-p2", q.P2Index, Options{MaxDepth: 14, UseEMM: true, Proofs: true}},
+	} {
+		tc.opt.ValidateWitness = true
+		assertLazyEquiv(t, "quicksort/"+tc.name, func(opt Options) *Result {
+			return Check(n, tc.prop, opt)
+		}, tc.opt)
+	}
+}
+
+func TestLazyEquivalenceImageFilter(t *testing.T) {
+	f := designs.NewImageFilter(designs.ImageFilterConfig{LineWidth: 4, AW: 4, DW: 4, NumProps: 8})
+	n := f.Netlist()
+	for _, prop := range []int{0, 3, 7} {
+		opt := BMC2(3*4 + 10)
+		opt.ValidateWitness = true
+		assertLazyEquiv(t, fmt.Sprintf("filter/p%d", prop), func(opt Options) *Result {
+			return Check(n, prop, opt)
+		}, opt)
+	}
+}
+
+func TestLazyEquivalenceLookup(t *testing.T) {
+	// Arbitrary-init memory under proofs: exercises the eq. 6 oracle
+	// grouping and the proof-side solver split together.
+	l := designs.NewLookup(designs.LookupConfig{AW: 3, DW: 4, NumProps: 4, Latency: 3})
+	n := l.Netlist()
+	opt := Options{MaxDepth: 12, UseEMM: true, Proofs: true}
+	assertLazyEquiv(t, "lookup/inv", func(opt Options) *Result {
+		return Check(n, l.InvariantIndex, opt)
+	}, opt)
+}
+
+func TestLazyEquivalenceGrowthShape(t *testing.T) {
+	// The §S2/§S7 shared-address shape at reduced widths: one write and two
+	// reads on a single address bus, arbitrary init, valid property — every
+	// depth is an UNSAT accepted straight from the relaxation.
+	m := rtl.NewModule("growth")
+	mem := m.Memory("mem", 4, 4, aig.MemArbitrary)
+	addr := m.Input("a", 4)
+	mem.Write(addr, m.Input("wd", 4), m.InputBit("we"))
+	re0, re1 := m.InputBit("re0"), m.InputBit("re1")
+	rd0, rd1 := mem.Read(addr, re0), mem.Read(addr, re1)
+	both := m.N.And(re0, re1)
+	m.AssertAlways("agree", m.N.And(both, m.Eq(rd0, rd1).Not()).Not())
+	opt := BMC2(10)
+	assertLazyEquiv(t, "growth", func(opt Options) *Result {
+		return Check(m.N, 0, opt)
+	}, opt)
+}
+
+func TestLazyWitnessMemInit(t *testing.T) {
+	// The lazily-found CE must still pin the arbitrary-init word it read:
+	// MemInit comes from the validated model via the semantic oracle, not
+	// from eager ReadEvents.
+	m := rtl.NewModule("winit")
+	mem := m.Memory("mem", 2, 3, aig.MemArbitrary)
+	rd := mem.Read(m.Const(2, 2), aig.True)
+	m.AssertAlways("ne5", m.EqConst(rd, 5).Not())
+	opt := Options{MaxDepth: 3, UseEMM: true, LazyEMM: true, ValidateWitness: true}
+	r := Check(m.N, 0, opt)
+	if r.Kind != KindCE {
+		t.Fatalf("expected CE, got %v", r)
+	}
+	if r.Stats.LazyRounds == 0 {
+		t.Fatalf("lazy engine reported no refinement rounds")
+	}
+	if got := r.Witness.MemInit[0][2]; got != 5 {
+		t.Fatalf("witness must pin mem[2]=5, got %d (map %v)", got, r.Witness.MemInit[0])
+	}
+	if err := r.Witness.Replay(m.N, 0); err != nil {
+		t.Fatalf("lazy witness does not replay: %v", err)
+	}
+}
+
+func TestLazyWitnessReplayThroughMapping(t *testing.T) {
+	// Decoy-salted source: the compile pipeline strips a free-running junk
+	// counter, so the lazily-found witness crosses pass.Mapping on its way
+	// back. It must replay and render on the ORIGINAL netlist.
+	m := rtl.NewModule("salted")
+	mem := m.Memory("mem", 3, 4, aig.MemZero)
+	wa := m.Input("wa", 3)
+	wd := m.Input("wd", 4)
+	mem.Write(wa, wd, aig.True)
+	ra := m.Input("ra", 3)
+	rd := mem.Read(ra, aig.True)
+	junk := m.Register("junk", 8, 0)
+	junk.SetNext(m.Inc(junk.Q))
+	m.Done(junk)
+	m.AssertAlways("ne9", m.EqConst(rd, 9).Not())
+
+	opt := Options{MaxDepth: 6, UseEMM: true, LazyEMM: true, ValidateWitness: true}
+	r := Check(m.N, 0, opt)
+	if r.Kind != KindCE {
+		t.Fatalf("expected CE, got %v", r)
+	}
+	if err := r.Witness.Replay(m.N, 0); err != nil {
+		t.Fatalf("witness does not replay on the source netlist: %v", err)
+	}
+	for f := 0; f <= r.Witness.Length; f++ {
+		if s := r.Witness.FormatFrame(m.N, f); !strings.Contains(s, "wa[") || !strings.Contains(s, "ra[") {
+			t.Fatalf("FormatFrame(%d) lost source input names: %q", f, s)
+		}
+	}
+}
+
+// randMemDesign builds a small random multi-port memory design: 1-2 write
+// ports and two reads wired from a mix of inputs, counter slices, and
+// constants, under one of three property shapes. Seeded, so every trial is
+// reproducible from its index.
+func randMemDesign(rng *rand.Rand) *rtl.Module {
+	const aw, dw = 2, 3
+	m := rtl.NewModule("fuzz")
+	init := aig.MemZero
+	if rng.Intn(2) == 1 {
+		init = aig.MemArbitrary
+	}
+	mem := m.Memory("mem", aw, dw, init)
+	cnt := m.Register("cnt", aw, 0)
+	cnt.SetNext(m.Inc(cnt.Q))
+	pick := func(name string, w int) rtl.Vec {
+		switch rng.Intn(3) {
+		case 0:
+			return m.Input(name, w)
+		case 1:
+			if w <= len(cnt.Q) {
+				return m.Truncate(cnt.Q, w)
+			}
+			return m.ZeroExtend(cnt.Q, w)
+		default:
+			return m.Const(w, uint64(rng.Intn(1<<w)))
+		}
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		we := aig.True
+		if rng.Intn(2) == 0 {
+			we = m.InputBit(fmt.Sprintf("we%d", i))
+		}
+		mem.Write(pick(fmt.Sprintf("wa%d", i), aw), pick(fmt.Sprintf("wd%d", i), dw), we)
+	}
+	re := m.InputBit("re")
+	ra0, ra1 := pick("ra0", aw), pick("ra1", aw)
+	rd0, rd1 := mem.Read(ra0, re), mem.Read(ra1, re)
+	m.Done(cnt)
+	switch rng.Intn(3) {
+	case 0:
+		m.AssertAlways("agree", m.N.Implies(m.N.And(re, m.Eq(ra0, ra1)), m.Eq(rd0, rd1)))
+	case 1:
+		m.AssertAlways("nonmax", m.N.Implies(re, m.EqConst(rd0, 1<<dw-1).Not()))
+	default:
+		m.AssertAlways("ne", m.N.Implies(re, m.Ne(rd0, rd1)))
+	}
+	return m
+}
+
+func TestLazyDifferentialFuzz(t *testing.T) {
+	// Differential oracle: on random multi-port designs, lazy EMM, eager
+	// EMM, and the explicit-expansion baseline must agree on the verdict at
+	// EVERY depth, not just the final one.
+	const trials, maxDepth = 12, 5
+	for seed := 0; seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		m := randMemDesign(rng)
+		exp, _, err := expmem.Expand(m.N)
+		if err != nil {
+			t.Fatalf("seed %d: expand: %v", seed, err)
+		}
+		for d := 0; d <= maxDepth; d++ {
+			eager := Check(m.N, 0, Options{MaxDepth: d, UseEMM: true})
+			lazy := Check(m.N, 0, Options{MaxDepth: d, UseEMM: true, LazyEMM: true})
+			expl := Check(exp, 0, Options{MaxDepth: d})
+			if eager.Kind != lazy.Kind || eager.Depth != lazy.Depth {
+				t.Fatalf("seed %d depth %d: eager %v vs lazy %v", seed, d, eager, lazy)
+			}
+			if eager.Kind != expl.Kind || eager.Depth != expl.Depth {
+				t.Fatalf("seed %d depth %d: EMM %v vs explicit %v", seed, d, eager, expl)
+			}
+			if lazy.Kind == KindCE {
+				if err := lazy.Witness.Replay(m.N, 0); err != nil {
+					t.Fatalf("seed %d depth %d: lazy witness replay: %v", seed, d, err)
+				}
+			}
+		}
+	}
+}

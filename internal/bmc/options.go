@@ -97,6 +97,14 @@ func (o Options) WithCube(on bool) Options {
 	return o
 }
 
+// WithLazy returns a copy of o with demand-driven EMM axiom instantiation
+// on the counter-example path switched on or off. Equivalent field:
+// Options.LazyEMM.
+func (o Options) WithLazy(on bool) Options {
+	o.LazyEMM = on
+	return o
+}
+
 // WithShareCap returns a copy of o whose per-worker clause ring holds n
 // entries (0 restores the default 4096). Equivalent field: Options.ShareCap.
 func (o Options) WithShareCap(n int) Options {

@@ -42,6 +42,12 @@ type Sizes struct {
 	// clauses and bumps no per-kind counter, so the other fields keep
 	// matching the paper's formulas for the comparators actually built.
 	CompMemoHits int
+	// Lazy-EMM refinement accounting (EnableLazy runs only; zero in eager
+	// mode). The clause/gate counters above keep tallying what is actually
+	// emitted, so Clauses() reports the reduced on-demand constraint set.
+	LazyReads     int // interface read events tracked by the lazy skeleton
+	LazyAxioms    int // forwarding levels (read × write pairs) instantiated on demand
+	LazyCompleted int // reads driven to their full chain + initial-state tail
 }
 
 // Clauses returns the paper's headline clause count (address comparison +
@@ -91,6 +97,11 @@ type Generator struct {
 	// equivalence tests only).
 	noCompMemo bool
 
+	// lazy switches AddUpTo to interface-only skeleton emission; the
+	// forwarding constraints are then instantiated on demand by the
+	// RefineLazy oracle (see lazy.go).
+	lazy bool
+
 	// compMemo maps a normalized pair of address literal vectors to the E
 	// literal of the comparator already encoded for it. The same physical
 	// address buses recur across depths and read ports (every eq. 6 pair
@@ -133,6 +144,15 @@ type Generator struct {
 type memGen struct {
 	m     *aig.Memory
 	reads []*readGen
+
+	// Lazy-mode state (EnableLazy): per-frame enabled write interface
+	// literals, the tracked read events, and the eq. 6 pairs already
+	// instantiated (keyed by read id). wpc is the (static) enabled
+	// write-port count, the stride of the level ↔ (frame, port) mapping.
+	lwrites   [][]lazyWrite
+	lazyReads []*lazyRead
+	pairSeen  map[[2]int]bool
+	wpc       int
 }
 
 // readGen caches, per processed depth k, the signals needed by later depths
@@ -233,6 +253,9 @@ func (g *Generator) DisableInitConsistency() {
 // without the exclusive valid-read chains (see noExclusivity).
 func (g *Generator) DisableExclusivity() {
 	g.mustBeFresh()
+	if g.lazy {
+		panic("core: lazy EMM requires the exclusivity-chain encoding")
+	}
 	g.noExclusivity = true
 }
 
@@ -297,9 +320,14 @@ func (g *Generator) Frames() int { return g.frames }
 func (g *Generator) AddUpTo(k int) {
 	for g.frames <= k {
 		sp := g.obs.Span("emm.generate",
-			obs.F("depth", g.frames), obs.F("arb_init", g.forceArb))
+			obs.F("depth", g.frames), obs.F("arb_init", g.forceArb),
+			obs.F("lazy", g.lazy))
 		before := g.sizes
-		g.addFrame(g.frames)
+		if g.lazy {
+			g.lazyAddFrame(g.frames)
+		} else {
+			g.addFrame(g.frames)
+		}
 		g.publishObs()
 		sp.End(
 			obs.F("clauses", g.sizes.Clauses()-before.Clauses()),

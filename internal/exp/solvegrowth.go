@@ -46,6 +46,10 @@ type GrowthSolveConfig struct {
 	Jobs  int
 	Cube  bool
 	Share bool
+	// Lazy switches the CE query to demand-driven read-over-write axiom
+	// instantiation (bmc.Options.LazyEMM). The §S7 A/B holds everything
+	// else fixed and toggles this.
+	Lazy bool
 }
 
 // DefaultGrowthSolve is the §S2 configuration: the shared-address shape at
@@ -83,6 +87,7 @@ func GrowthSolve(cfg GrowthSolveConfig) GrowthSolveResult {
 	opt.DisableEMMMemo = cfg.NoOpt
 	opt.CollectDepthStats = true
 	opt.Passes = cfg.Passes
+	opt.LazyEMM = cfg.Lazy
 	if cfg.Jobs > 1 {
 		opt = opt.WithJobs(cfg.Jobs).WithCube(cfg.Cube).WithShare(cfg.Share)
 	}

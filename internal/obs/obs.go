@@ -66,6 +66,12 @@ const (
 	MEMMInitClauses     = "emm.init_clauses"
 	MEMMMemoHits        = "emm.memo_hits"
 
+	// Lazy-EMM refinement (demand-driven axiom instantiation on the
+	// counter-example path, bmc.Options.LazyEMM).
+	MLazyRounds   = "lazy.rounds"   // model validations run by the oracle
+	MLazyAxioms   = "lazy.axioms"   // forwarding axioms instantiated on demand
+	MLazySpurious = "lazy.spurious" // SAT models rejected as semantically spurious
+
 	// Cooperative solving: clause-sharing bus and cube-and-conquer.
 	MShareExported = "share.exported" // clauses published to the bus
 	MShareImported = "share.imported" // clauses replayed into a peer solver

@@ -102,8 +102,8 @@ func (d *Duration) Set(s string) error {
 // Fields are split into two groups. The semantic fields (Engine, Depth,
 // Passes) select *what* is verified and participate in CanonicalKey /
 // FamilyKey, the verdict-cache keys. The performance fields (Timeout,
-// Jobs, Restart, NoSimplify, Share, Cube, Share*) only change how fast the
-// same verdict arrives — the repo's equivalence suites pin verdict parity
+// Jobs, Restart, NoSimplify, Share, Cube, Lazy, Share*) only change how
+// fast the same verdict arrives — the repo's equivalence suites pin verdict parity
 // across all of them — so two requests differing only there are cache-equal.
 type Spec struct {
 	// V is the schema version (0 reads as the current Version).
@@ -127,6 +127,8 @@ type Spec struct {
 	Share bool `json:"share,omitempty" flag:"share" usage:"share learnt clauses between fleet workers (multi-worker runs; off under PBA or environment constraints)"`
 	// Cube partitions single-property search over EMM address comparators.
 	Cube bool `json:"cube,omitempty" flag:"cube" usage:"cube-and-conquer: split the search over EMM address comparators across the fleet (needs jobs > 1)"`
+	// Lazy instantiates read-over-write axioms on demand on the CE path.
+	Lazy bool `json:"lazy,omitempty" flag:"lazy" usage:"demand-driven EMM: start the CE query with read data unconstrained and instantiate forwarding axioms only when a model violates memory semantics (ignored under pba/cube)"`
 	// ShareCap overrides the per-worker clause ring capacity (0 = default).
 	ShareCap int `json:"share_cap,omitempty" flag:"share-cap" usage:"clause-sharing ring capacity per worker (0 = default 4096)"`
 	// ShareLBD overrides the clause-export glue filter (0 = default).
@@ -252,6 +254,7 @@ func (s Spec) Options() (bmc.Options, error) {
 		NoSimplify: c.NoSimplify,
 		Share:      c.Share,
 		Cube:       c.Cube,
+		LazyEMM:    c.Lazy,
 		ShareCap:   c.ShareCap,
 		ShareLBD:   c.ShareLBD,
 		ShareSize:  c.ShareSize,
@@ -290,6 +293,7 @@ func FromOptions(o bmc.Options) Spec {
 		NoSimplify: o.NoSimplify,
 		Share:      o.Share,
 		Cube:       o.Cube,
+		Lazy:       o.LazyEMM,
 		ShareCap:   o.ShareCap,
 		ShareLBD:   o.ShareLBD,
 		ShareSize:  o.ShareSize,
@@ -319,9 +323,9 @@ func FromOptions(o bmc.Options) Spec {
 // FamilyKey over the same compiled netlist are the *same verification
 // problem at different depths*: a cached NO_CE at depth k answers any
 // request up to k outright and warm-starts deeper ones from k+1. The
-// performance fields (Timeout, Jobs, Restart, NoSimplify, Share/Cube and
-// the sharing tunables) are deliberately excluded: the engine equivalence
-// suites pin that they never change verdicts, only wall-clock.
+// performance fields (Timeout, Jobs, Restart, NoSimplify, Share/Cube/Lazy
+// and the sharing tunables) are deliberately excluded: the engine
+// equivalence suites pin that they never change verdicts, only wall-clock.
 func (s Spec) FamilyKey() string {
 	return hashKey(s.familyContent())
 }

@@ -142,6 +142,31 @@ func TestCanonicalKeyDistinguishesSemantics(t *testing.T) {
 	}
 }
 
+// Lazy is a performance field: it changes how the verdict is found, never
+// which verdict — so both cache keys must be byte-identical with it on and
+// off, and the knob must round-trip through bmc.Options.
+func TestLazyIsCacheTransparent(t *testing.T) {
+	base := Spec{Engine: EngineBMC2, Depth: 24}
+	lazy := base
+	lazy.Lazy = true
+	if base.FamilyKey() != lazy.FamilyKey() {
+		t.Error("family key must not depend on -lazy")
+	}
+	if base.CanonicalKey() != lazy.CanonicalKey() {
+		t.Error("canonical key must not depend on -lazy")
+	}
+	opt, err := lazy.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.LazyEMM {
+		t.Error("spec Lazy did not reach Options.LazyEMM")
+	}
+	if rt := FromOptions(opt); !rt.Lazy {
+		t.Error("Options.LazyEMM did not round-trip to spec Lazy")
+	}
+}
+
 func TestCanonicalNormalizesAliases(t *testing.T) {
 	a := Spec{Passes: "off"}.Canonical()
 	b := Spec{Passes: pass.SpecNone}.Canonical()
@@ -173,7 +198,7 @@ func TestRegisterFlagsDerivesFromSchema(t *testing.T) {
 	}
 	err := fs.Parse([]string{
 		"-engine", "bmc2", "-depth", "17", "-timeout", "90s",
-		"-restart", "luby", "-no-simplify", "-share", "-cube",
+		"-restart", "luby", "-no-simplify", "-share", "-cube", "-lazy",
 		"-share-cap", "99", "-share-lbd", "3", "-share-size", "9",
 		"-jobs", "2", "-passes", "coi,dedup",
 	})
@@ -183,7 +208,7 @@ func TestRegisterFlagsDerivesFromSchema(t *testing.T) {
 	want := Spec{
 		V: Version, Engine: "bmc2", Depth: 17, Timeout: Duration(90 * time.Second),
 		Jobs: 2, Passes: "coi,dedup", Restart: "luby", NoSimplify: true,
-		Share: true, Cube: true, ShareCap: 99, ShareLBD: 3, ShareSize: 9,
+		Share: true, Cube: true, Lazy: true, ShareCap: 99, ShareLBD: 3, ShareSize: 9,
 	}
 	if s != want {
 		t.Errorf("parsed spec %+v, want %+v", s, want)
