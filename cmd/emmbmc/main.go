@@ -6,12 +6,14 @@
 //	emmbmc -design lookup -prop inv -engine bmc3
 //	emmbmc -design filter -prop 42 -engine bmc2
 //	emmbmc -design quicksort -prop p2 -engine pba
+//	emmbmc -design growth -prop 0 -engine kind
 //	emmbmc -design lookup -prop 1 -engine bdd -explicit
 //
 // Engines: bmc1 (plain + proofs), bmc2 (EMM falsification), bmc3 (EMM +
-// proofs + PBA), pba (two-phase prove-with-abstraction), bdd (BDD-based
-// reachability; requires -explicit). -explicit first expands every memory
-// into latches (the paper's Explicit Modeling baseline).
+// proofs + PBA), kind (k-induction with write-free-init retention), pba
+// (two-phase prove-with-abstraction), bdd (BDD-based reachability;
+// requires -explicit). -explicit first expands every memory into latches
+// (the paper's Explicit Modeling baseline).
 package main
 
 import (
@@ -103,8 +105,9 @@ func main() {
 	}
 	opt.CollectDepthStats = *stats
 	// With more than one job the engine races forward/backward termination
-	// on separate goroutines at each depth (only meaningful with proofs).
-	opt.Portfolio = opt.Portfolio || opt.Jobs != 1
+	// on separate goroutines at each depth (only meaningful with proofs;
+	// k-induction fixes its own check order, so the race never applies).
+	opt.Portfolio = opt.Portfolio || (opt.Jobs != 1 && !opt.KInduction)
 	if *verbose {
 		opt.Log = os.Stderr
 	}

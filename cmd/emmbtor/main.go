@@ -50,7 +50,7 @@ func main() {
 	}
 
 	if engFlags.Request().Canonical().Engine == spec.EnginePBA {
-		fmt.Fprintln(os.Stderr, "emmbtor engines are bmc1, bmc2, bmc3, and portfolio")
+		fmt.Fprintln(os.Stderr, "emmbtor engines are bmc1, bmc2, bmc3, portfolio, and kind")
 		os.Exit(2)
 	}
 	opt, err := engFlags.Options()

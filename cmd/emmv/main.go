@@ -7,6 +7,7 @@
 //	emmv -top quicksort -param N=4 design.v      # parameter override
 //	emmv -engine bmc2 -depth 50 design.v         # falsification only
 //	emmv -engine pba design.v                    # prove with abstraction
+//	emmv -engine kind design.v                   # unbounded proof by k-induction
 //	emmv -explicit design.v                      # Explicit Modeling baseline
 //	emmv -vcd bug.vcd design.v                   # dump counter-examples
 //	emmv -remote unix:/tmp/emmserved.sock d.v    # solve on an emmserved server
@@ -174,9 +175,8 @@ func main() {
 		if len(n.Props) != 1 {
 			fatal(fmt.Errorf("distributed mode verifies one property per fleet; %s asserts %d", topName, len(n.Props)))
 		}
-		if engine == "pba" {
-			fatal(fmt.Errorf("distributed mode excludes -engine pba"))
-		}
+		// Engine × dist eligibility is the capability resolver's call
+		// (RunDist checks it); no per-engine special cases here.
 		r, err := engFlags.RunDist(n, 0, opt)
 		if err != nil {
 			fatal(err)

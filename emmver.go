@@ -180,6 +180,12 @@ func BMC2(maxDepth int) Options { return bmc.BMC2(maxDepth) }
 // BMC3 configures EMM with proofs and proof-based abstraction (Fig. 3).
 func BMC3(maxDepth int) Options { return bmc.BMC3(maxDepth) }
 
+// KInd configures k-induction over EMM: base case, recurrence-diameter
+// check, and an induction step strengthened by write-free-init retention —
+// the unbounded-proof engine for properties plain induction loses to an
+// adversarial initial memory state.
+func KInd(maxDepth int) Options { return bmc.KInd(maxDepth) }
+
 // Verify model-checks one safety property of a design.
 func Verify(n *Netlist, prop int, opt Options) *Result {
 	return VerifyCtx(context.Background(), n, prop, opt)

@@ -1,5 +1,5 @@
-// Package bmc implements the paper's three SAT-based bounded model
-// checking algorithms over aig netlists:
+// Package bmc implements the paper's SAT-based model checking algorithms
+// over aig netlists:
 //
 //   - BMC-1 (Fig. 1): plain BMC with forward/backward termination checks
 //     (SAT-based induction proofs) and optional proof-based abstraction.
@@ -8,17 +8,25 @@
 //   - BMC-2 (Fig. 2): BMC with EMM constraints, falsification only.
 //   - BMC-3 (Fig. 3): BMC with EMM constraints, termination proofs (using
 //     the precise arbitrary-initial-state modeling of §4.2) and PBA.
+//   - k-induction ("kind"): BMC-3's checks reordered into temporal
+//     induction, with the induction step strengthened by write-free-init
+//     retention — the first engine able to prove properties whose
+//     invariant depends on declared memory contents (engine_kind.go).
 //
-// All three share one engine parameterized by Options; constructors with
-// the paper's names pick the right combination.
+// The engine is layered (one struct, three responsibilities in three
+// files): the Model (model.go) owns the unrolled time frames, EMM
+// constraints, and witness extraction; the Session (session.go) owns the
+// incremental solvers' lifecycles — construction, interrupts,
+// inprocessing, statistics; the Strategy (strategy.go) is the per-depth
+// decision procedure. All engines share the Model and Session and differ
+// only in their Strategy plus Options-selected Model strengthenings;
+// constructors with the paper's names pick the right combination.
 package bmc
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -28,7 +36,6 @@ import (
 	"emmver/internal/par"
 	"emmver/internal/pba"
 	"emmver/internal/sat"
-	"emmver/internal/sim"
 	"emmver/internal/unroll"
 )
 
@@ -184,6 +191,18 @@ type Options struct {
 	// distributed paths (both split the search over the deterministic
 	// eager comparator creation order). Equivalent builder: WithLazy.
 	LazyEMM bool
+	// KInduction selects the k-induction strategy (temporal induction,
+	// spec engine "kind"): at each depth k the base case (the plain
+	// counter-example check) runs first, then the forward recurrence-
+	// diameter check, then the induction step — the backward termination
+	// check with its simple-path constraint, strengthened by retaining
+	// declared initial contents for write-port-free memories
+	// (core.Generator.RetainWriteFreeInit; sound because a memory nothing
+	// ever writes keeps its declared contents in every reachable state).
+	// The strengthening is what lets kind close proofs that BMC-3's
+	// arbitrary-initial-state induction cannot reach at any bounded depth.
+	// Requires Proofs and UseEMM; spec.Options sets all three.
+	KInduction bool
 	// StartDepth warm-starts the BMC loop: the unrolling and EMM
 	// constraints are still built from frame 0 (they are cumulative), but
 	// the per-depth solver checks — forward/backward termination and the
@@ -368,6 +387,13 @@ func BMC3(maxDepth int) Options {
 	return Options{MaxDepth: maxDepth, UseEMM: true, Proofs: true, PBA: true, StabilityDepth: 10}
 }
 
+// KInd returns options for the EMM k-induction engine: BMC-3's checks
+// reordered into temporal induction (base case first), with the induction
+// step strengthened by write-free-init retention. See Options.KInduction.
+func KInd(maxDepth int) Options {
+	return Options{MaxDepth: maxDepth, UseEMM: true, Proofs: true, KInduction: true}
+}
+
 type engine struct {
 	n    *aig.Netlist
 	opt  Options
@@ -430,14 +456,6 @@ type engine struct {
 	obsLazyAxPub    int
 }
 
-// depthMark snapshots the cumulative counters at the end of a depth, so the
-// next depth's DepthStat can be computed as a delta.
-type depthMark struct {
-	clauses, vars, emmClauses, strashHits, memoHits, solves int
-	props, confl, decs                                      int64
-	at                                                      time.Time
-}
-
 func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engine {
 	e := &engine{n: n, opt: opt, prop: prop, ctx: ctx, start: time.Now(), fwdSatDepth: -1}
 	if opt.Timeout > 0 {
@@ -453,154 +471,14 @@ func newEngine(ctx context.Context, n *aig.Netlist, prop int, opt Options) *engi
 		e.obsLazyAxioms = reg.Counter(obs.MLazyAxioms)
 		e.obsLazySpurious = reg.Counter(obs.MLazySpurious)
 	}
-	e.fs = sat.New()
-	e.fs.Restart = opt.Restart
-	e.fs.ShareLBD, e.fs.ShareMaxLits = opt.ShareLBD, opt.ShareSize
-	if opt.PBA {
-		e.fs.EnableProofTracing()
-		e.tracker = pba.NewTracker()
-	}
-	// Cross-tag sharing (strash, comparator memoization) reuses clauses
-	// emitted under the first requester's tag. That is sound for verdicts,
-	// but PBA harvests clause tags from UNSAT cores to decide relevance —
-	// a shared clause would implicate only its first creator, so the
-	// abstraction could silently drop latches or EMM events the proof
-	// needs. Like init folding, both caches are therefore off while cores
-	// are being tracked (phase 2 of the PBA flow runs without opt.PBA and
-	// keeps full sharing).
-	e.fs.AttachObs(opt.Obs)
-	e.fu = unroll.New(n, e.fs, unroll.Initialized)
-	e.fu.NoStrash = opt.DisableStrash || opt.PBA
-	e.fu.FoldInits = !opt.PBA
-	e.fu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
-	e.fu.AttachObs(opt.Obs)
-	e.applyAbstraction(e.fu)
-	e.installInterrupt(e.fs)
-	if opt.UseEMM && len(n.Memories) > 0 {
-		e.fg = core.NewGenerator(e.fu, false)
-		e.fg.AttachObs(opt.Obs)
-		if opt.DisableEMMMemo || opt.PBA {
-			e.fg.DisableComparatorMemo()
-		}
-		if opt.DisableEq6 {
-			e.fg.DisableInitConsistency()
-		}
-		if opt.DisableExclusivity {
-			e.fg.DisableExclusivity()
-		}
-		e.applyMemAbstraction(e.fg)
-	}
+	// Model construction (model.go): each window is an unrolling plus its
+	// EMM generator over a fresh session solver (session.go).
+	e.buildForwardWindow()
 	if opt.Proofs {
-		e.bs = sat.New()
-		e.bs.Restart = opt.Restart
-		e.bs.ShareLBD, e.bs.ShareMaxLits = opt.ShareLBD, opt.ShareSize
-		e.bs.AttachObs(opt.Obs)
-		e.bu = unroll.New(n, e.bs, unroll.Free)
-		e.bu.NoStrash = opt.DisableStrash || opt.PBA
-		e.bu.MemAwareLFP = len(n.Memories) > 0 && !opt.PureLatchLFP
-		e.bu.AttachObs(opt.Obs)
-		e.applyAbstraction(e.bu)
-		e.installInterrupt(e.bs)
-		if opt.UseEMM && len(n.Memories) > 0 {
-			// The backward window starts in an arbitrary state, so every
-			// memory must be treated as arbitrary-initialized (§4.2).
-			e.bg = core.NewGenerator(e.bu, true)
-			e.bg.AttachObs(opt.Obs)
-			if opt.DisableEMMMemo || opt.PBA {
-				e.bg.DisableComparatorMemo()
-			}
-			if opt.DisableEq6 {
-				e.bg.DisableInitConsistency()
-			}
-			if opt.DisableExclusivity {
-				e.bg.DisableExclusivity()
-			}
-			e.applyMemAbstraction(e.bg)
-		}
+		e.buildBackwardWindow()
 	}
-	// The counter-example path: fs/fu/fg unless lazy EMM splits it off.
-	e.cs, e.cu, e.cg = e.fs, e.fu, e.fg
-	if opt.LazyEMM && e.fg != nil && !opt.PBA && !opt.DisableExclusivity {
-		e.lazy = true
-		if opt.Proofs {
-			// Forward termination (SAT(I ∧ LFP ∧ C) — UNSAT proves) is only
-			// sound against the full constraint set: a lazily weakened
-			// formula could go UNSAT and claim a bogus proof. The CE checks
-			// therefore move to their own lazily-constrained solver and
-			// fs/bs keep the exact encoding for the termination queries.
-			e.cs = sat.New()
-			e.cs.Restart = opt.Restart
-			e.cs.ShareLBD, e.cs.ShareMaxLits = opt.ShareLBD, opt.ShareSize
-			e.cs.AttachObs(opt.Obs)
-			e.cu = unroll.New(n, e.cs, unroll.Initialized)
-			e.cu.NoStrash = opt.DisableStrash
-			e.cu.FoldInits = true
-			e.cu.MemAwareLFP = e.fu.MemAwareLFP
-			e.cu.AttachObs(opt.Obs)
-			e.applyAbstraction(e.cu)
-			e.installInterrupt(e.cs)
-			e.cg = core.NewGenerator(e.cu, false)
-			e.cg.AttachObs(opt.Obs)
-			if opt.DisableEMMMemo {
-				e.cg.DisableComparatorMemo()
-			}
-			if opt.DisableEq6 {
-				e.cg.DisableInitConsistency()
-			}
-			e.applyMemAbstraction(e.cg)
-		}
-		e.cg.EnableLazy()
-	}
+	e.buildCEWindow()
 	return e
-}
-
-func (e *engine) applyAbstraction(u *unroll.Unroller) {
-	if e.opt.Abs == nil {
-		return
-	}
-	for id := range e.opt.Abs.FreeLatches {
-		u.Abstracted[id] = true
-	}
-}
-
-func (e *engine) applyMemAbstraction(g *core.Generator) {
-	if e.opt.Abs == nil {
-		return
-	}
-	for mi := range e.opt.Abs.MemEnabled {
-		g.SetMemoryEnabled(mi, e.opt.Abs.MemEnabled[mi])
-		for r, on := range e.opt.Abs.ReadEnabled[mi] {
-			g.SetReadPortEnabled(mi, r, on)
-		}
-		for w, on := range e.opt.Abs.WriteEnabled[mi] {
-			g.SetWritePortEnabled(mi, w, on)
-		}
-	}
-}
-
-// installInterrupt points s's interrupt hook at the engine-level budget:
-// the wall-clock deadline and the run context.
-func (e *engine) installInterrupt(s *sat.Solver) {
-	if e.deadline.IsZero() && e.ctx.Done() == nil {
-		s.Interrupt = nil
-		return
-	}
-	s.Interrupt = e.timedOut
-}
-
-// armSolver retargets s's interrupt hook at a portfolio-lane context for
-// the duration of one lane, returning the restore function.
-func (e *engine) armSolver(s *sat.Solver, ctx context.Context) func() {
-	s.Interrupt = func() bool { return ctx.Err() != nil || e.deadlinePassed() }
-	return func() { e.installInterrupt(s) }
-}
-
-func (e *engine) deadlinePassed() bool {
-	return !e.deadline.IsZero() && time.Now().After(e.deadline)
-}
-
-func (e *engine) timedOut() bool {
-	return e.ctx.Err() != nil || e.deadlinePassed()
 }
 
 func (e *engine) logf(format string, args ...interface{}) {
@@ -609,160 +487,12 @@ func (e *engine) logf(format string, args ...interface{}) {
 	}
 }
 
-// snapshotStats materializes the engine's cumulative statistics.
-func (e *engine) snapshotStats() Stats {
-	s := e.stats
-	s.SolveCalls = int(e.solveCalls.Load())
-	s.Elapsed = time.Since(e.start)
-	s.Clauses = e.fs.NumClauses()
-	s.Vars = e.fs.NumVars()
-	fst := e.fs.Stats()
-	s.Conflicts = fst.Conflicts
-	s.Restarts = fst.Restarts
-	s.RestartsLuby = fst.RestartsLuby
-	s.RestartsEMA = fst.RestartsEMA
-	s.Simplifies = fst.Simplifies
-	s.SubsumedClauses = fst.SubsumedClauses
-	s.StrengthenedClauses = fst.StrengthenedClauses
-	s.EliminatedVars = fst.EliminatedVars
-	for _, o := range []*sat.Solver{e.bs, e.lazySolver()} {
-		if o == nil {
-			continue
-		}
-		s.Clauses += o.NumClauses()
-		s.Vars += o.NumVars()
-		ost := o.Stats()
-		s.Conflicts += ost.Conflicts
-		s.Restarts += ost.Restarts
-		s.RestartsLuby += ost.RestartsLuby
-		s.RestartsEMA += ost.RestartsEMA
-		s.Simplifies += ost.Simplifies
-		s.SubsumedClauses += ost.SubsumedClauses
-		s.StrengthenedClauses += ost.StrengthenedClauses
-		s.EliminatedVars += ost.EliminatedVars
-	}
-	// Under LazyEMM the EMM tally reports the CE path's generator (cg ==
-	// fg unless the proof split is active): that is the constraint set the
-	// lazy mode reduces, and the figure the A/B harness compares against
-	// an eager run.
-	if e.cg != nil {
-		s.EMM = e.cg.Sizes()
-	}
-	s.LazyRounds = e.lazyRounds
-	s.LazySpurious = e.lazySpurious
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	s.PeakHeapMB = float64(ms.HeapAlloc) / (1 << 20)
-	return s
-}
-
 func (e *engine) finish(r *Result) *Result {
 	r.Prop = e.prop
 	r.Stats = e.snapshotStats()
 	r.Tracker = e.tracker
 	r.DepthStats = e.depthStats
 	return r
-}
-
-// depthCumulative reads the counters DepthStat deltas are computed from.
-func (e *engine) depthCumulative() depthMark {
-	m := depthMark{at: time.Now()}
-	m.clauses = e.fs.NumClauses()
-	m.vars = e.fs.NumVars()
-	m.strashHits = e.fu.StrashHits
-	fst := e.fs.Stats()
-	m.props, m.confl, m.decs = fst.Propagations, fst.Conflicts, fst.Decisions
-	if e.bs != nil {
-		m.clauses += e.bs.NumClauses()
-		m.vars += e.bs.NumVars()
-		m.strashHits += e.bu.StrashHits
-		bst := e.bs.Stats()
-		m.props += bst.Propagations
-		m.confl += bst.Conflicts
-		m.decs += bst.Decisions
-	}
-	gens := []*core.Generator{e.fg, e.bg}
-	if e.cg != e.fg {
-		gens = append(gens, e.cg)
-	}
-	for _, g := range gens {
-		if g != nil {
-			sz := g.Sizes()
-			m.emmClauses += sz.Clauses() + sz.InitClauses
-			m.memoHits += sz.CompMemoHits
-		}
-	}
-	if e.cs != e.fs {
-		m.clauses += e.cs.NumClauses()
-		m.vars += e.cs.NumVars()
-		m.strashHits += e.cu.StrashHits
-		cst := e.cs.Stats()
-		m.props += cst.Propagations
-		m.confl += cst.Conflicts
-		m.decs += cst.Decisions
-	}
-	m.solves = int(e.solveCalls.Load())
-	return m
-}
-
-// collectDepthStat appends the delta since the previous depth.
-func (e *engine) collectDepthStat(i int) {
-	cur := e.depthCumulative()
-	prev := e.mark
-	if prev.at.IsZero() {
-		prev.at = e.start
-	}
-	e.depthStats = append(e.depthStats, DepthStat{
-		Depth:        i,
-		Clauses:      cur.clauses - prev.clauses,
-		Vars:         cur.vars - prev.vars,
-		EMMClauses:   cur.emmClauses - prev.emmClauses,
-		StrashHits:   cur.strashHits - prev.strashHits,
-		CompMemoHits: cur.memoHits - prev.memoHits,
-		Propagations: cur.props - prev.props,
-		Conflicts:    cur.confl - prev.confl,
-		Decisions:    cur.decs - prev.decs,
-		Solves:       cur.solves - prev.solves,
-		Elapsed:      cur.at.Sub(prev.at),
-	})
-	e.mark = cur
-}
-
-// publishObs flushes the per-depth observability deltas (the unrollers
-// publish at depth boundaries; the solvers publish per Solve call and the
-// EMM generators per frame on their own) and raises the depth high-water
-// gauge. No-op without an attached registry.
-func (e *engine) publishObs(i int) {
-	e.fu.PublishObs()
-	if e.bu != nil {
-		e.bu.PublishObs()
-	}
-	if e.cu != e.fu {
-		e.cu.PublishObs()
-	}
-	e.obsDepth.Max(int64(i))
-}
-
-// lazySolver returns the dedicated CE-path solver when the lazy proof
-// split is active, nil otherwise (cs then aliases fs).
-func (e *engine) lazySolver() *sat.Solver {
-	if e.cs != e.fs {
-		return e.cs
-	}
-	return nil
-}
-
-// emmClausesCum is the cumulative EMM clause count of the counter-example
-// window (Sizes().Clauses() + InitClauses; cg aliases the forward
-// generator unless the lazy proof split is active), the figure per-depth
-// trace events report so a journal can be reconciled against
-// Result.Stats.EMM.
-func (e *engine) emmClausesCum() int {
-	if e.cg == nil {
-		return 0
-	}
-	sz := e.cg.Sizes()
-	return sz.Clauses() + sz.InitClauses
 }
 
 // obsResolved counts a decisive per-property verdict (anything but a
@@ -786,30 +516,6 @@ func (e *engine) obsPBAUpdate(i int) {
 		obs.F("core", len(core)),
 		obs.F("lr", e.tracker.Size()),
 		obs.F("stable", e.tracker.StableFor(i)))
-}
-
-// prepareDepth extends both unrollings and EMM constraints to depth i.
-func (e *engine) prepareDepth(i int) {
-	if e.fg != nil {
-		e.fg.AddUpTo(i)
-	}
-	e.fu.AssertConstraints(i)
-	if e.cu != e.fu {
-		e.cg.AddUpTo(i)
-		e.cu.AssertConstraints(i)
-	}
-	if e.bu != nil {
-		if e.bg != nil {
-			e.bg.AddUpTo(i)
-		}
-		e.bu.AssertConstraints(i)
-	}
-}
-
-// solve wraps a SAT call with accounting.
-func (e *engine) solve(s *sat.Solver, assumps ...sat.Lit) sat.Status {
-	e.solveCalls.Add(1)
-	return s.Solve(assumps...)
 }
 
 // forwardCheck runs the property-independent forward termination check at
@@ -904,18 +610,20 @@ func CheckCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Resul
 // it is given (already compiled by the caller).
 func checkCompiled(ctx context.Context, n *aig.Netlist, prop int, opt Options) *Result {
 	e := newEngine(ctx, n, prop, opt)
+	strat := e.strategyFor()
 	for i := 0; i <= opt.MaxDepth; i++ {
 		if e.timedOut() {
 			return e.finish(&Result{Kind: KindTimeout, Depth: max(i-1, 0)})
 		}
-		sp := e.obs.Span("bmc.depth", obs.F("depth", i), obs.F("prop", prop))
+		sp := e.obs.Span("bmc.depth", obs.F("depth", i), obs.F("prop", prop),
+			obs.F("strategy", strat.Name()))
 		e.prepareDepth(i)
 		var r *Result
 		if i >= opt.StartDepth {
 			// Below the warm-start frontier only the (cumulative) unrolling
 			// and EMM constraints are built; the depth's checks are already
 			// answered by the caller's cached shallower verdict.
-			r = e.depthStep(i)
+			r, _ = strat.Step(ctx, i)
 		}
 		e.publishObs(i)
 		if opt.CollectDepthStats {
@@ -932,239 +640,4 @@ func checkCompiled(ctx context.Context, n *aig.Netlist, prop int, opt Options) *
 	}
 	e.obsResolved(KindNoCE)
 	return e.finish(&Result{Kind: KindNoCE, Depth: opt.MaxDepth})
-}
-
-// simplifyMinConflicts gates between-depth inprocessing on search effort: a
-// pass only runs once the solvers have logged this many new conflicts since
-// the previous pass, plus one conflict per simplifyClausesPerConfl clauses
-// (a pass rebuilds the occurrence lists, so its cost grows with the
-// formula while its payoff grows with the search). Vars rather than consts
-// so the equivalence tests can force every pass on designs too small to
-// clear the bar.
-var (
-	simplifyMinConflicts    int64 = 500
-	simplifyClausesPerConfl       = int64(50)
-)
-
-// simplifyStep runs the between-depth inprocessing pass on both solvers
-// after depth i failed to decide the property. The frame frontier, EMM
-// interface signals, and every strash/memo-cached literal are frozen by the
-// unroller and generator, so elimination only consumes depth-local
-// auxiliaries that no later depth can mention. Skipped under NoSimplify and
-// under PBA (clause rewriting would invalidate the proof log); the solver's
-// ErrTracingActive guard backstops the latter. Also skipped until the
-// solvers have accumulated simplifyMinConflicts of new search effort since
-// the last pass: on easy per-depth instances the occurrence-list rebuild
-// costs more than the search it would save.
-func (e *engine) simplifyStep(i int) {
-	if e.opt.NoSimplify || e.opt.PBA {
-		return
-	}
-	confl := e.fs.Stats().Conflicts
-	clauses := int64(e.fs.NumClauses())
-	for _, o := range []*sat.Solver{e.bs, e.lazySolver()} {
-		if o != nil {
-			confl += o.Stats().Conflicts
-			clauses += int64(o.NumClauses())
-		}
-	}
-	need := simplifyMinConflicts
-	if simplifyClausesPerConfl > 0 {
-		need += clauses / simplifyClausesPerConfl
-	}
-	if confl-e.lastSimpConfl < need {
-		return
-	}
-	e.lastSimpConfl = confl
-	sp := e.obs.Span("bmc.simplify", obs.F("depth", i), obs.F("prop", e.prop))
-	for _, s := range []*sat.Solver{e.fs, e.bs, e.lazySolver()} {
-		if s == nil {
-			continue
-		}
-		if err := s.Simplify(); err != nil && !errors.Is(err, sat.ErrTracingActive) {
-			panic(fmt.Sprintf("bmc: inprocessing failed: %v", err))
-		}
-	}
-	st := e.fs.Stats()
-	sub, str, elim := st.SubsumedClauses, st.StrengthenedClauses, st.EliminatedVars
-	for _, o := range []*sat.Solver{e.bs, e.lazySolver()} {
-		if o != nil {
-			ost := o.Stats()
-			sub += ost.SubsumedClauses
-			str += ost.StrengthenedClauses
-			elim += ost.EliminatedVars
-		}
-	}
-	sp.End(obs.F("subsumed", sub), obs.F("strengthened", str),
-		obs.F("eliminated_vars", elim))
-}
-
-// depthStep runs the depth-i checks in the paper's order — forward
-// termination, backward termination, counter-example — and returns a
-// decisive Result, or nil to continue with the next depth. With
-// Options.Portfolio the termination lanes race instead (portfolio.go).
-func (e *engine) depthStep(i int) *Result {
-	if e.opt.Proofs && e.opt.Portfolio {
-		return e.depthStepPortfolio(i)
-	}
-	prop := e.prop
-	if e.opt.Proofs {
-		switch e.forwardCheck(i) {
-		case sat.Unsat:
-			e.logf("depth %d: forward termination", i)
-			return &Result{Kind: KindProof, Depth: i, ProofSide: "forward"}
-		case sat.Unknown:
-			return &Result{Kind: KindTimeout, Depth: i}
-		}
-		switch e.backwardCheck(prop, i) {
-		case sat.Unsat:
-			e.logf("depth %d: backward termination", i)
-			return &Result{Kind: KindProof, Depth: i, ProofSide: "backward"}
-		case sat.Unknown:
-			return &Result{Kind: KindTimeout, Depth: i}
-		}
-	}
-	switch e.ceCheck(prop, i) {
-	case sat.Sat:
-		w := e.extractWitness(i)
-		e.logf("depth %d: counter-example", i)
-		e.validateWitness(w, prop)
-		return &Result{Kind: KindCE, Depth: i, Witness: w}
-	case sat.Unknown:
-		return &Result{Kind: KindTimeout, Depth: i}
-	}
-	if e.opt.PBA {
-		e.obsPBAUpdate(i)
-		e.logf("depth %d: no CE, |LR|=%d (stable %d)", i, e.tracker.Size(), e.tracker.StableFor(i))
-		if e.opt.StopAtStable && e.tracker.StableFor(i) >= e.opt.StabilityDepth {
-			return &Result{Kind: KindStable, Depth: i}
-		}
-	} else {
-		e.logf("depth %d: no CE", i)
-	}
-	return nil
-}
-
-// extractWitness decodes the satisfying model (on the counter-example
-// path's solver) into a replayable trace.
-func (e *engine) extractWitness(depth int) *Witness {
-	w := &Witness{Length: depth}
-	for f := 0; f <= depth; f++ {
-		in := make(map[aig.NodeID]bool)
-		for _, id := range e.n.Inputs {
-			if e.cu.Built(id, f) {
-				in[id] = e.cu.ModelBit(aig.MkLit(id, false), f)
-			}
-		}
-		w.Inputs = append(w.Inputs, in)
-	}
-	w.InitLatches = make(map[aig.NodeID]bool)
-	for _, l := range e.n.Latches {
-		if l.Init == aig.InitX && e.cu.Built(l.Node, 0) {
-			w.InitLatches[l.Node] = e.cu.ModelBit(aig.MkLit(l.Node, false), 0)
-		}
-	}
-	// Arbitrary-init memory contents: every enabled read that hit no
-	// in-window write pins the initial word at its address.
-	if e.cg != nil && e.cg.Lazy() {
-		// The lazy generator has no per-frame N literals for pending
-		// reads; the oracle re-derives "hit no in-window write" from the
-		// just-validated model's interface trace instead.
-		w.MemInit = e.cg.LazyMemInit(depth)
-	} else if e.cg != nil {
-		for mi, m := range e.n.Memories {
-			words := make(map[int]uint64)
-			for r := range m.Reads {
-				for _, ev := range e.cg.ReadEvents(mi, r) {
-					// A reused engine may have frames beyond this CE's depth
-					// built; their read events are unconstrained here.
-					if ev.Frame > depth {
-						continue
-					}
-					if e.cs.LitValue(ev.Re) != sat.True || e.cs.LitValue(ev.N) != sat.True {
-						continue
-					}
-					addr := decodeVec(e.cs, ev.Addr)
-					words[int(addr)] = decodeVec(e.cs, ev.RD)
-				}
-			}
-			w.MemInit = append(w.MemInit, words)
-		}
-	} else {
-		for range e.n.Memories {
-			w.MemInit = append(w.MemInit, map[int]uint64{})
-		}
-	}
-	return w
-}
-
-func decodeVec(s *sat.Solver, lits []sat.Lit) uint64 {
-	var out uint64
-	for i, l := range lits {
-		if s.LitValue(l) == sat.True {
-			out |= 1 << uint(i)
-		}
-	}
-	return out
-}
-
-// Witness is a counter-example trace: per-frame input values plus the
-// initial values of unconstrained latches and arbitrary-init memory words
-// the trace depends on.
-type Witness struct {
-	Length      int // the property is violated at this frame
-	Inputs      []map[aig.NodeID]bool
-	InitLatches map[aig.NodeID]bool
-	MemInit     []map[int]uint64 // per memory: address -> initial word
-}
-
-// FormatFrame renders one frame's input assignment using the design's
-// declared input names, for human-readable counter-example dumps.
-func (w *Witness) FormatFrame(n *aig.Netlist, f int) string {
-	if f < 0 || f >= len(w.Inputs) {
-		return ""
-	}
-	out := ""
-	for _, id := range n.Inputs {
-		name := n.InputName(id)
-		if name == "" {
-			name = fmt.Sprintf("i%d", id)
-		}
-		v := 0
-		if w.Inputs[f][id] {
-			v = 1
-		}
-		if out != "" {
-			out += " "
-		}
-		out += fmt.Sprintf("%s=%d", name, v)
-	}
-	return out
-}
-
-// Replay simulates the witness on the concrete design (real memory
-// arrays) and returns an error unless the property fails at frame Length
-// with all environment constraints satisfied along the trace.
-func (w *Witness) Replay(n *aig.Netlist, prop int) error {
-	s := sim.New(n)
-	for id, v := range w.InitLatches {
-		s.SetLatch(id, v)
-	}
-	for mi, words := range w.MemInit {
-		for addr, word := range words {
-			s.SetMemWord(mi, addr, word)
-		}
-	}
-	for f := 0; f <= w.Length; f++ {
-		res := s.Step(w.Inputs[f])
-		if !res.ConstraintsOK {
-			return fmt.Errorf("constraints violated at frame %d", f)
-		}
-		if f == w.Length {
-			if res.PropOK[prop] {
-				return fmt.Errorf("property %d holds at frame %d; witness is spurious", prop, f)
-			}
-		}
-	}
-	return nil
 }

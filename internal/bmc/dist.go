@@ -34,6 +34,9 @@ func DistEligible(n *aig.Netlist, opt Options) error {
 	if opt.PBA {
 		return fmt.Errorf("bmc: distributed solving excludes PBA (imported clauses have no proof derivation)")
 	}
+	if opt.LazyEMM {
+		return fmt.Errorf("bmc: distributed solving excludes demand-driven EMM instantiation (cube leases and the broker's intern table assume the eager comparator order); drop -lazy")
+	}
 	if len(n.Constraints) > 0 {
 		return fmt.Errorf("bmc: distributed solving excludes designs with environment constraints")
 	}
@@ -65,10 +68,6 @@ func CheckDistCtx(ctx context.Context, n *aig.Netlist, prop int, opt Options, cl
 
 // checkDist is the distributed engine loop on the compiled netlist.
 func checkDist(ctx context.Context, n *aig.Netlist, prop int, opt Options, cl *sharenet.Client) (*Result, error) {
-	// Like the in-process cube path: the fleet's cube leases and the
-	// broker's comparator intern table assume the deterministic eager
-	// constraint order, so the lazy knob is dropped for distributed runs.
-	opt.LazyEMM = false
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	if opt.Timeout > 0 {

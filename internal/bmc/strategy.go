@@ -1,0 +1,100 @@
+// The Strategy layer: the decision procedure that drives the per-depth
+// checks over a prepared Model (model.go) and Session (session.go). Each
+// strategy decides which solver queries to issue at depth k and how to
+// interpret their answers; the surrounding loop (checkCompiled) owns frame
+// extension, warm-start gating, inprocessing, and observability, so a
+// strategy is exactly the paper-visible difference between engines.
+
+package bmc
+
+import (
+	"context"
+
+	"emmver/internal/sat"
+)
+
+// Strategy is one verification decision procedure. checkCompiled calls
+// Step once per depth, in increasing order, after the Model has extended
+// every window's unrolling and EMM constraints to k.
+type Strategy interface {
+	// Name labels the strategy in per-depth trace spans and logs.
+	Name() string
+	// Step runs the depth-k checks and returns (result, true) when the run
+	// is decided, or (nil, false) to deepen. Cancellation is polled through
+	// the Session's solver interrupt hooks; ctx is the run context those
+	// hooks watch.
+	Step(ctx context.Context, k int) (*Result, bool)
+}
+
+// strategyFor selects the Strategy the options ask for. The capability
+// resolver in internal/spec guarantees specs only reach combinations
+// listed here; Options-level callers get the closest sequential flow.
+func (e *engine) strategyFor() Strategy {
+	switch {
+	case e.opt.KInduction && e.opt.Proofs:
+		return &kindStrategy{e}
+	case e.opt.Proofs && e.opt.Portfolio:
+		return &portfolioStrategy{e}
+	default:
+		return &bmcStrategy{e}
+	}
+}
+
+// bmcStrategy is the paper's sequential per-depth flow, shared by BMC-1,
+// BMC-2, BMC-3, and PBA phase 1: forward termination, backward
+// termination (when Proofs is on), then the counter-example check, with
+// the PBA tracker fed after an UNSAT CE answer.
+type bmcStrategy struct{ e *engine }
+
+func (s *bmcStrategy) Name() string { return "bmc" }
+
+func (s *bmcStrategy) Step(_ context.Context, k int) (*Result, bool) {
+	e := s.e
+	prop := e.prop
+	if e.opt.Proofs {
+		switch e.forwardCheck(k) {
+		case sat.Unsat:
+			e.logf("depth %d: forward termination", k)
+			return &Result{Kind: KindProof, Depth: k, ProofSide: "forward"}, true
+		case sat.Unknown:
+			return &Result{Kind: KindTimeout, Depth: k}, true
+		}
+		switch e.backwardCheck(prop, k) {
+		case sat.Unsat:
+			e.logf("depth %d: backward termination", k)
+			return &Result{Kind: KindProof, Depth: k, ProofSide: "backward"}, true
+		case sat.Unknown:
+			return &Result{Kind: KindTimeout, Depth: k}, true
+		}
+	}
+	switch e.ceCheck(prop, k) {
+	case sat.Sat:
+		w := e.extractWitness(k)
+		e.logf("depth %d: counter-example", k)
+		e.validateWitness(w, prop)
+		return &Result{Kind: KindCE, Depth: k, Witness: w}, true
+	case sat.Unknown:
+		return &Result{Kind: KindTimeout, Depth: k}, true
+	}
+	if e.opt.PBA {
+		e.obsPBAUpdate(k)
+		e.logf("depth %d: no CE, |LR|=%d (stable %d)", k, e.tracker.Size(), e.tracker.StableFor(k))
+		if e.opt.StopAtStable && e.tracker.StableFor(k) >= e.opt.StabilityDepth {
+			return &Result{Kind: KindStable, Depth: k}, true
+		}
+	} else {
+		e.logf("depth %d: no CE", k)
+	}
+	return nil, false
+}
+
+// portfolioStrategy races the forward and backward windows as two lanes
+// per depth (portfolio.go).
+type portfolioStrategy struct{ e *engine }
+
+func (s *portfolioStrategy) Name() string { return "portfolio" }
+
+func (s *portfolioStrategy) Step(_ context.Context, k int) (*Result, bool) {
+	r := s.e.depthStepPortfolio(k)
+	return r, r != nil
+}

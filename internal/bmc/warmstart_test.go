@@ -135,6 +135,17 @@ func TestWarmStartNoCEAndProofParity(t *testing.T) {
 	}
 }
 
+// k-induction under warm start, falsifiable side: StartDepth defers the
+// base case, which must still land on the cold run's counter-example with
+// a replaying witness (the proof side is covered by TestKIndWarmStart).
+func TestWarmStartKIndBaseCase(t *testing.T) {
+	n := memCENetlist()
+	opt := KInd(10)
+	opt.ValidateWitness = true
+	checkWarmParity(t, n, opt, 3, false)
+	checkWarmParity(t, n, opt, 5, false)
+}
+
 // The cube-and-conquer path honors StartDepth too.
 func TestWarmStartCubed(t *testing.T) {
 	n := memCENetlist()

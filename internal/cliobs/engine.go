@@ -148,6 +148,12 @@ func (f *EngineFlags) RunDist(n *aig.Netlist, prop int, opt bmc.Options) (*bmc.R
 	if *f.Listen != "" && *f.Connect != "" {
 		return nil, errors.New("-listen and -connect are mutually exclusive")
 	}
+	// The engine dimension of the dist knob goes through the capability
+	// registry like every other knob; netlist-dependent conditions stay in
+	// bmc.DistEligible, checked when the worker joins.
+	if err := f.Request().DistCapable(); err != nil {
+		return nil, err
+	}
 	endpoint := *f.Listen
 	if endpoint == "" {
 		endpoint = *f.Connect

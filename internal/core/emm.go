@@ -74,6 +74,10 @@ type Generator struct {
 	// the declared reset contents.
 	forceArb bool
 
+	// retainWriteFreeInit keeps the declared initial contents of memories
+	// with no write ports even under forceArb (see RetainWriteFreeInit).
+	retainWriteFreeInit bool
+
 	memEnabled   []bool
 	readEnabled  [][]bool
 	writeEnabled [][]bool
@@ -271,6 +275,21 @@ func (g *Generator) DisableComparatorMemo() {
 	g.noCompMemo = true
 }
 
+// RetainWriteFreeInit keeps the declared initial contents of write-free
+// memories under ForceArbitraryInit: a memory with zero write ports never
+// changes, so "its contents equal the declared init" is an invariant of
+// every reachable state, and an induction-step window (which otherwise must
+// treat all memories as arbitrary per §4.2) may soundly assume it. This is
+// the k-induction engine's strengthening: it turns ROM-like lookup designs
+// — unprovable under fully arbitrary backward windows at any bound — into
+// depth-0 induction proofs. Memories declared MemArbitrary keep their
+// fresh-variable modeling; only a declared (zero) init is retained, and
+// only when the compiled netlist carries no write port for the memory.
+func (g *Generator) RetainWriteFreeInit() {
+	g.mustBeFresh()
+	g.retainWriteFreeInit = true
+}
+
 func (g *Generator) mustBeFresh() {
 	if g.frames != 0 {
 		panic("core: abstraction choices must be made before AddFrame")
@@ -448,7 +467,8 @@ func (g *Generator) addReadConstraints(mi int, mg *memGen, r int, k int) {
 
 	// Initial-state read: ps is now PS_{0,k,0,r} = N_{k,r}.
 	itag := g.tagInit(k, mi, r)
-	arbitrary := g.forceArb || m.Init == aig.MemArbitrary
+	retained := g.retainWriteFreeInit && len(m.Writes) == 0
+	arbitrary := (g.forceArb && !retained) || m.Init == aig.MemArbitrary
 	var vword []sat.Lit
 	if arbitrary {
 		// N → RD = V with a fresh symbolic word V_{k,r} (§4.2).

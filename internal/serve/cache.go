@@ -53,13 +53,27 @@ type family struct {
 	used  int64    // LRU clock tick of the last touch
 }
 
+// proofEntry is one engine-independent proof index record.
+type proofEntry struct {
+	v    *Verdict
+	used int64
+}
+
 // Cache is the content-addressed verdict store. All methods are safe for
 // concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	families map[string]*family
-	cap      int
-	clock    int64
+	// proofs is the engine-independent proof index: a PROOF verdict states
+	// a truth about the problem (netlist + passes), not about the engine
+	// that found it, so it is stored a second time under the engine-free
+	// ProblemID and answers submissions from *any* engine at any depth —
+	// a k-induction proof short-circuits every later BMC-3 or BMC-1
+	// request on the same design. CE and NO_CE entries stay per-family:
+	// a frontier is only meaningful to the engine flow that produced it.
+	proofs map[string]*proofEntry
+	cap    int
+	clock  int64
 
 	hits   int64 // exact answers served without solver work
 	warm   int64 // answers that warm-started a run
@@ -73,7 +87,11 @@ func NewCache(cap int) *Cache {
 	if cap <= 0 {
 		cap = 1024
 	}
-	return &Cache{families: make(map[string]*family), cap: cap}
+	return &Cache{
+		families: make(map[string]*family),
+		proofs:   make(map[string]*proofEntry),
+		cap:      cap,
+	}
 }
 
 // FamilyID combines the structural netlist hash with the request's
@@ -82,29 +100,46 @@ func FamilyID(netlistKey string, s spec.Spec) string {
 	return netlistKey + ":" + s.FamilyKey()
 }
 
+// ProblemID is the engine-independent bucket key for the proof index: the
+// structural netlist hash plus only the fields that change what is being
+// asked (spec.ProblemKey — passes, not engine or depth).
+func ProblemID(netlistKey string, s spec.Spec) string {
+	return netlistKey + ":" + s.ProblemKey()
+}
+
 // Lookup consults the cache for a request at the given depth. A decisive
-// entry (PROOF anywhere, CE at <= depth, NO_CE frontier at >= depth)
-// returns an exact hit; a shallower NO_CE frontier returns a non-exact
-// hit carrying the warm-start depth; otherwise nil. Witnesses are only
-// included when sourceKey matches the run that produced them — verdicts
-// transfer across isomorphic submissions, node coordinates do not.
-func (c *Cache) Lookup(familyID string, depth int, sourceKey string) *Hit {
-	return c.lookup(familyID, depth, sourceKey, true)
+// entry (PROOF anywhere — found by this engine or any other — CE at
+// <= depth, NO_CE frontier at >= depth) returns an exact hit; a shallower
+// NO_CE frontier returns a non-exact hit carrying the warm-start depth;
+// otherwise nil. Witnesses are only included when sourceKey matches the
+// run that produced them — verdicts transfer across isomorphic
+// submissions, node coordinates do not.
+func (c *Cache) Lookup(familyID, problemID string, depth int, sourceKey string) *Hit {
+	return c.lookup(familyID, problemID, depth, sourceKey, true)
 }
 
 // Peek is Lookup without touching the hit/miss counters — the worker's
 // pre-solve re-check uses it so one request is accounted exactly once.
-func (c *Cache) Peek(familyID string, depth int, sourceKey string) *Hit {
-	return c.lookup(familyID, depth, sourceKey, false)
+func (c *Cache) Peek(familyID, problemID string, depth int, sourceKey string) *Hit {
+	return c.lookup(familyID, problemID, depth, sourceKey, false)
 }
 
-func (c *Cache) lookup(familyID string, depth int, sourceKey string, count bool) *Hit {
+func (c *Cache) lookup(familyID, problemID string, depth int, sourceKey string, count bool) *Hit {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	tally := func(p *int64) {
 		if count {
 			*p++
 		}
+	}
+	// The proof index answers first: an unbounded proof holds for every
+	// engine and every depth, so it beats whatever the requesting engine's
+	// own family knows.
+	if pe := c.proofs[problemID]; pe != nil {
+		c.clock++
+		pe.used = c.clock
+		tally(&c.hits)
+		return &Hit{Verdict: stripForeignWitness(pe.v, sourceKey), Exact: true}
 	}
 	f := c.families[familyID]
 	if f == nil {
@@ -136,8 +171,10 @@ func (c *Cache) lookup(familyID string, depth int, sourceKey string, count bool)
 // Store records a completed run's verdict under its family. Timeouts and
 // PBA-stable stops are not cached — they answer nothing about other
 // budgets. NO_CE entries only advance the frontier; CE entries keep the
-// shallowest counter-example (deeper re-discoveries add nothing).
-func (c *Cache) Store(familyID string, v *Verdict) {
+// shallowest counter-example (deeper re-discoveries add nothing). A PROOF
+// is additionally published to the engine-independent proof index under
+// problemID, where it answers future submissions from every engine.
+func (c *Cache) Store(familyID, problemID string, v *Verdict) {
 	if v == nil || v.Kind == "TIMEOUT" || v.Kind == "STABLE" {
 		return
 	}
@@ -155,6 +192,8 @@ func (c *Cache) Store(familyID string, v *Verdict) {
 	switch v.Kind {
 	case "PROOF":
 		f.proof = v
+		c.proofs[problemID] = &proofEntry{v: v, used: c.clock}
+		c.evictProofsLocked()
 	case "CE":
 		if f.ce == nil || v.Depth < f.ce.Depth {
 			f.ce = v
@@ -176,6 +215,22 @@ func (c *Cache) evictLocked() {
 			}
 		}
 		delete(c.families, oldest)
+	}
+}
+
+// evictProofsLocked bounds the proof index by the same capacity and LRU
+// clock as the family map (it grows at most one entry per PROOF store, so
+// in practice it stays far smaller).
+func (c *Cache) evictProofsLocked() {
+	for len(c.proofs) > c.cap {
+		var oldest string
+		var min int64 = 1<<63 - 1
+		for id, pe := range c.proofs {
+			if pe.used < min {
+				min, oldest = pe.used, id
+			}
+		}
+		delete(c.proofs, oldest)
 	}
 }
 

@@ -193,6 +193,104 @@ func TestCEDepthSemantics(t *testing.T) {
 	}
 }
 
+// wedgeBTOR2 serializes the k-induction wedge: a zero-init ROM read at an
+// address taken from the counter's top bits, with the property that
+// enabled reads return zero. BMC-3 cannot bound it (the counter pushes the
+// recurrence diameter to 2^12), kind proves it at depth 0 via retained
+// write-free init.
+func wedgeBTOR2(t *testing.T) string {
+	t.Helper()
+	m := rtl.NewModule("wedge")
+	mem := m.Memory("rom", 4, 4, 0) // aig.MemZero
+	cnt := m.Register("cnt", 12, 0)
+	cnt.SetNext(m.Inc(cnt.Q))
+	re := m.InputBit("re")
+	rd := mem.Read(cnt.Q[8:], re)
+	bad := m.N.And(re, m.NonZero(rd))
+	m.AssertAlways("rom-reads-zero", bad.Not())
+	m.Done(cnt)
+	var buf bytes.Buffer
+	if err := btor2.Write(&buf, m.N); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// A PROOF is engine-independent: once kind proves the wedge unboundedly,
+// the cached proof answers later submissions from *any* engine at *any*
+// depth — even engines that could never have produced it — while the
+// per-engine families stay separate.
+func TestProofServedAcrossEngines(t *testing.T) {
+	s, c := testServer(t)
+	src := wedgeBTOR2(t)
+	req := func(engine string, depth int) Request {
+		return Request{Format: "btor2", Source: src, Prop: 0,
+			Spec: spec.Spec{Engine: engine, Depth: depth}}
+	}
+	proof := submitWait(t, c, req(spec.EngineKInd, 10))
+	if proof.Cached || proof.Verdict.Kind != "PROOF" || proof.Verdict.Depth != 0 {
+		t.Fatalf("kind on the wedge: cached=%v %+v, want fresh PROOF depth=0", proof.Cached, proof.Verdict)
+	}
+	for _, engine := range []string{spec.EngineBMC3, spec.EngineBMC1, spec.EngineKInd} {
+		got := submitWait(t, c, req(engine, 25))
+		if !got.Cached || got.Verdict.Kind != "PROOF" {
+			t.Fatalf("%s after kind proof: cached=%v %+v, want cached PROOF", engine, got.Cached, got.Verdict)
+		}
+		if engine != spec.EngineKInd && got.Family == proof.Family {
+			t.Fatalf("%s shares kind's family — proof transfer must cross families, not blur them", engine)
+		}
+	}
+	if st := s.CacheStats(); st.Hits < 3 {
+		t.Fatalf("proof serves not accounted as hits: %+v", st)
+	}
+}
+
+// A cached NO_CE frontier warm-starts a deeper kind request's base case,
+// same as the plain BMC engines: kind declares CapWarm and its checks are
+// monotone in k.
+func TestKIndDeepeningWarmStarts(t *testing.T) {
+	_, c := testServer(t)
+	// The counter design's CE sits at depth 9 and neither induction check
+	// closes (an arbitrary state can hold cnt=9), so below depth 9 kind
+	// honestly reports a NO_CE frontier.
+	req := func(depth int) Request {
+		return Request{Format: "verilog", Source: counterSrc, Prop: 0,
+			Spec: spec.Spec{Engine: spec.EngineKInd, Depth: depth}}
+	}
+	shallow := submitWait(t, c, req(5))
+	if shallow.Verdict.Kind != "NO_CE" || shallow.Verdict.Depth != 5 {
+		t.Fatalf("shallow kind run: %+v", shallow.Verdict)
+	}
+	deep := submitWait(t, c, req(8))
+	if deep.Cached || deep.WarmStart != 6 {
+		t.Fatalf("deep kind run: cached=%v warm=%d, want fresh run warm-started at 6", deep.Cached, deep.WarmStart)
+	}
+	if deep.Verdict.Kind != "NO_CE" || deep.Verdict.Depth != 8 {
+		t.Fatalf("deep kind verdict: %+v", deep.Verdict)
+	}
+	// Deepening past the frontier into the violation: the warm-started base
+	// case finds the depth-9 counter-example.
+	ce := submitWait(t, c, req(12))
+	if ce.Cached || ce.WarmStart != 9 || ce.Verdict.Kind != "CE" || ce.Verdict.Depth != 9 {
+		t.Fatalf("kind past the frontier: cached=%v warm=%d %+v, want CE depth=9 from warm start 9",
+			ce.Cached, ce.WarmStart, ce.Verdict)
+	}
+}
+
+// CE and NO_CE verdicts must NOT cross engines: only a PROOF states an
+// engine-independent truth. A bmc2 NO_CE frontier stays invisible to bmc3.
+func TestOnlyProofsCrossEngines(t *testing.T) {
+	_, c := testServer(t)
+	if st := submitWait(t, c, growthReq(t, 8, 0)); st.Verdict.Kind != "NO_CE" {
+		t.Fatalf("bmc2 seed: %+v", st.Verdict)
+	}
+	other := Request{Format: "btor2", Source: growthBTOR2(t, 0), Prop: 0,
+		Spec: spec.Spec{Engine: spec.EngineBMC3, Depth: 8}}
+	if st := submitWait(t, c, other); st.Cached {
+		t.Fatalf("bmc2 NO_CE leaked into a bmc3 request: %+v", st)
+	}
+}
+
 // The events endpoint streams the job's JSONL progress.
 func TestEventsStream(t *testing.T) {
 	_, c := testServer(t)

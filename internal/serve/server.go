@@ -74,6 +74,7 @@ type job struct {
 	netlist   *aig.Netlist
 	depth     int
 	familyID  string
+	problemID string
 	key       string
 	sourceKey string
 	log       *eventLog
@@ -236,7 +237,9 @@ func (s *Server) submit(req Request) (*job, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	famID := FamilyID(NetlistKey(compiled.N, compiled.Props), req.Spec)
+	netKey := NetlistKey(compiled.N, compiled.Props)
+	famID := FamilyID(netKey, req.Spec)
+	probID := ProblemID(netKey, req.Spec)
 	srcKey := SourceKey(req.Format, req.Top, req.Prop, raw)
 	key := famID + fmt.Sprintf(":d%d", canon.Depth)
 
@@ -262,6 +265,7 @@ func (s *Server) submit(req Request) (*job, int, error) {
 		netlist:   n,
 		depth:     canon.Depth,
 		familyID:  famID,
+		problemID: probID,
 		key:       key,
 		sourceKey: srcKey,
 		log:       newEventLog(),
@@ -273,7 +277,7 @@ func (s *Server) submit(req Request) (*job, int, error) {
 	s.mu.Unlock()
 	s.cfg.Obs.Point("serve.submit", obs.F("job", j.id), obs.F("family", famID[:16]))
 
-	if hit := s.cache.Lookup(famID, canon.Depth, srcKey); hit != nil && hit.Exact {
+	if hit := s.cache.Lookup(famID, probID, canon.Depth, srcKey); hit != nil && hit.Exact {
 		j.finish(hit.Verdict, true, 0, "")
 		return j, http.StatusOK, nil
 	}
@@ -369,7 +373,7 @@ func (s *Server) run(slot int, j *job) {
 	// A duplicate may have populated the cache between submit and now.
 	// Peek: this request was already accounted at submit time.
 	warmFrom := 0
-	if hit := s.cache.Peek(j.familyID, j.depth, j.sourceKey); hit != nil {
+	if hit := s.cache.Peek(j.familyID, j.problemID, j.depth, j.sourceKey); hit != nil {
 		if hit.Exact {
 			j.finish(hit.Verdict, true, 0, "")
 			return
@@ -394,7 +398,7 @@ func (s *Server) run(slot int, j *job) {
 		return
 	}
 	v := verdictOf(res, j.sourceKey)
-	s.cache.Store(j.familyID, v)
+	s.cache.Store(j.familyID, j.problemID, v)
 	j.finish(v, false, warmFrom, "")
 	s.cfg.Obs.Point("serve.done", obs.F("job", j.id), obs.F("kind", v.Kind))
 }

@@ -18,7 +18,8 @@ import (
 // tools whose workload fixes the engine or depth).
 //
 // The -passes usage line is completed with the live pass registry at call
-// time so the help text always lists exactly the passes this build has.
+// time, and the -engine usage line with the engine registry, so the help
+// text always lists exactly the passes and engines this build has.
 func RegisterFlags(fs *flag.FlagSet, s *Spec, skip ...string) {
 	skipped := make(map[string]bool, len(skip))
 	for _, name := range skip {
@@ -33,9 +34,12 @@ func RegisterFlags(fs *flag.FlagSet, s *Spec, skip ...string) {
 			continue
 		}
 		usage := f.Tag.Get("usage")
-		if name == "passes" {
+		switch name {
+		case "passes":
 			usage = fmt.Sprintf("static compile pipeline: comma-separated passes from %s (default %q), or none",
 				strings.Join(pass.Names(), ","), pass.SpecDefault)
+		case "engine":
+			usage = EngineUsage()
 		}
 		switch p := v.Field(i).Addr().Interface().(type) {
 		case *string:

@@ -1,0 +1,146 @@
+package spec
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// The capability resolver contract: for every engine and every subset of
+// the performance knobs, the spec is either honored in full — Options
+// succeeds and each requested knob reaches its Options field — or rejected
+// with a descriptive *CapabilityError naming the engine and the first
+// offending knob. No combination may be silently ignored.
+func TestCapabilityResolver(t *testing.T) {
+	for _, info := range Engines() {
+		for mask := 0; mask < 8; mask++ {
+			s := Default()
+			s.Engine = info.Name
+			s.Lazy = mask&1 != 0
+			s.Share = mask&2 != 0
+			s.Cube = mask&4 != 0
+			wantReject := s.Lazy && !info.Has(CapLazy) ||
+				s.Share && !info.Has(CapShare) ||
+				s.Cube && !info.Has(CapCube)
+			opt, err := s.Options()
+			if wantReject {
+				if err == nil {
+					t.Errorf("%s lazy=%v share=%v cube=%v: unsupported knob accepted",
+						info.Name, s.Lazy, s.Share, s.Cube)
+					continue
+				}
+				var ce *CapabilityError
+				if !errors.As(err, &ce) {
+					t.Errorf("%s: rejection is not a *CapabilityError: %v", info.Name, err)
+					continue
+				}
+				if ce.Engine != info.Name || ce.Knob == "" || ce.Reason == "" {
+					t.Errorf("%s: undescriptive CapabilityError: %+v", info.Name, ce)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s lazy=%v share=%v cube=%v: supported combination rejected: %v",
+					info.Name, s.Lazy, s.Share, s.Cube, err)
+				continue
+			}
+			// Honored means the knob actually reaches the engine options.
+			if opt.LazyEMM != s.Lazy || opt.Share != s.Share || opt.Cube != s.Cube {
+				t.Errorf("%s: knobs dropped on the floor: spec lazy=%v share=%v cube=%v, opt lazy=%v share=%v cube=%v",
+					info.Name, s.Lazy, s.Share, s.Cube, opt.LazyEMM, opt.Share, opt.Cube)
+			}
+		}
+	}
+}
+
+// The distributed-fleet dimension goes through the same registry: engines
+// without CapDist get the typed error, the rest pass.
+func TestDistCapable(t *testing.T) {
+	for _, info := range Engines() {
+		s := Default()
+		s.Engine = info.Name
+		err := s.DistCapable()
+		if info.Has(CapDist) {
+			if err != nil {
+				t.Errorf("%s: DistCapable rejected a dist-capable engine: %v", info.Name, err)
+			}
+			continue
+		}
+		var ce *CapabilityError
+		if !errors.As(err, &ce) || ce.Knob != "dist" || ce.Engine != info.Name {
+			t.Errorf("%s: want *CapabilityError{Knob: dist}, got %v", info.Name, err)
+		}
+	}
+}
+
+// Unknown engines must fail Validate with the full registry listed, and
+// every registered engine must validate and canonicalize to itself.
+func TestRegistryValidation(t *testing.T) {
+	s := Spec{Engine: "bdd"}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, name := range EngineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-engine error does not list %s: %v", name, err)
+		}
+	}
+	for _, name := range EngineNames() {
+		s := Spec{Engine: name}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if got := s.Canonical().Engine; got != name {
+			t.Errorf("%s canonicalized to %q", name, got)
+		}
+	}
+}
+
+// The -engine usage string is generated from the registry — one source of
+// truth. The drift test pins that every registered engine (and nothing
+// else shaped like an engine list) appears in the flag's help text.
+func TestEngineUsageDerivedFromRegistry(t *testing.T) {
+	s := Default()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	RegisterFlags(fs, &s)
+	usage := fs.Lookup("engine").Usage
+	if usage != EngineUsage() {
+		t.Errorf("-engine usage diverged from EngineUsage():\n  flag: %s\n  reg:  %s", usage, EngineUsage())
+	}
+	for _, info := range Engines() {
+		if !strings.Contains(usage, info.Name+" (") {
+			t.Errorf("-engine usage missing registry engine %s: %s", info.Name, usage)
+		}
+		if info.Summary == "" {
+			t.Errorf("engine %s has no summary", info.Name)
+		}
+	}
+}
+
+// Every engine must declare a coherent capability set: warm-start
+// eligibility and the proof index both read the registry, so the bits new
+// rows declare are load-bearing.
+func TestRegistryCoherence(t *testing.T) {
+	for _, info := range Engines() {
+		s := Spec{Engine: info.Name}
+		if got := s.WarmEligible(); got != info.Has(CapWarm) {
+			t.Errorf("%s: WarmEligible=%v, registry CapWarm=%v", info.Name, got, info.Has(CapWarm))
+		}
+	}
+	// Lazy needs an EMM-constrained CE path; an engine claiming CapLazy
+	// without EMM would silently no-op the knob at the engine layer.
+	for _, name := range []string{EngineBMC2, EngineBMC3, EnginePortfolio, EngineKInd} {
+		info, ok := LookupEngine(name)
+		if !ok || !info.Has(CapLazy) {
+			t.Errorf("%s: expected CapLazy", name)
+		}
+	}
+	if info, _ := LookupEngine(EngineBMC1); info.Has(CapLazy) || info.Has(CapCube) {
+		t.Error("bmc1 has no EMM constraints; CapLazy/CapCube must be off")
+	}
+	if info, _ := LookupEngine(EnginePBA); info.Has(CapShare) || info.Has(CapLazy) {
+		t.Error("pba proof tracing excludes share/lazy")
+	}
+}

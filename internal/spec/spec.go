@@ -36,13 +36,16 @@ const Version = 1
 
 // Engine names. PBA is the two-phase prove-with-abstraction flow;
 // Portfolio is BMC-3 with the per-depth forward/backward lane race (same
-// verdicts, racing solvers).
+// verdicts, racing solvers); KInd is EMM k-induction (the bmc3 termination
+// machinery with a strengthened induction hypothesis — unbounded proofs).
+// The registry in registry.go describes each engine and its capability set.
 const (
 	EngineBMC1      = "bmc1"
 	EngineBMC2      = "bmc2"
 	EngineBMC3      = "bmc3"
 	EnginePBA       = "pba"
 	EnginePortfolio = "portfolio"
+	EngineKInd      = "kind"
 )
 
 // Duration is a time.Duration that marshals as a human-readable string
@@ -108,8 +111,11 @@ func (d *Duration) Set(s string) error {
 type Spec struct {
 	// V is the schema version (0 reads as the current Version).
 	V int `json:"v,omitempty"`
-	// Engine selects the algorithm: bmc1, bmc2, bmc3, pba, or portfolio.
-	Engine string `json:"engine,omitempty" flag:"engine" usage:"verification engine: bmc1, bmc2, bmc3, pba, or portfolio"`
+	// Engine selects the algorithm; valid names come from the engine
+	// registry (registry.go). The usage tag here is a fallback —
+	// RegisterFlags renders the real help text from the registry so the
+	// CLI surface lists exactly the engines this build has.
+	Engine string `json:"engine,omitempty" flag:"engine" usage:"verification engine (see registry)"`
 	// Depth is the maximum analysis depth (bmc.Options.MaxDepth).
 	Depth int `json:"depth,omitempty" flag:"depth" usage:"maximum analysis depth"`
 	// Timeout bounds the wall clock of one run (0 = none).
@@ -210,16 +216,19 @@ func canonicalPasses(spec string) string {
 }
 
 // Validate reports the first problem with s, or nil. Options calls it; the
-// server calls it before accepting a job.
+// server calls it before accepting a job. Beyond field-level checks, it
+// runs the central capability resolver: every performance knob the spec
+// turns on must be declared supported by the selected engine's registry
+// row, or the combination is rejected with a typed *CapabilityError —
+// never silently ignored.
 func (s Spec) Validate() error {
 	if s.V < 0 || s.V > Version {
 		return fmt.Errorf("spec: unsupported schema version %d (this build speaks <= %d)", s.V, Version)
 	}
 	c := s.Canonical()
-	switch c.Engine {
-	case EngineBMC1, EngineBMC2, EngineBMC3, EnginePBA, EnginePortfolio:
-	default:
-		return fmt.Errorf("spec: unknown engine %q (want bmc1, bmc2, bmc3, pba, or portfolio)", c.Engine)
+	info, ok := LookupEngine(c.Engine)
+	if !ok {
+		return fmt.Errorf("spec: unknown engine %q (want %s)", c.Engine, strings.Join(EngineNames(), ", "))
 	}
 	if _, err := sat.ParseRestartMode(c.Restart); err != nil {
 		return err
@@ -227,7 +236,7 @@ func (s Spec) Validate() error {
 	if err := pass.ValidSpec(c.Passes); err != nil {
 		return err
 	}
-	return nil
+	return checkCapabilities(c, info)
 }
 
 // Options converts the spec into the engine configuration it denotes.
@@ -274,6 +283,10 @@ func (s Spec) Options() (bmc.Options, error) {
 		opt.UseEMM = true
 		opt.Proofs = true
 		opt.Portfolio = true
+	case EngineKInd:
+		opt.UseEMM = true
+		opt.Proofs = true
+		opt.KInduction = true
 	}
 	return opt, nil
 }
@@ -306,6 +319,8 @@ func FromOptions(o bmc.Options) Spec {
 	switch {
 	case o.PBA && !o.Proofs, o.StabilityDepth > 0 && !o.Proofs:
 		s.Engine = EnginePBA
+	case o.UseEMM && o.Proofs && o.KInduction:
+		s.Engine = EngineKInd
 	case o.UseEMM && o.Proofs && o.Portfolio:
 		s.Engine = EnginePortfolio
 	case o.UseEMM && o.Proofs:
@@ -344,16 +359,33 @@ func (s Spec) familyContent() string {
 	return fmt.Sprintf("emmver-spec-v%d|engine=%s|passes=%s", Version, c.Engine, c.Passes)
 }
 
+// ProblemKey hashes the engine- and depth-independent content of the spec —
+// only the compile pipeline. Two requests with the same ProblemKey over the
+// same compiled netlist ask about the *same property of the same model*,
+// just with different engines or bounds. The verdict cache uses it for the
+// one verdict kind that transfers across both dimensions: a PROOF states
+// the property holds at every depth, so a k-induction proof answers later
+// bmc1/bmc3/portfolio requests at any bound. CE and NO_CE verdicts stay on
+// FamilyKey — an engine without termination checks legitimately reports
+// NO_CE where a proving engine reports PROOF, and the cache must not blur
+// that observable difference.
+func (s Spec) ProblemKey() string {
+	c := s.Canonical()
+	return hashKey(fmt.Sprintf("emmver-spec-problem-v%d|passes=%s", Version, c.Passes))
+}
+
 func hashKey(content string) string {
 	sum := sha256.Sum256([]byte(content))
 	return hex.EncodeToString(sum[:])
 }
 
 // WarmEligible reports whether the engine behind s supports warm-started
-// runs (bmc.Options.StartDepth): the single-engine BMC flows do; the
-// two-phase PBA flow re-derives its abstraction from depth 0 and does not.
+// runs (bmc.Options.StartDepth, registry capability CapWarm): the
+// single-engine BMC flows and k-induction do; the two-phase PBA flow
+// re-derives its abstraction from depth 0 and does not.
 func (s Spec) WarmEligible() bool {
-	return s.Canonical().Engine != EnginePBA
+	info, ok := LookupEngine(s.Canonical().Engine)
+	return ok && info.Has(CapWarm)
 }
 
 // RunCtx executes the request against property prop of n — the one

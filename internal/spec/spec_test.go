@@ -12,28 +12,31 @@ import (
 
 // Every engine's Spec must survive Spec → Options → Spec unchanged
 // (modulo canonicalization): the converters are the API contract that
-// CLIs, server, and cache speak one schema.
+// CLIs, server, and cache speak one schema. Each engine is exercised with
+// every performance knob its registry row declares — the capability
+// resolver rejects the rest (TestCapabilityResolver covers those).
 func TestOptionsRoundTrip(t *testing.T) {
-	for _, engine := range []string{EngineBMC1, EngineBMC2, EngineBMC3, EnginePBA, EnginePortfolio} {
+	for _, info := range Engines() {
 		s := Default()
-		s.Engine = engine
+		s.Engine = info.Name
 		s.Depth = 42
 		s.Timeout = Duration(90 * time.Second)
 		s.Jobs = 3
 		s.Restart = "luby"
 		s.NoSimplify = true
-		s.Share = true
-		s.Cube = true
+		s.Share = info.Has(CapShare)
+		s.Cube = info.Has(CapCube)
+		s.Lazy = info.Has(CapLazy)
 		s.ShareCap = 128
 		s.ShareLBD = 4
 		s.ShareSize = 12
 		opt, err := s.Options()
 		if err != nil {
-			t.Fatalf("%s: Options: %v", engine, err)
+			t.Fatalf("%s: Options: %v", info.Name, err)
 		}
 		back := FromOptions(opt)
 		if back != s.Canonical() {
-			t.Errorf("%s: round trip drifted:\n  in:  %+v\n  out: %+v", engine, s.Canonical(), back)
+			t.Errorf("%s: round trip drifted:\n  in:  %+v\n  out: %+v", info.Name, s.Canonical(), back)
 		}
 	}
 }
@@ -48,6 +51,7 @@ func TestOptionsEngineMapping(t *testing.T) {
 		{EngineBMC3, true, true, false, false},
 		{EnginePortfolio, true, true, true, false},
 		{EnginePBA, true, false, false, true},
+		{EngineKInd, true, true, false, false},
 	}
 	for _, c := range cases {
 		s := Spec{Engine: c.engine, Depth: 10}
@@ -63,6 +67,9 @@ func TestOptionsEngineMapping(t *testing.T) {
 		}
 		if opt.MaxDepth != 10 {
 			t.Errorf("%s: MaxDepth %d", c.engine, opt.MaxDepth)
+		}
+		if opt.KInduction != (c.engine == EngineKInd) {
+			t.Errorf("%s: KInduction=%v", c.engine, opt.KInduction)
 		}
 	}
 }
